@@ -1,0 +1,45 @@
+//! Runs every experiment of the SeSeMI reproduction and prints the result
+//! tables as Markdown.
+//!
+//! ```text
+//! cargo run -p sesemi-bench --bin experiments --release [-- --seed 42] [--json]
+//! ```
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let mut seed = 42u64;
+    let mut json = false;
+    let mut iter = args.iter().skip(1);
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--seed" => {
+                seed = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--seed needs an integer value");
+            }
+            "--json" => json = true,
+            "--help" | "-h" => {
+                println!("usage: experiments [--seed N] [--json]");
+                return;
+            }
+            other => {
+                eprintln!("unknown argument: {other}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    eprintln!("running all SeSeMI experiments (seed {seed}) ...");
+    let reports = sesemi_bench::run_all(seed);
+    if json {
+        let rendered: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
+        println!("[{}]", rendered.join(",\n"));
+    } else {
+        println!("# SeSeMI reproduction — experiment results (seed {seed})\n");
+        for report in &reports {
+            print!("{}", report.to_markdown());
+        }
+    }
+    eprintln!("done: {} experiments.", reports.len());
+}

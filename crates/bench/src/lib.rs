@@ -1,0 +1,92 @@
+//! # sesemi-bench
+//!
+//! The experiment harness: one function per table / figure of the paper's
+//! evaluation (§VI and the appendix), each returning a [`report::Report`]
+//! that the `experiments` binary renders as a Markdown table.  The Criterion
+//! benchmarks under `benches/` wrap the same functions so `cargo bench`
+//! exercises every experiment, and `EXPERIMENTS.md` records the paper-vs-
+//! measured comparison.
+//!
+//! Experiment index (see DESIGN.md for the full mapping):
+//!
+//! | ID  | Function | Paper artifact |
+//! |-----|----------|----------------|
+//! | T1  | [`micro::table1_models`] | Table I — model and buffer sizes |
+//! | F8  | [`micro::fig8_stage_ratio`] | Fig. 8 — cold-path stage latency ratio |
+//! | F9  | [`micro::fig9_invocation_paths`] | Fig. 9 — hot/warm/cold vs untrusted |
+//! | F10 | [`micro::fig10_memory_saving`] | Fig. 10 — enclave memory saving |
+//! | F11 | [`micro::fig11_concurrency`] | Fig. 11 — latency vs concurrency |
+//! | F12 | [`sims::fig12_throughput`] | Fig. 12 — p95 latency vs request rate |
+//! | F13 | [`sims::fig13_mmpp_latency`] | Fig. 13 — MMPP latency over time |
+//! | F14 | [`sims::fig14_mmpp_memory`] | Fig. 14 — sandboxes / memory / GB·s |
+//! | T2  | [`micro::table2_isolation`] | Table II — strong isolation overhead |
+//! | T3  | [`sims::table3_fnpacker_poisson`] | Table III — Poisson multi-model latency |
+//! | T4  | [`sims::table4_fnpacker_sessions`] | Table IV — interactive session latency |
+//! | F15 | [`micro::fig15_enclave_init`] | Fig. 15 — enclave init overhead |
+//! | F16 | [`micro::fig16_attestation`] | Fig. 16 — remote attestation overhead |
+//! | F17 | [`micro::fig17_breakdown_sgx`] | Fig. 17 — stage breakdown inside SGX2 |
+//! | F18 | [`micro::fig18_breakdown_untrusted`] | Fig. 18 — stage breakdown outside SGX |
+//! | T5  | [`micro::table5_config`] | Table V — configuration parameters |
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod micro;
+pub mod report;
+pub mod sims;
+
+pub use report::Report;
+
+/// Runs every experiment in order and returns the reports.
+#[must_use]
+pub fn run_all(seed: u64) -> Vec<Report> {
+    vec![
+        micro::table1_models(),
+        micro::fig8_stage_ratio(),
+        micro::fig9_invocation_paths(),
+        micro::fig10_memory_saving(),
+        micro::fig11_concurrency(),
+        sims::fig12_throughput(seed),
+        sims::fig13_mmpp_latency(seed),
+        sims::fig14_mmpp_memory(seed),
+        micro::table2_isolation(),
+        sims::table3_fnpacker_poisson(seed),
+        sims::table4_fnpacker_sessions(seed),
+        micro::fig15_enclave_init(),
+        micro::fig16_attestation(),
+        micro::fig17_breakdown_sgx(),
+        micro::fig18_breakdown_untrusted(),
+        micro::table5_config(),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn every_cheap_experiment_produces_consistent_rows() {
+        // The cluster-simulation experiments are exercised by their own unit
+        // tests and by the binary / benches; here we sanity-check the cheap,
+        // closed-form experiments.
+        let reports = vec![
+            super::micro::table1_models(),
+            super::micro::fig8_stage_ratio(),
+            super::micro::fig9_invocation_paths(),
+            super::micro::fig10_memory_saving(),
+            super::micro::fig11_concurrency(),
+            super::micro::table2_isolation(),
+            super::micro::fig15_enclave_init(),
+            super::micro::fig16_attestation(),
+            super::micro::fig17_breakdown_sgx(),
+            super::micro::fig18_breakdown_untrusted(),
+            super::micro::table5_config(),
+        ];
+        for report in reports {
+            assert!(!report.rows.is_empty(), "{} has no rows", report.id);
+            assert!(!report.columns.is_empty(), "{} has no columns", report.id);
+            for row in &report.rows {
+                assert_eq!(row.len(), report.columns.len(), "{} row width", report.id);
+            }
+            assert!(!report.to_markdown().is_empty());
+        }
+    }
+}

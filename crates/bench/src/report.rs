@@ -1,0 +1,127 @@
+//! Experiment reports: a small tabular container rendered to Markdown.
+
+use serde::Serialize;
+
+/// The result of one experiment: a table plus free-form notes comparing the
+/// measured shape with the paper's.
+#[derive(Clone, Debug, Serialize)]
+pub struct Report {
+    /// Experiment identifier (e.g. "F9", "T3").
+    pub id: String,
+    /// Human-readable title (which paper artifact it reproduces).
+    pub title: String,
+    /// Column headers.
+    pub columns: Vec<String>,
+    /// Table rows (each row has exactly `columns.len()` cells).
+    pub rows: Vec<Vec<String>>,
+    /// Notes on calibration, expected shape and observed shape.
+    pub notes: Vec<String>,
+}
+
+impl Report {
+    /// Creates an empty report.
+    #[must_use]
+    pub fn new(id: &str, title: &str, columns: &[&str]) -> Self {
+        Report {
+            id: id.to_string(),
+            title: title.to_string(),
+            columns: columns.iter().map(|c| (*c).to_string()).collect(),
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends one row.
+    ///
+    /// # Panics
+    /// Panics if the row width does not match the header width.
+    pub fn push_row(&mut self, row: Vec<String>) {
+        assert_eq!(
+            row.len(),
+            self.columns.len(),
+            "report {} row has wrong width",
+            self.id
+        );
+        self.rows.push(row);
+    }
+
+    /// Appends a note line.
+    pub fn push_note(&mut self, note: impl Into<String>) {
+        self.notes.push(note.into());
+    }
+
+    /// Renders the report as a Markdown section.
+    #[must_use]
+    pub fn to_markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
+        out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
+        out.push_str(&format!(
+            "|{}\n",
+            "---|".repeat(self.columns.len())
+        ));
+        for row in &self.rows {
+            out.push_str(&format!("| {} |\n", row.join(" | ")));
+        }
+        if !self.notes.is_empty() {
+            out.push('\n');
+            for note in &self.notes {
+                out.push_str(&format!("- {note}\n"));
+            }
+        }
+        out.push('\n');
+        out
+    }
+
+    /// Renders the report as a JSON value (used by tooling that wants to
+    /// post-process experiment output).
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("report serializes")
+    }
+}
+
+/// Formats a duration in seconds with millisecond precision.
+#[must_use]
+pub fn secs(value: sesemi_sim::SimDuration) -> String {
+    format!("{:.3}", value.as_secs_f64())
+}
+
+/// Formats a ratio/percentage with two decimals.
+#[must_use]
+pub fn pct(value: f64) -> String {
+    format!("{:.1}%", value * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesemi_sim::SimDuration;
+
+    #[test]
+    fn markdown_rendering_includes_all_cells_and_notes() {
+        let mut report = Report::new("F9", "Execution time under different invocations", &["combo", "hot (s)"]);
+        report.push_row(vec!["TVM-MBNET".to_string(), "0.070".to_string()]);
+        report.push_note("hot ≈ untrusted with cached model");
+        let md = report.to_markdown();
+        assert!(md.contains("### F9"));
+        assert!(md.contains("TVM-MBNET"));
+        assert!(md.contains("0.070"));
+        assert!(md.contains("- hot"));
+        let json = report.to_json();
+        assert!(json.contains("\"id\": \"F9\""));
+    }
+
+    #[test]
+    #[should_panic(expected = "wrong width")]
+    fn mismatched_row_width_panics() {
+        let mut report = Report::new("X", "x", &["a", "b"]);
+        report.push_row(vec!["only one".to_string()]);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(secs(SimDuration::from_millis(1234)), "1.234");
+        assert_eq!(pct(0.259), "25.9%");
+    }
+}

@@ -1,0 +1,418 @@
+//! Cluster-simulation experiments: the single-node throughput sweep
+//! (Fig. 12), the multi-node MMPP experiments (Figs. 13–14) and the FnPacker
+//! multi-model experiments (Tables III–IV).
+
+use crate::report::{secs, Report};
+use sesemi::baseline::ServingStrategy;
+use sesemi::cluster::{ClusterConfig, ClusterSimulation, SimulationResult};
+use sesemi_fnpacker::RoutingStrategy;
+use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
+use sesemi_sim::{SimDuration, SimRng, SimTime};
+use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
+
+const GB: u64 = 1024 * 1024 * 1024;
+
+fn poisson_trace(
+    model: &ModelId,
+    user: usize,
+    rate: f64,
+    duration: SimDuration,
+    rng: &mut SimRng,
+) -> Vec<RequestArrival> {
+    ArrivalProcess::Poisson { rate_per_sec: rate }.generate(model, user, duration, rng)
+}
+
+fn run_single_node_rate(
+    kind: ModelKind,
+    framework: Framework,
+    strategy: ServingStrategy,
+    sgx1: bool,
+    rate: f64,
+    seed: u64,
+) -> SimulationResult {
+    let profile = ModelProfile::paper(kind, framework);
+    let model = kind.default_id();
+    let mut config = if sgx1 {
+        ClusterConfig::single_node_sgx1()
+    } else {
+        ClusterConfig::single_node_sgx2()
+    };
+    config.strategy = strategy;
+    config.tcs_per_container = 1;
+    config.seed = seed;
+    // Bound the node to four single-thread containers so the latency knee
+    // appears inside the swept rate range, as in the paper's single-node
+    // saturation study.
+    config.invoker_memory_bytes = sesemi_platform::PlatformConfig::round_memory_budget(
+        profile.enclave_bytes_for_concurrency(1),
+    ) * 4;
+    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+    // The paper warms the sandboxes up before measuring, so there are no cold
+    // invocations in the steady state.
+    sim.prewarm(&model, 0, 4);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let duration = SimDuration::from_secs(60);
+    sim.add_arrivals(poisson_trace(&model, 0, rate, duration, &mut rng));
+    sim.run(duration)
+}
+
+/// Fig. 12: p95 latency versus request rate for hot serving on one node.
+#[must_use]
+pub fn fig12_throughput(seed: u64) -> Report {
+    let mut report = Report::new(
+        "F12",
+        "Fig. 12 — p95 latency (s) vs request rate, single node, hot serving",
+        &["Panel", "Strategy", "Rate (rps)", "p95 latency", "Completed"],
+    );
+    // Panel (a): TVM-MBNET on SGX2, SeSeMI vs Iso-reuse around 30-50 rps.
+    for strategy in [ServingStrategy::Sesemi, ServingStrategy::IsoReuse] {
+        for rate in [30.0, 38.0, 46.0, 50.0] {
+            let result =
+                run_single_node_rate(ModelKind::MbNet, Framework::Tvm, strategy, false, rate, seed);
+            report.push_row(vec![
+                "(a) TVM-MBNET SGX2".into(),
+                strategy.label().into(),
+                format!("{rate:.0}"),
+                secs(result.p95_latency()),
+                result.completed.to_string(),
+            ]);
+        }
+    }
+    // Panel (b): TVM-RSNET on SGX2, all three strategies, 1-6 rps.
+    for strategy in ServingStrategy::TEE_STRATEGIES {
+        for rate in [1.0, 3.0, 5.0, 6.0] {
+            let result =
+                run_single_node_rate(ModelKind::RsNet, Framework::Tvm, strategy, false, rate, seed + 1);
+            report.push_row(vec![
+                "(b) TVM-RSNET SGX2".into(),
+                strategy.label().into(),
+                format!("{rate:.0}"),
+                secs(result.p95_latency()),
+                result.completed.to_string(),
+            ]);
+        }
+    }
+    // Panels (c)/(d): MBNET on SGX1 under TVM and TFLM (EPC pressure).
+    for framework in [Framework::Tvm, Framework::Tflm] {
+        for rate in [5.0, 10.0, 14.0, 18.0] {
+            let result = run_single_node_rate(
+                ModelKind::MbNet,
+                framework,
+                ServingStrategy::Sesemi,
+                true,
+                rate,
+                seed + 2,
+            );
+            report.push_row(vec![
+                format!("(c/d) {}-MBNET SGX1", framework.label()),
+                ServingStrategy::Sesemi.label().into(),
+                format!("{rate:.0}"),
+                secs(result.p95_latency()),
+                result.completed.to_string(),
+            ]);
+        }
+    }
+    report.push_note("Paper Fig. 12: SeSeMI and Iso-reuse are close for MBNET (runtime init is cheap); for RSNET Iso-reuse saturates earlier; Native is far worse.");
+    report.push_note("Paper Fig. 12c/d: on SGX1 TFLM sustains a higher rate (>18 rps) than TVM (~14 rps) because of its smaller enclave memory footprint.");
+    report
+}
+
+fn run_mmpp(
+    kind: ModelKind,
+    strategy: ServingStrategy,
+    tcs: usize,
+    seed: u64,
+) -> SimulationResult {
+    let profile = ModelProfile::paper(kind, Framework::Tvm);
+    let model = kind.default_id();
+    let mut config = ClusterConfig::multi_node_sgx2();
+    config.strategy = strategy;
+    config.tcs_per_container = tcs;
+    config.seed = seed;
+    // §VI-C: the invoker memory bounds how many serverless instances a node
+    // can host.  We provision memory for two single-thread containers of this
+    // model per node (16 execution slots across the 8-node cluster) — sized
+    // so the cluster absorbs the 40 rps phase on SeSeMI's hot path but
+    // saturates once a baseline re-does per-request work on every
+    // invocation, which is the regime Fig. 13 studies (Iso-reuse "remains
+    // high for a long period after the burst").
+    let single_thread_budget = sesemi_platform::PlatformConfig::round_memory_budget(
+        profile.enclave_bytes_for_concurrency(1),
+    );
+    config.invoker_memory_bytes = single_thread_budget * 2;
+    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+    sim.prewarm(&model, 0, 8);
+    let duration = SimDuration::from_secs(800);
+    let mut rng = SimRng::seed_from_u64(seed);
+    let arrivals =
+        ArrivalProcess::paper_mmpp().generate(&model, 0, duration, &mut rng);
+    sim.add_arrivals(arrivals);
+    sim.run(duration)
+}
+
+/// Fig. 13: average latency over time under the MMPP workload on 8 nodes.
+#[must_use]
+pub fn fig13_mmpp_latency(seed: u64) -> Report {
+    let mut report = Report::new(
+        "F13",
+        "Fig. 13 — serving under the MMPP workload (20↔40 rps, 8 nodes)",
+        &["Model", "Strategy", "Mean latency (s)", "p95 (s)", "Hot fraction", "Completed"],
+    );
+    for kind in [ModelKind::DsNet, ModelKind::RsNet] {
+        for strategy in ServingStrategy::TEE_STRATEGIES {
+            let result = run_mmpp(kind, strategy, 1, seed);
+            report.push_row(vec![
+                format!("TVM-{}", kind.label()),
+                strategy.label().into(),
+                secs(result.mean_latency()),
+                secs(result.p95_latency()),
+                format!("{:.2}", result.hot_fraction()),
+                result.completed.to_string(),
+            ]);
+        }
+    }
+    report.push_note("Paper Fig. 13: for DSNET the average latency is 0.64 s (SeSeMI) vs 3.35 s (Iso-reuse), an 81% improvement; Native exceeds 10 s.");
+    report.push_note("For RSNET contention is high for every system (paper: 8.28 s vs 12.54 s).");
+    report
+}
+
+/// Fig. 14: sandbox count, memory and GB·second cost under the MMPP
+/// workload, with 1 versus 4 enclave threads.
+#[must_use]
+pub fn fig14_mmpp_memory(seed: u64) -> Report {
+    let mut report = Report::new(
+        "F14",
+        "Fig. 14 — memory usage for serving under the MMPP workload (SeSeMI)",
+        &["Setting", "Peak sandboxes", "Peak memory (GB)", "GB·seconds", "Mean latency (s)"],
+    );
+    for kind in [ModelKind::DsNet, ModelKind::RsNet] {
+        let mut costs = Vec::new();
+        for tcs in [1usize, 4] {
+            let result = run_mmpp(kind, ServingStrategy::Sesemi, tcs, seed);
+            costs.push(result.gb_seconds);
+            report.push_row(vec![
+                format!("TVM-{}-{}", kind.label(), tcs),
+                result.peak_sandboxes.to_string(),
+                format!("{:.2}", result.peak_memory_bytes as f64 / GB as f64),
+                format!("{:.0}", result.gb_seconds),
+                secs(result.mean_latency()),
+            ]);
+        }
+        let reduction = 1.0 - costs[1] / costs[0];
+        report.push_note(format!(
+            "TVM-{}: 4 threads per enclave reduce the GB·second cost by {:.0}% versus 1 thread (paper: 59% for DSNET, 48% for RSNET).",
+            kind.label(),
+            reduction * 100.0
+        ));
+    }
+    report
+}
+
+fn fnpool_models() -> Vec<(ModelId, ModelProfile)> {
+    // m0–m4 are five TVM-RSNET models with different ids (paper §VI-D).
+    (0..5)
+        .map(|i| {
+            (
+                ModelId::new(format!("m{i}")),
+                ModelProfile::paper(ModelKind::RsNet, Framework::Tvm),
+            )
+        })
+        .collect()
+}
+
+fn run_multi_model(
+    routing: RoutingStrategy,
+    with_sessions: bool,
+    seed: u64,
+) -> SimulationResult {
+    let models = fnpool_models();
+    let mut config = ClusterConfig::multi_node_sgx2();
+    config.routing = routing;
+    config.tcs_per_container = 1;
+    config.nodes = 8;
+    config.seed = seed;
+    let mut sim = ClusterSimulation::new(config, models.clone());
+    let duration = SimDuration::from_secs(480);
+    let mut rng = SimRng::seed_from_u64(seed);
+    // Background Poisson traffic on the two popular models, 2 rps each.
+    let mut arrivals = poisson_trace(&models[0].0, 0, 2.0, duration, &mut rng);
+    arrivals.extend(poisson_trace(&models[1].0, 1, 2.0, duration, &mut rng));
+    arrivals.sort_by_key(|a| a.at);
+    sim.add_arrivals(arrivals);
+    if with_sessions {
+        let ids: Vec<ModelId> = models.iter().map(|(m, _)| m.clone()).collect();
+        for session in InteractiveSession::paper_sessions(&ids) {
+            sim.add_session(session);
+        }
+    }
+    sim.run(duration)
+}
+
+/// Table III: average latency of the Poisson-traffic models under the three
+/// multi-model deployments.
+#[must_use]
+pub fn table3_fnpacker_poisson(seed: u64) -> Report {
+    let mut report = Report::new(
+        "T3",
+        "Table III — latency of models with Poisson traffic (ms)",
+        &["Strategy", "Avg latency m0/m1 (ms)", "Completed", "Cold starts"],
+    );
+    for routing in RoutingStrategy::ALL {
+        let result = run_multi_model(routing, true, seed);
+        let mut stats = sesemi_sim::LatencyStats::new();
+        for model in ["m0", "m1"] {
+            if let Some(model_stats) = result.per_model_latency.get(&ModelId::new(model)) {
+                stats.merge(model_stats);
+            }
+        }
+        report.push_row(vec![
+            routing.label().into(),
+            format!("{:.1}", stats.mean().as_millis_f64()),
+            stats.count().to_string(),
+            result.cold_starts.to_string(),
+        ]);
+    }
+    report.push_note("Paper Table III: All-in-one 1700.50 ms, One-to-one 1456.01 ms, FnPacker 1465.79 ms — All-in-one pays >16% extra from model switching.");
+    report
+}
+
+/// Table IV: latency of each interactive-session query under the three
+/// deployments.
+#[must_use]
+pub fn table4_fnpacker_sessions(seed: u64) -> Report {
+    let mut report = Report::new(
+        "T4",
+        "Table IV — latency of serving interactive queries (ms)",
+        &["Session", "Model", "All-in-one", "One-to-one", "FnPacker"],
+    );
+    let mut per_strategy = Vec::new();
+    for routing in RoutingStrategy::ALL {
+        let result = run_multi_model(routing, true, seed);
+        per_strategy.push((routing, result));
+    }
+    for session in ["Session 1", "Session 2"] {
+        for model_index in 0..5 {
+            let model = ModelId::new(format!("m{model_index}"));
+            let mut cells = vec![session.to_string(), model.as_str().to_string()];
+            for strategy in RoutingStrategy::ALL {
+                let result = &per_strategy
+                    .iter()
+                    .find(|(r, _)| *r == strategy)
+                    .expect("strategy simulated")
+                    .1;
+                let latency = result
+                    .session_latencies
+                    .iter()
+                    .find(|(name, m, _)| name == session && m == &model)
+                    .map(|(_, _, latency)| format!("{:.0}", latency.as_millis_f64()))
+                    .unwrap_or_else(|| "-".to_string());
+                cells.push(latency);
+            }
+            report.push_row(cells);
+        }
+    }
+    report.push_note("Paper Table IV: in session 1, One-to-one cold-starts m2–m4 (≈9.4–9.9 s); FnPacker serves them warm (≈2 s); All-in-one pays model switching (≈2–3.6 s).");
+    report.push_note("In session 2 every deployment reuses warm state and latencies converge to ≈1.3–2 s.");
+    report
+}
+
+/// Time-series points (for plotting Fig. 13-style curves): windowed mean
+/// latency under the MMPP workload for one strategy.
+#[must_use]
+pub fn fig13_latency_curve(
+    kind: ModelKind,
+    strategy: ServingStrategy,
+    seed: u64,
+) -> Vec<(SimTime, f64)> {
+    let result = run_mmpp(kind, strategy, 1, seed);
+    result
+        .latency_series
+        .windowed_mean(SimDuration::from_secs(20))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // These are integration-level checks of the simulation harness; they use
+    // short durations to stay fast but assert the paper's qualitative shape.
+
+    #[test]
+    fn fig12_iso_reuse_is_never_faster_than_sesemi_for_rsnet() {
+        let sesemi = run_single_node_rate(
+            ModelKind::RsNet,
+            Framework::Tvm,
+            ServingStrategy::Sesemi,
+            false,
+            3.0,
+            99,
+        );
+        let iso = run_single_node_rate(
+            ModelKind::RsNet,
+            Framework::Tvm,
+            ServingStrategy::IsoReuse,
+            false,
+            3.0,
+            99,
+        );
+        assert!(sesemi.p95_latency() <= iso.p95_latency());
+        assert!(sesemi.completed > 100 && iso.completed > 100);
+    }
+
+    #[test]
+    fn fig13_sesemi_improves_dsnet_latency_by_a_large_factor_over_iso_reuse() {
+        let sesemi = run_mmpp(ModelKind::DsNet, ServingStrategy::Sesemi, 1, 5);
+        let iso = run_mmpp(ModelKind::DsNet, ServingStrategy::IsoReuse, 1, 5);
+        let ratio = iso.mean_latency().as_secs_f64() / sesemi.mean_latency().as_secs_f64();
+        assert!(
+            ratio > 2.0,
+            "expected Iso-reuse to be much slower (got {:.2}x: {} vs {})",
+            ratio,
+            iso.mean_latency(),
+            sesemi.mean_latency()
+        );
+    }
+
+    #[test]
+    fn fig14_four_threads_cut_the_gb_second_cost() {
+        let one = run_mmpp(ModelKind::DsNet, ServingStrategy::Sesemi, 1, 6);
+        let four = run_mmpp(ModelKind::DsNet, ServingStrategy::Sesemi, 4, 6);
+        let reduction = 1.0 - four.gb_seconds / one.gb_seconds;
+        assert!(
+            reduction > 0.25,
+            "expected a sizeable cost reduction, got {:.0}% ({:.0} vs {:.0} GB-s)",
+            reduction * 100.0,
+            one.gb_seconds,
+            four.gb_seconds
+        );
+    }
+
+    #[test]
+    fn table4_one_to_one_pays_cold_starts_in_the_first_session() {
+        let one_to_one = run_multi_model(RoutingStrategy::OneToOne, true, 3);
+        let fnpacker = run_multi_model(RoutingStrategy::FnPacker, true, 3);
+        // m2 is first touched by session 1: One-to-one must cold start it,
+        // FnPacker reuses an idle pool endpoint (warm, no enclave init).
+        let get = |result: &SimulationResult, model: &str| -> f64 {
+            result
+                .session_latencies
+                .iter()
+                .find(|(name, m, _)| name == "Session 1" && m.as_str() == model)
+                .map(|(_, _, l)| l.as_secs_f64())
+                .unwrap_or(f64::NAN)
+        };
+        let one_to_one_m3 = get(&one_to_one, "m3");
+        let fnpacker_m3 = get(&fnpacker, "m3");
+        assert!(
+            one_to_one_m3 > fnpacker_m3,
+            "One-to-one m3 {one_to_one_m3:.2}s should exceed FnPacker {fnpacker_m3:.2}s"
+        );
+        assert!(one_to_one.cold_starts > fnpacker.cold_starts);
+    }
+
+    #[test]
+    fn fig13_curve_produces_points() {
+        let curve = fig13_latency_curve(ModelKind::DsNet, ServingStrategy::Sesemi, 8);
+        assert!(curve.len() > 10);
+    }
+}

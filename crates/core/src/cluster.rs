@@ -1,0 +1,988 @@
+//! The cluster simulator: replays the paper's workloads against the real
+//! scheduling, caching and routing logic with calibrated stage costs.
+//!
+//! The simulator combines:
+//!
+//! * the **platform controller** from `sesemi-platform` (memory-slot
+//!   scheduling, warm-container reuse, keep-alive eviction),
+//! * the **serving strategies** from [`crate::baseline`] (SeSeMI, Iso-reuse,
+//!   Native, Untrusted) which decide which serving stages each invocation
+//!   must run given the sandbox's cached state,
+//! * the **routing strategies** from `sesemi-fnpacker` (One-to-one,
+//!   All-in-one, FnPacker),
+//! * the **calibrated stage costs** from `sesemi-inference`
+//!   ([`ModelProfile`]) plus the enclave cost model (concurrent-init and EPC
+//!   penalties) from `sesemi-enclave`,
+//!
+//! and runs them in virtual time, so an 800-second MMPP experiment on an
+//! 8-node cluster (Fig. 13) replays in well under a second of wall time while
+//! exercising exactly the decision logic a real deployment would.
+
+use crate::baseline::{SandboxWarmth, ServingStrategy};
+use sesemi_enclave::{EnclaveCostModel, SgxVersion};
+use sesemi_fnpacker::{FnPool, Router, RoutingStrategy};
+use sesemi_inference::{ModelId, ModelProfile};
+use sesemi_keyservice::PartyId;
+use sesemi_platform::{
+    metering::Metering, ActionName, ActionSpec, Controller, PlatformConfig, SandboxId,
+};
+use sesemi_runtime::{InvocationPath, InvocationReport, ServingStage};
+use sesemi_sim::{EventQueue, LatencyStats, SimDuration, SimRng, SimTime, TimeSeries};
+use sesemi_workload::{InteractiveSession, RequestArrival};
+use std::collections::{HashMap, VecDeque};
+
+const MB: u64 = 1024 * 1024;
+
+/// Cluster-level configuration for one simulated experiment.
+#[derive(Clone, Debug)]
+pub struct ClusterConfig {
+    /// Number of invoker nodes available for sandboxes (the paper uses 1 for
+    /// §VI-B and 8 for §VI-C).
+    pub nodes: usize,
+    /// Physical cores per node (12 on the paper's SGX2 machines).
+    pub cores_per_node: usize,
+    /// SGX generation of the nodes.
+    pub sgx: SgxVersion,
+    /// Invoker memory available for containers on each node.
+    pub invoker_memory_bytes: u64,
+    /// EPC size per node (defaults to the generation's size).
+    pub epc_bytes: u64,
+    /// The serving strategy under test.
+    pub strategy: ServingStrategy,
+    /// TCS count / per-container concurrency.
+    pub tcs_per_container: usize,
+    /// Idle-container keep-alive window.
+    pub keep_alive: SimDuration,
+    /// Container cold-start latency (image start, before enclave creation).
+    pub sandbox_cold_start: SimDuration,
+    /// Multi-model routing strategy (One-to-one when every model has its own
+    /// endpoint, which is also the right choice for single-model runs).
+    pub routing: RoutingStrategy,
+    /// Experiment seed.
+    pub seed: u64,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> Self {
+        ClusterConfig {
+            nodes: 1,
+            cores_per_node: 12,
+            sgx: SgxVersion::Sgx2,
+            invoker_memory_bytes: 64 * 1024 * MB,
+            epc_bytes: SgxVersion::Sgx2.default_epc_bytes(),
+            strategy: ServingStrategy::Sesemi,
+            tcs_per_container: 1,
+            keep_alive: SimDuration::from_secs(180),
+            sandbox_cold_start: SimDuration::from_millis(650),
+            routing: RoutingStrategy::OneToOne,
+            seed: 42,
+        }
+    }
+}
+
+impl ClusterConfig {
+    /// The paper's single-node SGX2 setup (§VI-B).
+    #[must_use]
+    pub fn single_node_sgx2() -> Self {
+        ClusterConfig::default()
+    }
+
+    /// The paper's 8-node SGX2 setup (§VI-C).
+    #[must_use]
+    pub fn multi_node_sgx2() -> Self {
+        ClusterConfig {
+            nodes: 8,
+            ..ClusterConfig::default()
+        }
+    }
+
+    /// An SGX1 node with a 128 MB EPC (§VI-B's EPC-bound experiments).
+    #[must_use]
+    pub fn single_node_sgx1() -> Self {
+        ClusterConfig {
+            sgx: SgxVersion::Sgx1,
+            cores_per_node: 10,
+            epc_bytes: SgxVersion::Sgx1.default_epc_bytes(),
+            invoker_memory_bytes: (12.5 * 1024.0 * 1024.0 * 1024.0) as u64,
+            ..ClusterConfig::default()
+        }
+    }
+}
+
+/// One simulated request.
+#[derive(Clone, Debug)]
+struct SimRequest {
+    model: ModelId,
+    user_index: usize,
+    submitted: SimTime,
+    session: Option<usize>,
+}
+
+#[derive(Debug)]
+enum Event {
+    Arrival(SimRequest),
+    SandboxReady(SandboxId),
+    InvocationDone {
+        sandbox: SandboxId,
+        slot: usize,
+        node: usize,
+        action: ActionName,
+        request: SimRequest,
+        path: InvocationPath,
+        enclave_was_initialized: bool,
+    },
+    EvictionTick,
+}
+
+/// Cached enclave state of one simulated sandbox.
+#[derive(Clone, Debug)]
+struct SandboxSimState {
+    node: usize,
+    ready: bool,
+    enclave_ready: bool,
+    cached_keys: Option<(PartyId, ModelId)>,
+    loaded_model: Option<ModelId>,
+    slot_models: Vec<Option<ModelId>>,
+    slot_busy: Vec<bool>,
+    waiting: VecDeque<SimRequest>,
+    enclave_bytes: u64,
+}
+
+impl SandboxSimState {
+    fn new(node: usize, slots: usize, enclave_bytes: u64) -> Self {
+        SandboxSimState {
+            node,
+            ready: false,
+            enclave_ready: false,
+            cached_keys: None,
+            loaded_model: None,
+            slot_models: vec![None; slots],
+            slot_busy: vec![false; slots],
+            waiting: VecDeque::new(),
+            enclave_bytes,
+        }
+    }
+
+    fn free_slot(&self) -> Option<usize> {
+        self.slot_busy.iter().position(|busy| !busy)
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug)]
+pub struct SimulationResult {
+    /// End-to-end latency of every completed request.
+    pub latency: LatencyStats,
+    /// Latency per model.
+    pub per_model_latency: HashMap<ModelId, LatencyStats>,
+    /// `(completion time, latency in seconds)` series for latency-over-time
+    /// plots (Fig. 13).
+    pub latency_series: TimeSeries,
+    /// Requests served per invocation path.
+    pub path_counts: HashMap<InvocationPath, u64>,
+    /// Completed requests.
+    pub completed: u64,
+    /// Container cold starts.
+    pub cold_starts: u64,
+    /// Peak number of live sandboxes.
+    pub peak_sandboxes: usize,
+    /// Cluster memory integral in GB·seconds (Fig. 14's cost metric).
+    pub gb_seconds: f64,
+    /// Peak committed container memory in bytes.
+    pub peak_memory_bytes: u64,
+    /// Sandbox-count time series (total, serving).
+    pub sandbox_series: TimeSeries,
+    /// Committed-memory time series in GB.
+    pub memory_series: TimeSeries,
+    /// Latency of each interactive-session query: (session name, model) →
+    /// latency (Table IV).
+    pub session_latencies: Vec<(String, ModelId, SimDuration)>,
+}
+
+impl SimulationResult {
+    /// Mean latency over all completed requests.
+    #[must_use]
+    pub fn mean_latency(&self) -> SimDuration {
+        self.latency.mean()
+    }
+
+    /// p95 latency over all completed requests.
+    #[must_use]
+    pub fn p95_latency(&self) -> SimDuration {
+        self.latency.p95()
+    }
+
+    /// Fraction of requests served on the hot path.
+    #[must_use]
+    pub fn hot_fraction(&self) -> f64 {
+        let hot = *self.path_counts.get(&InvocationPath::Hot).unwrap_or(&0);
+        if self.completed == 0 {
+            0.0
+        } else {
+            hot as f64 / self.completed as f64
+        }
+    }
+}
+
+/// The cluster simulator.
+pub struct ClusterSimulation {
+    config: ClusterConfig,
+    cost_model: EnclaveCostModel,
+    profiles: HashMap<ModelId, ModelProfile>,
+    router: Box<dyn Router>,
+    controller: Controller,
+    action_models: HashMap<ActionName, Vec<ModelId>>,
+    sandbox_state: HashMap<SandboxId, SandboxSimState>,
+    queue: EventQueue<Event>,
+    saturated: VecDeque<SimRequest>,
+    sessions: Vec<InteractiveSession>,
+    users: Vec<PartyId>,
+    node_active_exec: Vec<usize>,
+    node_enclave_bytes: Vec<u64>,
+    node_enclave_inits: Vec<usize>,
+    // results
+    latency: LatencyStats,
+    per_model_latency: HashMap<ModelId, LatencyStats>,
+    latency_series: TimeSeries,
+    path_counts: HashMap<InvocationPath, u64>,
+    completed: u64,
+    metering: Metering,
+    peak_sandboxes: usize,
+    session_latencies: Vec<(String, ModelId, SimDuration)>,
+    _rng: SimRng,
+}
+
+impl ClusterSimulation {
+    /// Creates a simulator that serves `models` under the configured routing
+    /// strategy (the pool spans all registered models).
+    #[must_use]
+    pub fn new(config: ClusterConfig, models: Vec<(ModelId, ModelProfile)>) -> Self {
+        assert!(!models.is_empty(), "register at least one model");
+        let cost_model = EnclaveCostModel::for_version(config.sgx);
+        let platform_config = PlatformConfig {
+            invoker_memory_bytes: config.invoker_memory_bytes,
+            container_keep_alive: config.keep_alive,
+            sandbox_cold_start: config.sandbox_cold_start,
+            dispatch_overhead: SimDuration::from_millis(2),
+        };
+        let mut controller = Controller::new(platform_config, config.nodes);
+
+        // Build the endpoint layout for the chosen routing strategy and
+        // register the corresponding actions with the controller.
+        let max_enclave_bytes = models
+            .iter()
+            .map(|(_, p)| p.enclave_bytes_for_concurrency(config.tcs_per_container))
+            .max()
+            .expect("at least one model");
+        let pool = FnPool::new(
+            "pool",
+            models.iter().map(|(m, _)| m.clone()).collect(),
+            max_enclave_bytes,
+            config.nodes.max(2),
+        );
+        let router = config.routing.build(&pool);
+        let mut action_models: HashMap<ActionName, Vec<ModelId>> = HashMap::new();
+        match config.routing {
+            RoutingStrategy::OneToOne => {
+                // Each model's endpoint serves only that model, sized for it.
+                for (model, profile) in &models {
+                    let action = ActionName::new(format!("pool-{model}"));
+                    let spec = ActionSpec::build(
+                        action.clone(),
+                        "sesemi/semirt".to_string(),
+                        profile.enclave_bytes_for_concurrency(config.tcs_per_container),
+                        config.tcs_per_container,
+                    );
+                    controller.register_action(spec).expect("fresh action");
+                    action_models.insert(action, vec![model.clone()]);
+                }
+            }
+            RoutingStrategy::AllInOne | RoutingStrategy::FnPacker => {
+                for action in router.endpoints() {
+                    let spec = ActionSpec::build(
+                        action.clone(),
+                        "sesemi/semirt".to_string(),
+                        max_enclave_bytes,
+                        config.tcs_per_container,
+                    );
+                    controller.register_action(spec).expect("fresh action");
+                    action_models
+                        .insert(action, models.iter().map(|(m, _)| m.clone()).collect());
+                }
+            }
+        }
+
+        let rng = SimRng::seed_from_u64(config.seed);
+        let nodes = config.nodes;
+        ClusterSimulation {
+            cost_model,
+            profiles: models.into_iter().collect(),
+            router,
+            controller,
+            action_models,
+            sandbox_state: HashMap::new(),
+            queue: EventQueue::new(),
+            saturated: VecDeque::new(),
+            sessions: Vec::new(),
+            users: Vec::new(),
+            node_active_exec: vec![0; nodes],
+            node_enclave_bytes: vec![0; nodes],
+            node_enclave_inits: vec![0; nodes],
+            latency: LatencyStats::new(),
+            per_model_latency: HashMap::new(),
+            latency_series: TimeSeries::new(),
+            path_counts: HashMap::new(),
+            completed: 0,
+            metering: Metering::new(),
+            peak_sandboxes: 0,
+            session_latencies: Vec::new(),
+            _rng: rng,
+            config,
+        }
+    }
+
+    fn user(&mut self, index: usize) -> PartyId {
+        while self.users.len() <= index {
+            let next = self.users.len() as u64;
+            let mut key = [0u8; 16];
+            key[..8].copy_from_slice(&next.to_le_bytes());
+            key[8] = 0xA5;
+            self.users
+                .push(PartyId::from_identity_key(&sesemi_crypto::aead::AeadKey::from_bytes(key)));
+        }
+        self.users[index]
+    }
+
+    /// Adds a pre-generated open-loop arrival trace.
+    pub fn add_arrivals(&mut self, arrivals: Vec<RequestArrival>) {
+        for arrival in arrivals {
+            self.queue.push(
+                arrival.at,
+                Event::Arrival(SimRequest {
+                    model: arrival.model,
+                    user_index: arrival.user_index,
+                    submitted: arrival.at,
+                    session: None,
+                }),
+            );
+        }
+    }
+
+    /// Adds a closed-loop interactive session.
+    pub fn add_session(&mut self, session: InteractiveSession) {
+        let index = self.sessions.len();
+        let start = session.start;
+        let first_model = session
+            .next_model()
+            .cloned()
+            .expect("sessions have at least one model");
+        let user_index = session.user_index;
+        self.sessions.push(session);
+        self.queue.push(
+            start,
+            Event::Arrival(SimRequest {
+                model: first_model,
+                user_index,
+                submitted: start,
+                session: Some(index),
+            }),
+        );
+    }
+
+    /// Pre-warms `count` hot sandboxes for `model` (used by the single-node
+    /// throughput sweep, which warms up the system before measuring).
+    pub fn prewarm(&mut self, model: &ModelId, user_index: usize, count: usize) {
+        let user = self.user(user_index);
+        let action = self.router.route(model, SimTime::ZERO);
+        for _ in 0..count {
+            let outcome = match self.controller.schedule(&action, SimTime::ZERO) {
+                Ok(outcome) => outcome,
+                Err(_) => break,
+            };
+            let sandbox_id = outcome.sandbox();
+            let spec_memory = self
+                .controller
+                .sandbox(sandbox_id)
+                .expect("just scheduled")
+                .memory_bytes;
+            let node = self.controller.sandbox(sandbox_id).expect("just scheduled").node;
+            self.controller.sandbox_ready(sandbox_id).expect("exists");
+            self.controller
+                .invocation_finished(sandbox_id, SimTime::ZERO)
+                .expect("assigned at schedule time");
+            let mut state =
+                SandboxSimState::new(node, self.config.tcs_per_container, spec_memory);
+            state.ready = true;
+            state.enclave_ready = self.config.strategy.reuses_enclave()
+                || self.config.strategy == ServingStrategy::Untrusted;
+            state.cached_keys = Some((user, model.clone()));
+            state.loaded_model = Some(model.clone());
+            for slot in state.slot_models.iter_mut() {
+                *slot = Some(model.clone());
+            }
+            self.node_enclave_bytes[node] += state.enclave_bytes;
+            self.sandbox_state.insert(sandbox_id, state);
+        }
+        self.router
+            .complete(model, &action, SimTime::ZERO, SimDuration::ZERO, "hot");
+    }
+
+    fn epc_pressure(&self, node: usize) -> f64 {
+        let used = self.node_enclave_bytes[node] as f64;
+        let capacity = self.config.epc_bytes as f64;
+        if used <= capacity {
+            1.0
+        } else {
+            // Linear penalty per overcommit ratio, capped at 4x: the paper's
+            // SGX1 measurements (Fig. 11b) show heavy but bounded degradation
+            // when the working set exceeds the 128 MB EPC.
+            (1.0 + 2.0 * (used - capacity) / capacity).min(4.0)
+        }
+    }
+
+    fn cpu_factor(&self, node: usize) -> f64 {
+        let active = self.node_active_exec[node] as f64;
+        let cores = self.config.cores_per_node as f64;
+        (active / cores).max(1.0)
+    }
+
+    fn price_stage(&self, stage: ServingStage, profile: &ModelProfile, node: usize) -> SimDuration {
+        let costs = if self.config.strategy == ServingStrategy::Untrusted {
+            profile.untrusted
+        } else {
+            profile.sgx2
+        };
+        let epc = self.epc_pressure(node);
+        match stage {
+            ServingStage::EnclaveInit => {
+                // Scale the calibrated per-model enclave-init time by the
+                // concurrent-initialization penalty of Fig. 15 (measured up
+                // to 16 concurrent launches; cap there).
+                let concurrent = self.node_enclave_inits[node].clamp(1, 16);
+                let penalty = 1.0 + self.cost_model.init_concurrency_penalty * (concurrent - 1) as f64;
+                costs.enclave_init.mul_f64(penalty * epc)
+            }
+            ServingStage::KeyFetch => costs.key_fetch,
+            ServingStage::ModelLoad => costs.model_load.mul_f64(epc),
+            // Decryption is folded into the calibrated model-load figure.
+            ServingStage::ModelDecrypt => SimDuration::ZERO,
+            ServingStage::RuntimeInit => costs.runtime_init.mul_f64(epc),
+            ServingStage::RequestDecrypt | ServingStage::ResultEncrypt => costs.request_crypto / 2,
+            ServingStage::ModelExec => costs
+                .model_exec
+                .mul_f64(self.cpu_factor(node).max(1.0) * epc),
+        }
+    }
+
+    fn start_invocation(&mut self, sandbox_id: SandboxId, request: SimRequest, now: SimTime) {
+        let profile = *self
+            .profiles
+            .get(&request.model)
+            .expect("model registered with the simulation");
+        let user = self.user(request.user_index);
+        let action = self
+            .controller
+            .sandbox(sandbox_id)
+            .expect("sandbox exists")
+            .action
+            .clone();
+        let state = self
+            .sandbox_state
+            .get_mut(&sandbox_id)
+            .expect("state tracked for every sandbox");
+        let slot = state.free_slot().expect("controller enforces concurrency");
+        let node = state.node;
+
+        let warmth = SandboxWarmth {
+            enclave_ready: state.enclave_ready,
+            cached_keys: state.cached_keys.clone(),
+            loaded_model: state.loaded_model.clone(),
+            slot_runtime_ready: state.slot_models[slot].as_ref() == Some(&request.model),
+        };
+        let stages = self.config.strategy.stages_for(&warmth, user, &request.model);
+        let path = InvocationReport::classify(&stages);
+        let enclave_was_initialized = stages.contains(&ServingStage::EnclaveInit);
+
+        // Update sandbox state to reflect what the invocation leaves behind.
+        state.slot_busy[slot] = true;
+        state.slot_models[slot] = Some(request.model.clone());
+        if self.config.strategy.reuses_enclave() || self.config.strategy == ServingStrategy::Untrusted
+        {
+            state.enclave_ready = true;
+        }
+        state.cached_keys = Some((user, request.model.clone()));
+        state.loaded_model = if self.config.strategy.reuses_model() {
+            Some(request.model.clone())
+        } else {
+            None
+        };
+
+        // Node-level counters used by the pricing model.
+        self.node_active_exec[node] += 1;
+        if enclave_was_initialized {
+            self.node_enclave_inits[node] += 1;
+        }
+
+        let duration: SimDuration = stages
+            .iter()
+            .fold(SimDuration::ZERO, |acc, stage| {
+                acc + self.price_stage(*stage, &profile, node)
+            });
+
+        self.queue.push(
+            now + duration,
+            Event::InvocationDone {
+                sandbox: sandbox_id,
+                slot,
+                node,
+                action,
+                request,
+                path,
+                enclave_was_initialized,
+            },
+        );
+    }
+
+    fn handle_arrival(&mut self, request: SimRequest, now: SimTime) {
+        let action = self.router.route(&request.model, now);
+        debug_assert!(
+            self.action_models
+                .get(&action)
+                .is_some_and(|models| models.contains(&request.model)),
+            "router chose an endpoint that does not serve the model"
+        );
+        match self.controller.schedule(&action, now) {
+            Ok(outcome) => {
+                let sandbox_id = outcome.sandbox();
+                let sandbox = self.controller.sandbox(sandbox_id).expect("scheduled");
+                let node = sandbox.node;
+                let memory = sandbox.memory_bytes;
+                let is_cold = outcome.is_cold_start();
+                let entry = self
+                    .sandbox_state
+                    .entry(sandbox_id)
+                    .or_insert_with(|| {
+                        SandboxSimState::new(node, self.config.tcs_per_container, memory)
+                    });
+                if is_cold {
+                    self.node_enclave_bytes[node] += entry.enclave_bytes;
+                    entry.waiting.push_back(request);
+                    self.queue
+                        .push(now + self.config.sandbox_cold_start, Event::SandboxReady(sandbox_id));
+                } else if !entry.ready {
+                    // Assigned to a container that is still starting.
+                    entry.waiting.push_back(request);
+                } else {
+                    self.start_invocation(sandbox_id, request, now);
+                }
+            }
+            Err(_) => {
+                // Cluster saturated: queue and retry when capacity frees up.
+                self.saturated.push_back(request);
+            }
+        }
+        self.record_cluster_state(now);
+    }
+
+    fn record_cluster_state(&mut self, now: SimTime) {
+        self.peak_sandboxes = self.peak_sandboxes.max(self.controller.sandbox_count());
+        self.metering.record_cluster_state(
+            now,
+            self.controller.committed_memory_bytes(),
+            self.controller.sandbox_count(),
+            self.controller.serving_sandbox_count(),
+        );
+    }
+
+    fn handle_done(
+        &mut self,
+        sandbox_id: SandboxId,
+        slot: usize,
+        node: usize,
+        action: ActionName,
+        request: SimRequest,
+        path: InvocationPath,
+        enclave_was_initialized: bool,
+        now: SimTime,
+    ) {
+        self.controller
+            .invocation_finished(sandbox_id, now)
+            .expect("invocation was started");
+        self.node_active_exec[node] = self.node_active_exec[node].saturating_sub(1);
+        if enclave_was_initialized {
+            self.node_enclave_inits[node] = self.node_enclave_inits[node].saturating_sub(1);
+        }
+        if let Some(state) = self.sandbox_state.get_mut(&sandbox_id) {
+            state.slot_busy[slot] = false;
+            if !self.config.strategy.reuses_enclave()
+                && self.config.strategy != ServingStrategy::Untrusted
+            {
+                state.enclave_ready = false;
+                state.cached_keys = None;
+                state.loaded_model = None;
+                for slot_model in state.slot_models.iter_mut() {
+                    *slot_model = None;
+                }
+            }
+        }
+
+        let latency = now.duration_since(request.submitted);
+        self.latency.record(latency);
+        self.per_model_latency
+            .entry(request.model.clone())
+            .or_default()
+            .record(latency);
+        self.latency_series.record(now, latency.as_secs_f64());
+        *self.path_counts.entry(path).or_insert(0) += 1;
+        self.completed += 1;
+        self.router
+            .complete(&request.model, &action, now, latency, path.label());
+
+        // Session bookkeeping: record the per-query latency and issue the
+        // next query of the session immediately.
+        if let Some(session_index) = request.session {
+            let session = &mut self.sessions[session_index];
+            self.session_latencies
+                .push((session.name.clone(), request.model.clone(), latency));
+            session.advance();
+            if let Some(next_model) = session.next_model().cloned() {
+                let user_index = session.user_index;
+                self.queue.push(
+                    now,
+                    Event::Arrival(SimRequest {
+                        model: next_model,
+                        user_index,
+                        submitted: now,
+                        session: Some(session_index),
+                    }),
+                );
+            }
+        }
+
+        // Retry requests that were blocked on cluster capacity.
+        if let Some(queued) = self.saturated.pop_front() {
+            self.queue.push(now, Event::Arrival(queued));
+        }
+        self.record_cluster_state(now);
+    }
+
+    fn handle_sandbox_ready(&mut self, sandbox_id: SandboxId, now: SimTime) {
+        if self.controller.sandbox_ready(sandbox_id).is_err() {
+            return; // evicted before it became ready
+        }
+        if let Some(state) = self.sandbox_state.get_mut(&sandbox_id) {
+            state.ready = true;
+            let waiting: Vec<SimRequest> = state.waiting.drain(..).collect();
+            for request in waiting {
+                self.start_invocation(sandbox_id, request, now);
+            }
+        }
+    }
+
+    fn handle_eviction(&mut self, now: SimTime) {
+        for evicted in self.controller.evict_idle(now) {
+            if let Some(state) = self.sandbox_state.remove(&evicted) {
+                self.node_enclave_bytes[state.node] =
+                    self.node_enclave_bytes[state.node].saturating_sub(state.enclave_bytes);
+            }
+        }
+        self.record_cluster_state(now);
+    }
+
+    /// Runs the simulation until `horizon` (events after the horizon are
+    /// still drained so every admitted request completes) and returns the
+    /// aggregated results.
+    #[must_use]
+    pub fn run(mut self, horizon: SimDuration) -> SimulationResult {
+        let end = SimTime::ZERO + horizon;
+        // Periodic keep-alive eviction checks.
+        let mut tick = SimTime::ZERO + SimDuration::from_secs(10);
+        while tick < end {
+            self.queue.push(tick, Event::EvictionTick);
+            tick += SimDuration::from_secs(10);
+        }
+
+        while let Some((now, event)) = self.queue.pop() {
+            match event {
+                Event::Arrival(request) => {
+                    if request.at_or_before(end) {
+                        self.handle_arrival(request, now);
+                    }
+                }
+                Event::SandboxReady(sandbox) => self.handle_sandbox_ready(sandbox, now),
+                Event::InvocationDone {
+                    sandbox,
+                    slot,
+                    node,
+                    action,
+                    request,
+                    path,
+                    enclave_was_initialized,
+                } => self.handle_done(
+                    sandbox,
+                    slot,
+                    node,
+                    action,
+                    request,
+                    path,
+                    enclave_was_initialized,
+                    now,
+                ),
+                Event::EvictionTick => self.handle_eviction(now),
+            }
+        }
+
+        let final_time = self.queue.now().max(end);
+        SimulationResult {
+            latency: self.latency,
+            per_model_latency: self.per_model_latency,
+            latency_series: self.latency_series,
+            path_counts: self.path_counts,
+            completed: self.completed,
+            cold_starts: self.controller.cold_start_count(),
+            peak_sandboxes: self.peak_sandboxes,
+            gb_seconds: self.metering.cluster_gb_seconds(final_time),
+            peak_memory_bytes: self.metering.peak_memory_bytes(),
+            sandbox_series: self.metering.sandbox_series().clone(),
+            memory_series: self.metering.memory_series().clone(),
+            session_latencies: self.session_latencies,
+        }
+    }
+}
+
+impl SimRequest {
+    fn at_or_before(&self, end: SimTime) -> bool {
+        self.submitted <= end
+    }
+}
+
+/// Latency of serving `concurrent` simultaneous hot requests in one enclave
+/// on a node with `cores` physical cores (Fig. 11's model): execution is
+/// CPU-bound, so beyond the core count the latency grows linearly.
+#[must_use]
+pub fn concurrent_hot_latency(
+    profile: &ModelProfile,
+    concurrent: usize,
+    cores: usize,
+    epc_bytes: u64,
+) -> SimDuration {
+    assert!(concurrent >= 1 && cores >= 1);
+    let cpu_factor = (concurrent as f64 / cores as f64).max(1.0);
+    let memory = profile.enclave_bytes_for_concurrency(concurrent) as f64;
+    let epc_factor = if memory <= epc_bytes as f64 {
+        1.0
+    } else {
+        1.0 + 2.0 * (memory - epc_bytes as f64) / epc_bytes as f64
+    };
+    profile.sgx2.hot_total().mul_f64(cpu_factor * epc_factor)
+}
+
+/// The strong-isolation overhead of Table II: with isolation, a hot
+/// invocation additionally re-fetches keys over the maintained channel,
+/// re-initializes the model runtime and clears the per-request buffers.
+#[must_use]
+pub fn strong_isolation_hot_latency(profile: &ModelProfile) -> SimDuration {
+    let key_refetch_over_channel = SimDuration::from_millis(150);
+    let buffer_clear = SimDuration::from_secs_f64(
+        profile.runtime_buffer_bytes as f64 / 4.0e9, // memset-speed wipe
+    );
+    profile.sgx2.hot_total() + profile.sgx2.runtime_init + key_refetch_over_channel + buffer_clear
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesemi_inference::{Framework, ModelKind};
+    use sesemi_workload::ArrivalProcess;
+
+    fn profile(kind: ModelKind, framework: Framework) -> (ModelId, ModelProfile) {
+        (kind.default_id(), ModelProfile::paper(kind, framework))
+    }
+
+    fn poisson_trace(model: &ModelId, rate: f64, secs: u64, seed: u64) -> Vec<RequestArrival> {
+        let mut rng = SimRng::seed_from_u64(seed);
+        ArrivalProcess::Poisson { rate_per_sec: rate }.generate(
+            model,
+            0,
+            SimDuration::from_secs(secs),
+            &mut rng,
+        )
+    }
+
+    #[test]
+    fn prewarmed_sesemi_serves_mostly_hot_requests() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig {
+            tcs_per_container: 4,
+            ..ClusterConfig::single_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.prewarm(&model, 0, 2);
+        sim.add_arrivals(poisson_trace(&model, 20.0, 60, 1));
+        let result = sim.run(SimDuration::from_secs(60));
+        assert!(result.completed > 1_000);
+        assert!(result.hot_fraction() > 0.95, "hot fraction {}", result.hot_fraction());
+        // Hot TVM-MBNET requests complete in well under a second.
+        assert!(result.p95_latency() < SimDuration::from_millis(500), "p95 {}", result.p95_latency());
+    }
+
+    #[test]
+    fn sesemi_beats_iso_reuse_and_native_under_the_same_load() {
+        let (model, profile) = profile(ModelKind::DsNet, Framework::Tvm);
+        let mut means = HashMap::new();
+        for strategy in ServingStrategy::TEE_STRATEGIES {
+            let config = ClusterConfig {
+                nodes: 8,
+                tcs_per_container: 1,
+                strategy,
+                ..ClusterConfig::multi_node_sgx2()
+            };
+            let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+            sim.prewarm(&model, 0, 8);
+            sim.add_arrivals(poisson_trace(&model, 10.0, 120, 7));
+            let result = sim.run(SimDuration::from_secs(120));
+            assert!(result.completed > 500, "{strategy:?} completed {}", result.completed);
+            means.insert(strategy, result.mean_latency());
+        }
+        let sesemi = means[&ServingStrategy::Sesemi];
+        let iso = means[&ServingStrategy::IsoReuse];
+        let native = means[&ServingStrategy::Native];
+        assert!(sesemi < iso, "SeSeMI {sesemi} vs Iso-reuse {iso}");
+        assert!(iso < native, "Iso-reuse {iso} vs Native {native}");
+    }
+
+    #[test]
+    fn cold_starts_happen_without_prewarming_and_memory_is_metered() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig::single_node_sgx2();
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.add_arrivals(poisson_trace(&model, 2.0, 30, 3));
+        let result = sim.run(SimDuration::from_secs(30));
+        assert!(result.cold_starts >= 1);
+        assert!(result.gb_seconds > 0.0);
+        assert!(result.peak_memory_bytes > 0);
+        assert!(result.peak_sandboxes >= 1);
+        assert!(!result.sandbox_series.is_empty());
+        assert!(!result.memory_series.is_empty());
+        let cold = result.path_counts.get(&InvocationPath::Cold).copied().unwrap_or(0);
+        assert!(cold >= 1);
+    }
+
+    #[test]
+    fn higher_request_rates_increase_p95_latency() {
+        let (model, profile) = profile(ModelKind::RsNet, Framework::Tvm);
+        let mut p95 = Vec::new();
+        for rate in [2.0, 6.0] {
+            let config = ClusterConfig {
+                tcs_per_container: 2,
+                ..ClusterConfig::single_node_sgx2()
+            };
+            let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+            sim.prewarm(&model, 0, 4);
+            sim.add_arrivals(poisson_trace(&model, rate, 60, 5));
+            let result = sim.run(SimDuration::from_secs(60));
+            p95.push(result.p95_latency());
+        }
+        assert!(p95[1] > p95[0], "p95 at 6 rps {} vs 2 rps {}", p95[1], p95[0]);
+    }
+
+    #[test]
+    fn fnpacker_reduces_latency_versus_all_in_one_for_mixed_traffic() {
+        // Two popular models with interleaved Poisson traffic: All-in-one
+        // keeps swapping models, FnPacker gives each an exclusive endpoint.
+        let (m0, p0) = (ModelId::new("m0"), ModelProfile::paper(ModelKind::RsNet, Framework::Tvm));
+        let (m1, p1) = (ModelId::new("m1"), ModelProfile::paper(ModelKind::RsNet, Framework::Tvm));
+        let mut means = HashMap::new();
+        for routing in [RoutingStrategy::AllInOne, RoutingStrategy::FnPacker] {
+            let config = ClusterConfig {
+                nodes: 4,
+                routing,
+                tcs_per_container: 1,
+                ..ClusterConfig::multi_node_sgx2()
+            };
+            let mut sim =
+                ClusterSimulation::new(config, vec![(m0.clone(), p0), (m1.clone(), p1)]);
+            let mut trace = poisson_trace(&m0, 2.0, 300, 11);
+            trace.extend(poisson_trace(&m1, 2.0, 300, 13));
+            trace.sort_by_key(|a| a.at);
+            sim.add_arrivals(trace);
+            let result = sim.run(SimDuration::from_secs(300));
+            assert!(result.completed > 500);
+            means.insert(routing, result.mean_latency());
+        }
+        assert!(
+            means[&RoutingStrategy::FnPacker] < means[&RoutingStrategy::AllInOne],
+            "FnPacker {} vs All-in-one {}",
+            means[&RoutingStrategy::FnPacker],
+            means[&RoutingStrategy::AllInOne]
+        );
+    }
+
+    #[test]
+    fn interactive_sessions_complete_and_record_latencies() {
+        let models: Vec<(ModelId, ModelProfile)> = (0..3)
+            .map(|i| {
+                (
+                    ModelId::new(format!("m{i}")),
+                    ModelProfile::paper(ModelKind::DsNet, Framework::Tvm),
+                )
+            })
+            .collect();
+        let config = ClusterConfig {
+            nodes: 2,
+            routing: RoutingStrategy::FnPacker,
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, models.clone());
+        let session = InteractiveSession::new(
+            "Session 1",
+            SimTime::from_secs(10),
+            models.iter().map(|(m, _)| m.clone()).collect(),
+            5,
+        );
+        sim.add_session(session);
+        let result = sim.run(SimDuration::from_secs(120));
+        assert_eq!(result.session_latencies.len(), 3);
+        assert!(result
+            .session_latencies
+            .iter()
+            .all(|(name, _, latency)| name == "Session 1" && *latency > SimDuration::ZERO));
+    }
+
+    #[test]
+    fn concurrent_hot_latency_grows_beyond_core_count_and_with_epc_pressure() {
+        let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+        let base = concurrent_hot_latency(&profile, 1, 12, u64::MAX);
+        let under_cores = concurrent_hot_latency(&profile, 12, 12, u64::MAX);
+        let over_cores = concurrent_hot_latency(&profile, 24, 12, u64::MAX);
+        assert_eq!(base, under_cores);
+        assert!(over_cores > under_cores);
+        // SGX1 EPC pressure (128 MB) inflates latency even at low concurrency.
+        let sgx1 = concurrent_hot_latency(&profile, 4, 10, 128 * MB);
+        let sgx2 = concurrent_hot_latency(&profile, 4, 10, 64 * 1024 * MB);
+        assert!(sgx1 > sgx2);
+    }
+
+    #[test]
+    fn strong_isolation_adds_roughly_the_table2_overhead() {
+        // Table II: TVM-MBNET 65.79 -> 268.36 ms, TVM-RSNET 982.96 -> 1265 ms,
+        // TVM-DSNET 388.81 -> 587.79 ms.
+        let cases = [
+            (ModelKind::MbNet, 0.268),
+            (ModelKind::RsNet, 1.265),
+            (ModelKind::DsNet, 0.588),
+        ];
+        for (kind, expected_secs) in cases {
+            let profile = ModelProfile::paper(kind, Framework::Tvm);
+            let with = strong_isolation_hot_latency(&profile).as_secs_f64();
+            let without = profile.sgx2.hot_total().as_secs_f64();
+            assert!(with > without);
+            let ratio = with / expected_secs;
+            assert!(
+                (0.75..1.35).contains(&ratio),
+                "{}: isolated {with:.3}s vs paper {expected_secs}s",
+                kind.label()
+            );
+        }
+    }
+}

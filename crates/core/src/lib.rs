@@ -1,0 +1,73 @@
+//! # sesemi
+//!
+//! A from-scratch Rust reproduction of **SeSeMI: Secure Serverless Model
+//! Inference on Sensitive Data** (ICDE 2025).
+//!
+//! SeSeMI protects both the model owner's model and the model user's request
+//! data from an untrusted cloud, while keeping the elasticity and fine-grained
+//! pricing of serverless computing.  It adds three components on top of an
+//! unmodified serverless platform:
+//!
+//! * **KeyService** ([`sesemi_keyservice`]) — an always-on enclave that
+//!   bridges users and the ephemeral serverless enclaves: identity
+//!   registration, model/request key storage, access control and key
+//!   provisioning after mutual attestation.
+//! * **SeMIRT** ([`sesemi_runtime`]) — the enclave runtime inside each
+//!   serverless sandbox: cold/warm/hot invocation paths, key and model
+//!   caching, and concurrent request execution within one enclave.
+//! * **FnPacker** ([`sesemi_fnpacker`]) — a request router that packs
+//!   infrequently used models onto shared endpoints.
+//!
+//! This crate ties the pieces together and provides:
+//!
+//! * [`deployment`] — an in-process end-to-end deployment (real crypto, real
+//!   enclave substrate, real inference on scaled-down models) exposing the
+//!   model-owner / model-user workflow of the paper's §III.  This is the API
+//!   the examples and the quickstart use.
+//! * [`baseline`] — the serving strategies the paper compares: `SeSeMI`,
+//!   `Iso-reuse` (S-FaaS/Clemmys-style enclave reuse), `Native` (no reuse)
+//!   and plain `Untrusted` execution.
+//! * [`cluster`] — a deterministic cluster simulator that replays the paper's
+//!   workloads against the real scheduling / caching / routing logic with
+//!   calibrated stage costs, regenerating Figs. 11–14 and Tables II–IV.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use sesemi::deployment::Deployment;
+//! use sesemi_inference::{Framework, ModelKind};
+//!
+//! // Build an in-process deployment with one SGX2 node.
+//! let mut deployment = Deployment::builder().seed(7).build();
+//!
+//! // The hospital (model owner) publishes an encrypted diagnosis model.
+//! let mut owner = deployment.register_owner("hospital");
+//! let model_id = owner.publish_model(&mut deployment, ModelKind::MbNet, 0.01).unwrap();
+//!
+//! // A patient (model user) is granted access and sends an encrypted request.
+//! let mut user = deployment.register_user("patient-7");
+//! let function = deployment.deploy_function(Framework::Tvm, 4).unwrap();
+//! owner.grant_access(&deployment, &model_id, &function, user.party()).unwrap();
+//! user.authorize(&deployment, &model_id, &function).unwrap();
+//!
+//! let features = vec![0.25_f32; deployment.model_input_dim(&model_id).unwrap()];
+//! let outcome = deployment.infer(&user, &function, &model_id, &features).unwrap();
+//! assert!((outcome.prediction.iter().sum::<f32>() - 1.0).abs() < 1e-4);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baseline;
+pub mod cluster;
+pub mod deployment;
+
+pub use baseline::ServingStrategy;
+pub use cluster::{ClusterConfig, ClusterSimulation, SimulationResult};
+pub use deployment::{Deployment, DeploymentBuilder, FunctionHandle, InferenceOutcome};
+
+// Re-export the component crates under their paper names for discoverability.
+pub use sesemi_fnpacker as fnpacker;
+pub use sesemi_inference as inference;
+pub use sesemi_keyservice as keyservice;
+pub use sesemi_runtime as semirt;

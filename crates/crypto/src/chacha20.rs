@@ -1,0 +1,146 @@
+//! ChaCha20 stream cipher (RFC 8439 §2.3–2.4).
+//!
+//! Used as the record-protection cipher for RA-TLS channels (the alternative
+//! AEAD suite); the block function is also reused by Poly1305 key generation.
+
+/// ChaCha20 key length in bytes.
+pub const KEY_LEN: usize = 32;
+/// ChaCha20 nonce length in bytes.
+pub const NONCE_LEN: usize = 12;
+/// ChaCha20 block size in bytes.
+pub const BLOCK_LEN: usize = 64;
+
+const CONSTANTS: [u32; 4] = [0x6170_7865, 0x3320_646e, 0x7962_2d32, 0x6b20_6574];
+
+#[inline]
+fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) {
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(16);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(12);
+    state[a] = state[a].wrapping_add(state[b]);
+    state[d] = (state[d] ^ state[a]).rotate_left(8);
+    state[c] = state[c].wrapping_add(state[d]);
+    state[b] = (state[b] ^ state[c]).rotate_left(7);
+}
+
+/// Computes one 64-byte ChaCha20 keystream block.
+#[must_use]
+pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+    let mut state = [0u32; 16];
+    state[..4].copy_from_slice(&CONSTANTS);
+    for i in 0..8 {
+        state[4 + i] = u32::from_le_bytes([
+            key[4 * i],
+            key[4 * i + 1],
+            key[4 * i + 2],
+            key[4 * i + 3],
+        ]);
+    }
+    state[12] = counter;
+    for i in 0..3 {
+        state[13 + i] = u32::from_le_bytes([
+            nonce[4 * i],
+            nonce[4 * i + 1],
+            nonce[4 * i + 2],
+            nonce[4 * i + 3],
+        ]);
+    }
+
+    let mut working = state;
+    for _ in 0..10 {
+        // Column rounds.
+        quarter_round(&mut working, 0, 4, 8, 12);
+        quarter_round(&mut working, 1, 5, 9, 13);
+        quarter_round(&mut working, 2, 6, 10, 14);
+        quarter_round(&mut working, 3, 7, 11, 15);
+        // Diagonal rounds.
+        quarter_round(&mut working, 0, 5, 10, 15);
+        quarter_round(&mut working, 1, 6, 11, 12);
+        quarter_round(&mut working, 2, 7, 8, 13);
+        quarter_round(&mut working, 3, 4, 9, 14);
+    }
+
+    let mut out = [0u8; BLOCK_LEN];
+    for i in 0..16 {
+        let word = working[i].wrapping_add(state[i]);
+        out[4 * i..4 * i + 4].copy_from_slice(&word.to_le_bytes());
+    }
+    out
+}
+
+/// Encrypts or decrypts `data` in place (XOR with the keystream starting at
+/// block `initial_counter`).
+pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+    for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
+        let counter = initial_counter.wrapping_add(block_idx as u32);
+        let keystream = chacha20_block(key, counter, nonce);
+        for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+            *byte ^= ks;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.3.2 block function test vector.
+    #[test]
+    fn rfc8439_block_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let mut key_arr = [0u8; 32];
+        key_arr.copy_from_slice(&key);
+        let nonce = unhex("000000090000004a00000000");
+        let mut nonce_arr = [0u8; 12];
+        nonce_arr.copy_from_slice(&nonce);
+        let block = chacha20_block(&key_arr, 1, &nonce_arr);
+        let expected = unhex(
+            "10f1e7e4d13b5915500fdd1fa32071c4c7d1f4c733c068030422aa9ac3d46c4ed2826446079faa0914c2d705d98b02a2b5129cd1de164eb9cbd083e8a2503c4e",
+        );
+        assert_eq!(block.to_vec(), expected);
+    }
+
+    // RFC 8439 §2.4.2 encryption test vector.
+    #[test]
+    fn rfc8439_encryption_vector() {
+        let key: Vec<u8> = (0u8..32).collect();
+        let mut key_arr = [0u8; 32];
+        key_arr.copy_from_slice(&key);
+        let nonce = unhex("000000000000004a00000000");
+        let mut nonce_arr = [0u8; 12];
+        nonce_arr.copy_from_slice(&nonce);
+        let mut data = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.".to_vec();
+        chacha20_xor(&key_arr, &nonce_arr, 1, &mut data);
+        let expected = unhex(
+            "6e2e359a2568f98041ba0728dd0d6981e97e7aec1d4360c20a27afccfd9fae0bf91b65c5524733ab8f593dabcd62b3571639d624e65152ab8f530c359f0861d807ca0dbf500d6a6156a38e088a22b65e52bc514d16ccf806818ce91ab77937365af90bbf74a35be6b40b8eedf2785e42874d",
+        );
+        assert_eq!(data, expected);
+    }
+
+    #[test]
+    fn xor_is_an_involution() {
+        let key = [7u8; 32];
+        let nonce = [1u8; 12];
+        let original: Vec<u8> = (0..300u32).map(|i| (i % 256) as u8).collect();
+        let mut data = original.clone();
+        chacha20_xor(&key, &nonce, 5, &mut data);
+        assert_ne!(data, original);
+        chacha20_xor(&key, &nonce, 5, &mut data);
+        assert_eq!(data, original);
+    }
+
+    #[test]
+    fn different_counters_give_different_keystreams() {
+        let key = [0u8; 32];
+        let nonce = [0u8; 12];
+        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+    }
+}

@@ -1,0 +1,160 @@
+//! ChaCha20-Poly1305 AEAD (RFC 8439 §2.8).
+//!
+//! Used for RA-TLS record protection.  The 16-byte [`AeadKey`] is expanded to
+//! the 32-byte ChaCha20 key via HKDF so that the rest of the workspace can use
+//! a single key type for both AEAD suites.
+
+use crate::aead::{Aead, AeadKey, Nonce, TAG_LEN};
+use crate::chacha20::{chacha20_block, chacha20_xor, KEY_LEN as CHACHA_KEY_LEN};
+use crate::ct::ct_eq;
+use crate::error::CryptoError;
+use crate::poly1305::poly1305;
+
+/// ChaCha20-Poly1305 cipher instance.
+#[derive(Clone)]
+pub struct ChaCha20Poly1305 {
+    key: [u8; CHACHA_KEY_LEN],
+}
+
+impl ChaCha20Poly1305 {
+    /// Creates a cipher from a 16-byte workspace key (expanded via HKDF).
+    #[must_use]
+    pub fn new(key: &AeadKey) -> Self {
+        let okm = crate::hkdf::hkdf(
+            b"sesemi-chacha20poly1305",
+            key.as_bytes(),
+            b"record-protection",
+            CHACHA_KEY_LEN,
+        );
+        let mut expanded = [0u8; CHACHA_KEY_LEN];
+        expanded.copy_from_slice(&okm);
+        ChaCha20Poly1305 { key: expanded }
+    }
+
+    /// Creates a cipher directly from a full 32-byte ChaCha20 key (used by the
+    /// RA-TLS handshake which already derives 32-byte session keys).
+    #[must_use]
+    pub fn from_full_key(key: [u8; CHACHA_KEY_LEN]) -> Self {
+        ChaCha20Poly1305 { key }
+    }
+
+    fn mac(&self, nonce: &Nonce, aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        // Poly1305 one-time key = first 32 bytes of the counter-0 block.
+        let block0 = chacha20_block(&self.key, 0, nonce.as_bytes());
+        let mut otk = [0u8; 32];
+        otk.copy_from_slice(&block0[..32]);
+
+        // MAC input: aad || pad || ciphertext || pad || len(aad) || len(ct).
+        let mut mac_data = Vec::with_capacity(aad.len() + ciphertext.len() + 32);
+        mac_data.extend_from_slice(aad);
+        mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+        mac_data.extend_from_slice(ciphertext);
+        mac_data.resize(mac_data.len().div_ceil(16) * 16, 0);
+        mac_data.extend_from_slice(&(aad.len() as u64).to_le_bytes());
+        mac_data.extend_from_slice(&(ciphertext.len() as u64).to_le_bytes());
+        poly1305(&otk, &mac_data)
+    }
+}
+
+impl Aead for ChaCha20Poly1305 {
+    fn seal(&self, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        chacha20_xor(&self.key, nonce.as_bytes(), 1, &mut out);
+        let tag = self.mac(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    fn open(&self, nonce: &Nonce, ciphertext: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+        let expected = self.mac(nonce, aad, body);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut plaintext = body.to_vec();
+        chacha20_xor(&self.key, nonce.as_bytes(), 1, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    // RFC 8439 §2.8.2 AEAD test vector (full 32-byte key path).
+    #[test]
+    fn rfc8439_aead_vector() {
+        let key: Vec<u8> = (0x80u8..0xa0).collect();
+        let mut key_arr = [0u8; 32];
+        key_arr.copy_from_slice(&key);
+        let cipher = ChaCha20Poly1305::from_full_key(key_arr);
+        let nonce_bytes = unhex("070000004041424344454647");
+        let mut nonce_arr = [0u8; 12];
+        nonce_arr.copy_from_slice(&nonce_bytes);
+        let nonce = Nonce::from_bytes(nonce_arr);
+        let aad = unhex("50515253c0c1c2c3c4c5c6c7");
+        let plaintext = b"Ladies and Gentlemen of the class of '99: If I could offer you only one tip for the future, sunscreen would be it.";
+
+        let sealed = cipher.seal(&nonce, plaintext, &aad);
+        let expected_ct = "d31a8d34648e60db7b86afbc53ef7ec2a4aded51296e08fea9e2b5a736ee62d63dbea45e8ca9671282fafb69da92728b1a71de0a9e060b2905d6a5b67ecd3b3692ddbd7f2d778b8c9803aee328091b58fab324e4fad675945585808b4831d7bc3ff4def08e4b7a9de576d26586cec64b6116";
+        let expected_tag = "1ae10b594f09e26a7e902ecbd0600691";
+        assert_eq!(hex(&sealed), format!("{expected_ct}{expected_tag}"));
+
+        let opened = cipher.open(&nonce, &sealed, &aad).unwrap();
+        assert_eq!(opened, plaintext);
+    }
+
+    #[test]
+    fn workspace_key_roundtrip_and_tamper_detection() {
+        let key = AeadKey::from_bytes([0x42; 16]);
+        let cipher = ChaCha20Poly1305::new(&key);
+        let nonce = Nonce::from_counter(3, 77);
+        let sealed = cipher.seal(&nonce, b"inference request", b"m0");
+        assert_eq!(cipher.open(&nonce, &sealed, b"m0").unwrap(), b"inference request");
+
+        let mut bad = sealed.clone();
+        bad[2] ^= 0x40;
+        assert!(cipher.open(&nonce, &bad, b"m0").is_err());
+        assert!(cipher.open(&nonce, &sealed, b"m1").is_err());
+        assert!(cipher.open(&nonce, &sealed[..4], b"m0").is_err());
+    }
+
+    #[test]
+    fn suites_are_not_interchangeable() {
+        use crate::gcm::Aes128Gcm;
+        let key = AeadKey::from_bytes([5u8; 16]);
+        let gcm = Aes128Gcm::new(&key);
+        let chacha = ChaCha20Poly1305::new(&key);
+        let nonce = Nonce::from_bytes([0u8; 12]);
+        let sealed = gcm.seal(&nonce, b"payload", b"");
+        assert!(chacha.open(&nonce, &sealed, b"").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip(key: [u8; 16], nonce: [u8; 12], plaintext: Vec<u8>, aad: Vec<u8>) {
+            let cipher = ChaCha20Poly1305::new(&AeadKey::from_bytes(key));
+            let nonce = Nonce::from_bytes(nonce);
+            let sealed = cipher.seal(&nonce, &plaintext, &aad);
+            prop_assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), plaintext);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type shared by all primitives in this crate.
+
+use std::fmt;
+
+/// Errors produced by cryptographic operations.
+///
+/// The variants are intentionally coarse: authenticated decryption failures do
+/// not reveal *why* authentication failed (truncated ciphertext, wrong key,
+/// tampered associated data, ...), mirroring the behaviour of production AEAD
+/// APIs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CryptoError {
+    /// An AEAD open failed: the tag did not verify or the ciphertext is
+    /// malformed (e.g. shorter than the authentication tag).
+    AuthenticationFailed,
+    /// A key, nonce or other parameter had an invalid length.
+    InvalidLength {
+        /// Human readable name of the offending parameter.
+        what: &'static str,
+        /// Expected length in bytes.
+        expected: usize,
+        /// Observed length in bytes.
+        actual: usize,
+    },
+    /// A Diffie–Hellman exchange produced an all-zero shared secret
+    /// (contributory behaviour check of RFC 7748 §6.1).
+    WeakSharedSecret,
+    /// The plaintext or ciphertext exceeds the limits of the cipher
+    /// construction (e.g. the 2^36-31 byte GCM limit).
+    MessageTooLong,
+}
+
+impl fmt::Display for CryptoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CryptoError::AuthenticationFailed => write!(f, "authenticated decryption failed"),
+            CryptoError::InvalidLength {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "invalid length for {what}: expected {expected} bytes, got {actual}"
+            ),
+            CryptoError::WeakSharedSecret => {
+                write!(f, "Diffie-Hellman produced an all-zero shared secret")
+            }
+            CryptoError::MessageTooLong => write!(f, "message exceeds cipher length limit"),
+        }
+    }
+}
+
+impl std::error::Error for CryptoError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let err = CryptoError::InvalidLength {
+            what: "nonce",
+            expected: 12,
+            actual: 7,
+        };
+        let text = err.to_string();
+        assert!(text.contains("nonce"));
+        assert!(text.contains("12"));
+        assert!(text.contains('7'));
+        assert!(CryptoError::AuthenticationFailed.to_string().contains("failed"));
+    }
+
+    #[test]
+    fn errors_are_comparable() {
+        assert_eq!(
+            CryptoError::AuthenticationFailed,
+            CryptoError::AuthenticationFailed
+        );
+        assert_ne!(
+            CryptoError::AuthenticationFailed,
+            CryptoError::WeakSharedSecret
+        );
+    }
+}

@@ -1,0 +1,259 @@
+//! AES-128-GCM authenticated encryption (NIST SP 800-38D).
+//!
+//! This is the paper's choice for model and request encryption (§V: "We use
+//! AES-GCM for model and request encryption").  The construction is CTR-mode
+//! AES-128 with a GHASH tag over the associated data and ciphertext.
+
+use crate::aead::{Aead, AeadKey, Nonce, TAG_LEN};
+use crate::aes::{Aes128, BLOCK_LEN};
+use crate::ct::ct_eq;
+use crate::error::CryptoError;
+
+/// AES-128-GCM cipher instance.
+#[derive(Clone)]
+pub struct Aes128Gcm {
+    aes: Aes128,
+    /// GHASH subkey H = AES_K(0^128).
+    h: u128,
+}
+
+impl Aes128Gcm {
+    /// Creates a GCM instance for `key`.
+    #[must_use]
+    pub fn new(key: &AeadKey) -> Self {
+        let aes = Aes128::new(key.as_bytes());
+        let h_block = aes.encrypt_block_copy(&[0u8; BLOCK_LEN]);
+        Aes128Gcm {
+            aes,
+            h: u128::from_be_bytes(h_block),
+        }
+    }
+
+    fn counter_block(nonce: &Nonce, counter: u32) -> [u8; BLOCK_LEN] {
+        let mut block = [0u8; BLOCK_LEN];
+        block[..12].copy_from_slice(nonce.as_bytes());
+        block[12..].copy_from_slice(&counter.to_be_bytes());
+        block
+    }
+
+    fn ctr_xor(&self, nonce: &Nonce, data: &mut [u8]) {
+        let mut counter = 2u32; // counter 1 is reserved for the tag mask
+        for chunk in data.chunks_mut(BLOCK_LEN) {
+            let keystream = self.aes.encrypt_block_copy(&Self::counter_block(nonce, counter));
+            for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
+                *byte ^= ks;
+            }
+            counter = counter.wrapping_add(1);
+        }
+    }
+
+    fn ghash(&self, aad: &[u8], ciphertext: &[u8]) -> [u8; BLOCK_LEN] {
+        let mut y = 0u128;
+        for chunk in aad.chunks(BLOCK_LEN) {
+            y = gf_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        for chunk in ciphertext.chunks(BLOCK_LEN) {
+            y = gf_mul(y ^ block_to_u128(chunk), self.h);
+        }
+        let lengths = ((aad.len() as u128 * 8) << 64) | (ciphertext.len() as u128 * 8);
+        y = gf_mul(y ^ lengths, self.h);
+        y.to_be_bytes()
+    }
+
+    fn tag(&self, nonce: &Nonce, aad: &[u8], ciphertext: &[u8]) -> [u8; TAG_LEN] {
+        let ghash = self.ghash(aad, ciphertext);
+        let mask = self.aes.encrypt_block_copy(&Self::counter_block(nonce, 1));
+        let mut tag = [0u8; TAG_LEN];
+        for i in 0..TAG_LEN {
+            tag[i] = ghash[i] ^ mask[i];
+        }
+        tag
+    }
+}
+
+impl Aead for Aes128Gcm {
+    fn seal(&self, nonce: &Nonce, plaintext: &[u8], aad: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + TAG_LEN);
+        out.extend_from_slice(plaintext);
+        self.ctr_xor(nonce, &mut out);
+        let tag = self.tag(nonce, aad, &out);
+        out.extend_from_slice(&tag);
+        out
+    }
+
+    fn open(&self, nonce: &Nonce, ciphertext: &[u8], aad: &[u8]) -> Result<Vec<u8>, CryptoError> {
+        if ciphertext.len() < TAG_LEN {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let (body, tag) = ciphertext.split_at(ciphertext.len() - TAG_LEN);
+        let expected = self.tag(nonce, aad, body);
+        if !ct_eq(&expected, tag) {
+            return Err(CryptoError::AuthenticationFailed);
+        }
+        let mut plaintext = body.to_vec();
+        self.ctr_xor(nonce, &mut plaintext);
+        Ok(plaintext)
+    }
+}
+
+fn block_to_u128(chunk: &[u8]) -> u128 {
+    let mut block = [0u8; BLOCK_LEN];
+    block[..chunk.len()].copy_from_slice(chunk);
+    u128::from_be_bytes(block)
+}
+
+/// Multiplication in GF(2^128) with the GCM polynomial
+/// x^128 + x^7 + x^2 + x + 1 (bit-reflected convention of SP 800-38D).
+fn gf_mul(x: u128, y: u128) -> u128 {
+    const R: u128 = 0xe1 << 120;
+    let mut z = 0u128;
+    let mut v = y;
+    for i in 0..128 {
+        if (x >> (127 - i)) & 1 == 1 {
+            z ^= v;
+        }
+        let lsb = v & 1;
+        v >>= 1;
+        if lsb == 1 {
+            v ^= R;
+        }
+    }
+    z
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    fn hex(b: &[u8]) -> String {
+        b.iter().map(|x| format!("{x:02x}")).collect()
+    }
+
+    fn key_from_hex(s: &str) -> AeadKey {
+        let bytes = unhex(s);
+        let mut key = [0u8; 16];
+        key.copy_from_slice(&bytes);
+        AeadKey::from_bytes(key)
+    }
+
+    fn nonce_from_hex(s: &str) -> Nonce {
+        let bytes = unhex(s);
+        let mut nonce = [0u8; 12];
+        nonce.copy_from_slice(&bytes);
+        Nonce::from_bytes(nonce)
+    }
+
+    // NIST GCM test case 1: empty plaintext, empty AAD, zero key/IV.
+    #[test]
+    fn nist_test_case_1_empty() {
+        let cipher = Aes128Gcm::new(&key_from_hex("00000000000000000000000000000000"));
+        let nonce = nonce_from_hex("000000000000000000000000");
+        let out = cipher.seal(&nonce, b"", b"");
+        assert_eq!(hex(&out), "58e2fccefa7e3061367f1d57a4e7455a");
+    }
+
+    // NIST GCM test case 2: single zero block.
+    #[test]
+    fn nist_test_case_2_zero_block() {
+        let cipher = Aes128Gcm::new(&key_from_hex("00000000000000000000000000000000"));
+        let nonce = nonce_from_hex("000000000000000000000000");
+        let out = cipher.seal(&nonce, &[0u8; 16], b"");
+        assert_eq!(
+            hex(&out),
+            "0388dace60b6a392f328c2b971b2fe78ab6e47d42cec13bdf53a67b21257bddf"
+        );
+    }
+
+    // NIST GCM test case 3: 4-block plaintext, no AAD.
+    #[test]
+    fn nist_test_case_3() {
+        let cipher = Aes128Gcm::new(&key_from_hex("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_from_hex("cafebabefacedbaddecaf888");
+        let plaintext = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b391aafd255",
+        );
+        let out = cipher.seal(&nonce, &plaintext, b"");
+        assert_eq!(
+            hex(&out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e091473f59854d5c2af327cd64a62cf35abd2ba6fab4"
+        );
+    }
+
+    // NIST GCM test case 4: with AAD and 60-byte plaintext.
+    #[test]
+    fn nist_test_case_4_with_aad() {
+        let cipher = Aes128Gcm::new(&key_from_hex("feffe9928665731c6d6a8f9467308308"));
+        let nonce = nonce_from_hex("cafebabefacedbaddecaf888");
+        let plaintext = unhex(
+            "d9313225f88406e5a55909c5aff5269a86a7a9531534f7da2e4c303d8a318a721c3c0c95956809532fcf0e2449a6b525b16aedf5aa0de657ba637b39",
+        );
+        let aad = unhex("feedfacedeadbeeffeedfacedeadbeefabaddad2");
+        let out = cipher.seal(&nonce, &plaintext, &aad);
+        assert_eq!(
+            hex(&out),
+            "42831ec2217774244b7221b784d0d49ce3aa212f2c02a4e035c17e2329aca12e21d514b25466931c7d8f6a5aac84aa051ba30b396a0aac973d58e0915bc94fbc3221a5db94fae95ae7121a47"
+        );
+    }
+
+    #[test]
+    fn open_rejects_tampered_ciphertext_tag_and_aad() {
+        let key = AeadKey::from_bytes([3u8; 16]);
+        let cipher = Aes128Gcm::new(&key);
+        let nonce = Nonce::from_bytes([9u8; 12]);
+        let sealed = cipher.seal(&nonce, b"electronic health record", b"request-42");
+
+        // Correct open works.
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"request-42").unwrap(),
+            b"electronic health record"
+        );
+        // Flip a ciphertext bit.
+        let mut bad = sealed.clone();
+        bad[0] ^= 1;
+        assert!(cipher.open(&nonce, &bad, b"request-42").is_err());
+        // Flip a tag bit.
+        let mut bad = sealed.clone();
+        let last = bad.len() - 1;
+        bad[last] ^= 1;
+        assert!(cipher.open(&nonce, &bad, b"request-42").is_err());
+        // Wrong AAD.
+        assert!(cipher.open(&nonce, &sealed, b"request-43").is_err());
+        // Wrong nonce.
+        assert!(cipher
+            .open(&Nonce::from_bytes([8u8; 12]), &sealed, b"request-42")
+            .is_err());
+        // Truncated below tag size.
+        assert!(cipher.open(&nonce, &sealed[..8], b"request-42").is_err());
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn roundtrip(key: [u8; 16], nonce: [u8; 12], plaintext: Vec<u8>, aad: Vec<u8>) {
+            let cipher = Aes128Gcm::new(&AeadKey::from_bytes(key));
+            let nonce = Nonce::from_bytes(nonce);
+            let sealed = cipher.seal(&nonce, &plaintext, &aad);
+            prop_assert_eq!(sealed.len(), plaintext.len() + TAG_LEN);
+            prop_assert_eq!(cipher.open(&nonce, &sealed, &aad).unwrap(), plaintext);
+        }
+
+        #[test]
+        fn wrong_key_fails(k1: [u8; 16], k2: [u8; 16], plaintext: Vec<u8>) {
+            prop_assume!(k1 != k2);
+            let c1 = Aes128Gcm::new(&AeadKey::from_bytes(k1));
+            let c2 = Aes128Gcm::new(&AeadKey::from_bytes(k2));
+            let nonce = Nonce::from_bytes([0u8; 12]);
+            let sealed = c1.seal(&nonce, &plaintext, b"");
+            prop_assert!(c2.open(&nonce, &sealed, b"").is_err());
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! HKDF with HMAC-SHA-256 (RFC 5869).
+//!
+//! The RA-TLS handshake (paper Appendix A) derives channel keys from the
+//! X25519 shared secret and the attestation transcript; HKDF provides the
+//! extract-and-expand construction for that derivation.
+
+use crate::hmac::HmacSha256;
+use crate::sha256::DIGEST_LEN;
+
+/// HKDF-Extract: turns input keying material into a pseudo-random key.
+#[must_use]
+pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
+    let salt: &[u8] = if salt.is_empty() { &[0u8; DIGEST_LEN] } else { salt };
+    let mut mac = HmacSha256::new(salt);
+    mac.update(ikm);
+    *mac.finalize().as_bytes()
+}
+
+/// HKDF-Expand: expands a pseudo-random key into `out.len()` bytes of output
+/// keying material bound to `info`.
+///
+/// # Panics
+/// Panics if more than `255 * 32` bytes are requested (RFC 5869 limit); all
+/// callers in this workspace request far less.
+pub fn hkdf_expand(prk: &[u8; DIGEST_LEN], info: &[u8], out: &mut [u8]) {
+    assert!(
+        out.len() <= 255 * DIGEST_LEN,
+        "HKDF-Expand output limited to 255 blocks"
+    );
+    let mut previous: Vec<u8> = Vec::new();
+    let mut counter = 1u8;
+    let mut offset = 0usize;
+    while offset < out.len() {
+        let mut mac = HmacSha256::new(prk);
+        mac.update(&previous);
+        mac.update(info);
+        mac.update([counter]);
+        let block = mac.finalize();
+        let take = (out.len() - offset).min(DIGEST_LEN);
+        out[offset..offset + take].copy_from_slice(&block.as_bytes()[..take]);
+        previous = block.as_bytes().to_vec();
+        offset += take;
+        counter = counter.checked_add(1).expect("HKDF block counter overflow");
+    }
+}
+
+/// One-shot HKDF (extract then expand).
+#[must_use]
+pub fn hkdf(salt: &[u8], ikm: &[u8], info: &[u8], len: usize) -> Vec<u8> {
+    let prk = hkdf_extract(salt, ikm);
+    let mut out = vec![0u8; len];
+    hkdf_expand(&prk, info, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn hex(bytes: &[u8]) -> String {
+        bytes.iter().map(|b| format!("{b:02x}")).collect()
+    }
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 5869 Test Case 1.
+    #[test]
+    fn rfc5869_case_1() {
+        let ikm = [0x0bu8; 22];
+        let salt = unhex("000102030405060708090a0b0c");
+        let info = unhex("f0f1f2f3f4f5f6f7f8f9");
+        let okm = hkdf(&salt, &ikm, &info, 42);
+        assert_eq!(
+            hex(&okm),
+            "3cb25f25faacd57a90434f64d0362f2a2d2d0a90cf1a5a4c5db02d56ecc4c5bf34007208d5b887185865"
+        );
+    }
+
+    // RFC 5869 Test Case 3 (zero-length salt and info).
+    #[test]
+    fn rfc5869_case_3() {
+        let ikm = [0x0bu8; 22];
+        let okm = hkdf(&[], &ikm, &[], 42);
+        assert_eq!(
+            hex(&okm),
+            "8da4e775a563c18f715f802a063c5a31b8a11f5c5ee1879ec3454e5f3c738d2d9d201395faa4b61a96c8"
+        );
+    }
+
+    #[test]
+    fn expand_is_prefix_consistent() {
+        let prk = hkdf_extract(b"salt", b"ikm");
+        let mut long = [0u8; 64];
+        let mut short = [0u8; 16];
+        hkdf_expand(&prk, b"ctx", &mut long);
+        hkdf_expand(&prk, b"ctx", &mut short);
+        assert_eq!(&long[..16], &short[..]);
+    }
+
+    #[test]
+    #[should_panic(expected = "255 blocks")]
+    fn expand_rejects_oversized_output() {
+        let prk = [0u8; DIGEST_LEN];
+        let mut out = vec![0u8; 255 * DIGEST_LEN + 1];
+        hkdf_expand(&prk, b"", &mut out);
+    }
+
+    proptest! {
+        #[test]
+        fn different_info_gives_independent_keys(
+            salt: Vec<u8>, ikm: Vec<u8>, i1: Vec<u8>, i2: Vec<u8>
+        ) {
+            prop_assume!(i1 != i2);
+            prop_assert_ne!(hkdf(&salt, &ikm, &i1, 32), hkdf(&salt, &ikm, &i2, 32));
+        }
+
+        #[test]
+        fn output_length_is_honoured(len in 0usize..200) {
+            prop_assert_eq!(hkdf(b"s", b"k", b"i", len).len(), len);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Poly1305 one-time authenticator (RFC 8439 §2.5).
+//!
+//! The arithmetic is carried out over 2^130 - 5 using five 26-bit limbs held
+//! in `u64`s with `u128` intermediates, which keeps the implementation short
+//! and obviously-correct at the cost of some speed.
+
+/// Poly1305 key length (r || s) in bytes.
+pub const KEY_LEN: usize = 32;
+/// Poly1305 tag length in bytes.
+pub const TAG_LEN: usize = 16;
+
+/// Computes the Poly1305 tag of `message` under the one-time key `key`.
+#[must_use]
+pub fn poly1305(key: &[u8; KEY_LEN], message: &[u8]) -> [u8; TAG_LEN] {
+    // Clamp r as per the RFC.
+    let mut r_bytes = [0u8; 16];
+    r_bytes.copy_from_slice(&key[..16]);
+    r_bytes[3] &= 15;
+    r_bytes[7] &= 15;
+    r_bytes[11] &= 15;
+    r_bytes[15] &= 15;
+    r_bytes[4] &= 252;
+    r_bytes[8] &= 252;
+    r_bytes[12] &= 252;
+
+    let r = u128::from_le_bytes(r_bytes);
+    let s = u128::from_le_bytes(key[16..32].try_into().expect("16 bytes"));
+
+    // Split r into 26-bit limbs.
+    let r0 = (r & 0x3ffffff) as u64;
+    let r1 = ((r >> 26) & 0x3ffffff) as u64;
+    let r2 = ((r >> 52) & 0x3ffffff) as u64;
+    let r3 = ((r >> 78) & 0x3ffffff) as u64;
+    let r4 = ((r >> 104) & 0x3ffffff) as u64;
+
+    let s1 = r1 * 5;
+    let s2 = r2 * 5;
+    let s3 = r3 * 5;
+    let s4 = r4 * 5;
+
+    let mut h0 = 0u64;
+    let mut h1 = 0u64;
+    let mut h2 = 0u64;
+    let mut h3 = 0u64;
+    let mut h4 = 0u64;
+
+    for chunk in message.chunks(16) {
+        // Load the block with the high "1" bit appended.
+        let mut block = [0u8; 17];
+        block[..chunk.len()].copy_from_slice(chunk);
+        block[chunk.len()] = 1;
+
+        let t0 = u32::from_le_bytes(block[0..4].try_into().unwrap()) as u64;
+        let t1 = u32::from_le_bytes(block[4..8].try_into().unwrap()) as u64;
+        let t2 = u32::from_le_bytes(block[8..12].try_into().unwrap()) as u64;
+        let t3 = u32::from_le_bytes(block[12..16].try_into().unwrap()) as u64;
+        let t4 = block[16] as u64;
+
+        h0 += t0 & 0x3ffffff;
+        h1 += ((t0 >> 26) | (t1 << 6)) & 0x3ffffff;
+        h2 += ((t1 >> 20) | (t2 << 12)) & 0x3ffffff;
+        h3 += ((t2 >> 14) | (t3 << 18)) & 0x3ffffff;
+        h4 += (t3 >> 8) | (t4 << 24);
+
+        // h *= r (mod 2^130 - 5).
+        let d0 = h0 as u128 * r0 as u128
+            + h1 as u128 * s4 as u128
+            + h2 as u128 * s3 as u128
+            + h3 as u128 * s2 as u128
+            + h4 as u128 * s1 as u128;
+        let d1 = h0 as u128 * r1 as u128
+            + h1 as u128 * r0 as u128
+            + h2 as u128 * s4 as u128
+            + h3 as u128 * s3 as u128
+            + h4 as u128 * s2 as u128;
+        let d2 = h0 as u128 * r2 as u128
+            + h1 as u128 * r1 as u128
+            + h2 as u128 * r0 as u128
+            + h3 as u128 * s4 as u128
+            + h4 as u128 * s3 as u128;
+        let d3 = h0 as u128 * r3 as u128
+            + h1 as u128 * r2 as u128
+            + h2 as u128 * r1 as u128
+            + h3 as u128 * r0 as u128
+            + h4 as u128 * s4 as u128;
+        let d4 = h0 as u128 * r4 as u128
+            + h1 as u128 * r3 as u128
+            + h2 as u128 * r2 as u128
+            + h3 as u128 * r1 as u128
+            + h4 as u128 * r0 as u128;
+
+        // Carry propagation.
+        let mut carry = (d0 >> 26) as u64;
+        h0 = (d0 as u64) & 0x3ffffff;
+        let d1 = d1 + carry as u128;
+        carry = (d1 >> 26) as u64;
+        h1 = (d1 as u64) & 0x3ffffff;
+        let d2 = d2 + carry as u128;
+        carry = (d2 >> 26) as u64;
+        h2 = (d2 as u64) & 0x3ffffff;
+        let d3 = d3 + carry as u128;
+        carry = (d3 >> 26) as u64;
+        h3 = (d3 as u64) & 0x3ffffff;
+        let d4 = d4 + carry as u128;
+        carry = (d4 >> 26) as u64;
+        h4 = (d4 as u64) & 0x3ffffff;
+        h0 += carry * 5;
+        carry = h0 >> 26;
+        h0 &= 0x3ffffff;
+        h1 += carry;
+    }
+
+    // Full carry.
+    let mut carry = h1 >> 26;
+    h1 &= 0x3ffffff;
+    h2 += carry;
+    carry = h2 >> 26;
+    h2 &= 0x3ffffff;
+    h3 += carry;
+    carry = h3 >> 26;
+    h3 &= 0x3ffffff;
+    h4 += carry;
+    carry = h4 >> 26;
+    h4 &= 0x3ffffff;
+    h0 += carry * 5;
+    carry = h0 >> 26;
+    h0 &= 0x3ffffff;
+    h1 += carry;
+
+    // Compute h + -p to check whether h >= p.
+    let mut g0 = h0.wrapping_add(5);
+    carry = g0 >> 26;
+    g0 &= 0x3ffffff;
+    let mut g1 = h1.wrapping_add(carry);
+    carry = g1 >> 26;
+    g1 &= 0x3ffffff;
+    let mut g2 = h2.wrapping_add(carry);
+    carry = g2 >> 26;
+    g2 &= 0x3ffffff;
+    let mut g3 = h3.wrapping_add(carry);
+    carry = g3 >> 26;
+    g3 &= 0x3ffffff;
+    let g4 = h4.wrapping_add(carry).wrapping_sub(1 << 26);
+
+    // Select h if h < p, else g.
+    let mask = (g4 >> 63).wrapping_sub(1); // all ones if g4 did not underflow
+    let h0 = (h0 & !mask) | (g0 & mask);
+    let h1 = (h1 & !mask) | (g1 & mask);
+    let h2 = (h2 & !mask) | (g2 & mask);
+    let h3 = (h3 & !mask) | (g3 & mask);
+    let h4 = (h4 & !mask) | (g4 & mask & 0x3ffffff);
+
+    // Recombine into 128 bits and add s.
+    let h: u128 = (h0 as u128)
+        | ((h1 as u128) << 26)
+        | ((h2 as u128) << 52)
+        | ((h3 as u128) << 78)
+        | ((h4 as u128) << 104);
+    let tag = h.wrapping_add(s);
+    tag.to_le_bytes()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unhex(s: &str) -> Vec<u8> {
+        (0..s.len())
+            .step_by(2)
+            .map(|i| u8::from_str_radix(&s[i..i + 2], 16).unwrap())
+            .collect()
+    }
+
+    // RFC 8439 §2.5.2 test vector.
+    #[test]
+    fn rfc8439_vector() {
+        let key = unhex("85d6be7857556d337f4452fe42d506a80103808afb0db2fd4abff6af4149f51b");
+        let mut key_arr = [0u8; 32];
+        key_arr.copy_from_slice(&key);
+        let tag = poly1305(&key_arr, b"Cryptographic Forum Research Group");
+        assert_eq!(
+            tag.to_vec(),
+            unhex("a8061dc1305136c6c22b8baf0c0127a9")
+        );
+    }
+
+    // RFC 8439 Appendix A.3 test vector #1: all-zero key and message.
+    #[test]
+    fn zero_key_zero_message() {
+        let key = [0u8; 32];
+        let msg = [0u8; 64];
+        assert_eq!(poly1305(&key, &msg), [0u8; 16]);
+    }
+
+    // RFC 8439 Appendix A.3 test vector #2.
+    #[test]
+    fn appendix_a3_vector_2() {
+        let mut key = [0u8; 32];
+        key[16..].copy_from_slice(&unhex("36e5f6b5c5e06070f0efca96227a863e"));
+        let msg = b"Any submission to the IETF intended by the Contributor for publication as all or part of an IETF Internet-Draft or RFC and any statement made within the context of an IETF activity is considered an \"IETF Contribution\". Such statements include oral statements in IETF sessions, as well as written and electronic communications made at any time or place, which are addressed to";
+        let tag = poly1305(&key, msg);
+        assert_eq!(tag.to_vec(), unhex("36e5f6b5c5e06070f0efca96227a863e"));
+    }
+
+    #[test]
+    fn tag_depends_on_message_and_key() {
+        let key_a = [1u8; 32];
+        let key_b = [2u8; 32];
+        assert_ne!(poly1305(&key_a, b"msg"), poly1305(&key_b, b"msg"));
+        assert_ne!(poly1305(&key_a, b"msg1"), poly1305(&key_a, b"msg2"));
+    }
+}

@@ -1,0 +1,172 @@
+//! Enclave measurement (`MRENCLAVE`) and code identity.
+//!
+//! The paper (§III, Appendix B) relies on the fact that an enclave's identity
+//! is a hash computed over the enclave's code and configuration during
+//! initialization, is independent of which server it runs on, and can be
+//! derived independently by the model owner and users given only the code.
+//! `SeMIRT`'s identity therefore covers the inference logic and the
+//! execution-restriction settings (concurrency level, key-cache policy, ...)
+//! but *not* the model content or request data.
+
+use sesemi_crypto::sha256::{sha256_parts, Digest};
+use std::fmt;
+
+/// An enclave measurement — the software equivalent of SGX's `MRENCLAVE`.
+#[derive(Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Measurement(Digest);
+
+impl Measurement {
+    /// Wraps a raw digest as a measurement.
+    #[must_use]
+    pub fn from_digest(digest: Digest) -> Self {
+        Measurement(digest)
+    }
+
+    /// Raw digest bytes.
+    #[must_use]
+    pub fn as_bytes(&self) -> &[u8; 32] {
+        self.0.as_bytes()
+    }
+
+    /// Short human-readable fingerprint (first 8 hex chars).
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        self.0.to_hex()[..8].to_string()
+    }
+}
+
+impl fmt::Debug for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "MRENCLAVE({})", self.fingerprint())
+    }
+}
+
+impl fmt::Display for Measurement {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0.to_hex())
+    }
+}
+
+/// The inputs that determine an enclave's measurement: the code image and the
+/// build-time configuration (which, per the paper §V, includes the TCS count
+/// and the execution-restriction flags because they are "part of the enclave
+/// codes").
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct CodeIdentity {
+    /// A stable name for the enclave binary (e.g. `"semirt-tvm"`).
+    pub name: String,
+    /// The enclave "binary": in this reproduction, a byte string that stands
+    /// in for the compiled code pages.  Higher layers hash their actual
+    /// configuration and policy code into it.
+    pub code: Vec<u8>,
+    /// Version string of the enclave code.
+    pub version: String,
+    /// Build-time settings that are part of the identity (e.g.
+    /// `tcs_count=4`, `sequential_mode=false`).  Order matters: the builder
+    /// keeps them sorted to guarantee deterministic measurements.
+    pub settings: Vec<(String, String)>,
+}
+
+impl CodeIdentity {
+    /// Creates a new code identity.
+    #[must_use]
+    pub fn new(name: impl Into<String>, code: impl Into<Vec<u8>>, version: impl Into<String>) -> Self {
+        CodeIdentity {
+            name: name.into(),
+            code: code.into(),
+            version: version.into(),
+            settings: Vec::new(),
+        }
+    }
+
+    /// Adds a build-time setting that becomes part of the measurement.
+    #[must_use]
+    pub fn with_setting(mut self, key: impl Into<String>, value: impl ToString) -> Self {
+        self.settings.push((key.into(), value.to_string()));
+        self.settings.sort();
+        self
+    }
+
+    /// Computes the measurement over this identity.
+    ///
+    /// Model owners, users and the platform all call this same function, which
+    /// is exactly the property the paper needs: everyone can derive `E_S`
+    /// independently from the code alone.
+    #[must_use]
+    pub fn measure(&self) -> Measurement {
+        let mut parts: Vec<Vec<u8>> = vec![
+            b"sesemi-enclave-measurement-v1".to_vec(),
+            self.name.as_bytes().to_vec(),
+            self.code.clone(),
+            self.version.as_bytes().to_vec(),
+        ];
+        for (key, value) in &self.settings {
+            parts.push(key.as_bytes().to_vec());
+            parts.push(value.as_bytes().to_vec());
+        }
+        let part_refs: Vec<&[u8]> = parts.iter().map(|p| p.as_slice()).collect();
+        Measurement(sha256_parts(&part_refs))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn measurement_is_deterministic() {
+        let identity = CodeIdentity::new("semirt", b"inference code".to_vec(), "1.0")
+            .with_setting("tcs_count", 4)
+            .with_setting("sequential", false);
+        assert_eq!(identity.measure(), identity.measure());
+    }
+
+    #[test]
+    fn measurement_changes_with_code() {
+        let a = CodeIdentity::new("semirt", b"code v1".to_vec(), "1.0");
+        let b = CodeIdentity::new("semirt", b"code v2".to_vec(), "1.0");
+        assert_ne!(a.measure(), b.measure());
+    }
+
+    #[test]
+    fn measurement_changes_with_settings() {
+        // The paper relies on this: enforcing sequential mode or a different
+        // TCS count yields a *different* enclave identity, so KeyService's
+        // access-control list distinguishes the configurations.
+        let base = CodeIdentity::new("semirt", b"code".to_vec(), "1.0");
+        let seq = base.clone().with_setting("sequential", true);
+        let conc = base.clone().with_setting("sequential", false);
+        assert_ne!(seq.measure(), conc.measure());
+        assert_ne!(base.measure(), seq.measure());
+    }
+
+    #[test]
+    fn setting_order_does_not_matter() {
+        let a = CodeIdentity::new("ks", b"c".to_vec(), "1")
+            .with_setting("x", 1)
+            .with_setting("y", 2);
+        let b = CodeIdentity::new("ks", b"c".to_vec(), "1")
+            .with_setting("y", 2)
+            .with_setting("x", 1);
+        assert_eq!(a.measure(), b.measure());
+    }
+
+    #[test]
+    fn independent_derivation_matches() {
+        // Model owner and user build the identity separately from the same
+        // code and obtain the same MRENCLAVE.
+        let owner_view = CodeIdentity::new("semirt-tvm", b"published code".to_vec(), "2.1")
+            .with_setting("tcs_count", 4);
+        let user_view = CodeIdentity::new("semirt-tvm", b"published code".to_vec(), "2.1")
+            .with_setting("tcs_count", 4);
+        assert_eq!(owner_view.measure(), user_view.measure());
+    }
+
+    #[test]
+    fn debug_and_display_render_hex() {
+        let m = CodeIdentity::new("a", b"b".to_vec(), "c").measure();
+        assert_eq!(m.to_string().len(), 64);
+        assert!(format!("{m:?}").starts_with("MRENCLAVE("));
+        assert_eq!(m.fingerprint().len(), 8);
+    }
+}

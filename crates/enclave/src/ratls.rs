@@ -1,0 +1,488 @@
+//! RA-TLS style attested secure channels (paper Appendix A).
+//!
+//! SeSeMI establishes three kinds of channels:
+//!
+//! * **client → KeyService** — owners and users attest the KeyService enclave
+//!   (pinning its known measurement `E_K`) before registering identity keys,
+//!   model keys and request keys.
+//! * **SeMIRT → KeyService** — *mutual* attestation: the SeMIRT enclave
+//!   proves its identity `E_S` (checked against the access-control list) and
+//!   verifies it is talking to the real KeyService.
+//! * **responses** are protected by the request key, not by this channel.
+//!
+//! Real RA-TLS embeds the attestation quote into the X.509 certificate used
+//! during the TLS handshake.  We reproduce the same binding without X.509:
+//! each side's quote carries the hash of its ephemeral X25519 public key in
+//! the quote's report data, so a quote cannot be replayed for a key the
+//! enclave does not control.  Session keys are derived with HKDF over the
+//! shared secret and the handshake transcript, and records are protected with
+//! ChaCha20-Poly1305 using per-direction keys and sequence-number nonces.
+
+use crate::attest::{Quote, QuoteVerifier};
+use crate::enclave::Enclave;
+use crate::error::EnclaveError;
+use crate::measurement::Measurement;
+use rand::RngCore;
+use sesemi_crypto::aead::{Aead, Nonce};
+use sesemi_crypto::chacha20poly1305::ChaCha20Poly1305;
+use sesemi_crypto::hkdf::hkdf;
+use sesemi_crypto::sha256::sha256_parts;
+use sesemi_crypto::x25519::EphemeralKeyPair;
+use sesemi_sim::SimDuration;
+
+/// First flight: the initiator's ephemeral key and, for mutual attestation,
+/// its quote.
+#[derive(Clone, Debug)]
+pub struct InitiatorHello {
+    /// Initiator's ephemeral X25519 public key.
+    pub ephemeral_public: [u8; 32],
+    /// Initiator's quote (present only for enclave initiators, e.g. SeMIRT).
+    pub quote: Option<Quote>,
+}
+
+/// Second flight: the responder enclave's ephemeral key and quote.
+#[derive(Clone, Debug)]
+pub struct ResponderHello {
+    /// Responder's ephemeral X25519 public key.
+    pub ephemeral_public: [u8; 32],
+    /// Responder's quote, binding `ephemeral_public` via the report data.
+    pub quote: Quote,
+}
+
+/// Binds an ephemeral public key (and optionally the peer's) into the 64-byte
+/// quote report-data field.
+fn bind_key_to_report(own_public: &[u8; 32], peer_public: Option<&[u8; 32]>) -> [u8; 64] {
+    let digest = match peer_public {
+        Some(peer) => sha256_parts(&[b"ratls-binding", own_public, peer]),
+        None => sha256_parts(&[b"ratls-binding", own_public]),
+    };
+    let mut report = [0u8; 64];
+    report[..32].copy_from_slice(digest.as_bytes());
+    report
+}
+
+fn derive_directional_keys(
+    shared: &[u8; 32],
+    initiator_public: &[u8; 32],
+    responder_public: &[u8; 32],
+) -> ([u8; 32], [u8; 32]) {
+    let transcript = sha256_parts(&[b"ratls-transcript", initiator_public, responder_public]);
+    let i2r = hkdf(transcript.as_bytes(), shared, b"initiator-to-responder", 32);
+    let r2i = hkdf(transcript.as_bytes(), shared, b"responder-to-initiator", 32);
+    let mut a = [0u8; 32];
+    let mut b = [0u8; 32];
+    a.copy_from_slice(&i2r);
+    b.copy_from_slice(&r2i);
+    (a, b)
+}
+
+/// An established attested channel.
+///
+/// Records carry an implicit sequence number (per direction), so replayed or
+/// reordered records fail authentication.
+pub struct SecureChannel {
+    send_cipher: ChaCha20Poly1305,
+    recv_cipher: ChaCha20Poly1305,
+    send_seq: u64,
+    recv_seq: u64,
+    channel_id: u32,
+    peer_measurement: Option<Measurement>,
+}
+
+impl std::fmt::Debug for SecureChannel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SecureChannel")
+            .field("channel_id", &self.channel_id)
+            .field("send_seq", &self.send_seq)
+            .field("recv_seq", &self.recv_seq)
+            .field("peer_measurement", &self.peer_measurement)
+            .finish()
+    }
+}
+
+impl SecureChannel {
+    /// The peer's attested measurement, if the peer presented a quote.
+    #[must_use]
+    pub fn peer_measurement(&self) -> Option<Measurement> {
+        self.peer_measurement
+    }
+
+    /// Encrypts and frames `plaintext` for the peer.
+    pub fn send(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let nonce = Nonce::from_counter(self.channel_id, self.send_seq);
+        self.send_seq += 1;
+        self.send_cipher.seal(&nonce, plaintext, b"ratls-record")
+    }
+
+    /// Decrypts a record received from the peer.
+    pub fn recv(&mut self, record: &[u8]) -> Result<Vec<u8>, EnclaveError> {
+        let nonce = Nonce::from_counter(self.channel_id, self.recv_seq);
+        let plaintext = self
+            .recv_cipher
+            .open(&nonce, record, b"ratls-record")
+            .map_err(|_| EnclaveError::ChannelError("record authentication failed".into()))?;
+        self.recv_seq += 1;
+        Ok(plaintext)
+    }
+}
+
+/// Initiator half of the handshake (a client, or an attesting enclave such as
+/// SeMIRT fetching keys).
+pub struct HandshakeInitiator {
+    keypair: EphemeralKeyPair,
+    hello: InitiatorHello,
+}
+
+impl HandshakeInitiator {
+    /// Starts a handshake as an ordinary (non-enclave) client — the model
+    /// owner or model user workflow.
+    pub fn new_client<R: RngCore>(rng: &mut R) -> Self {
+        let keypair = EphemeralKeyPair::generate(rng);
+        let hello = InitiatorHello {
+            ephemeral_public: keypair.public,
+            quote: None,
+        };
+        HandshakeInitiator { keypair, hello }
+    }
+
+    /// Starts a handshake as an attested enclave initiator (mutual
+    /// attestation).  Returns the initiator and the quote-generation latency.
+    pub fn new_attested<R: RngCore>(
+        enclave: &Enclave,
+        rng: &mut R,
+    ) -> Result<(Self, SimDuration), EnclaveError> {
+        let keypair = EphemeralKeyPair::generate(rng);
+        let report = bind_key_to_report(&keypair.public, None);
+        let (quote, latency) = enclave.quote(report)?;
+        let hello = InitiatorHello {
+            ephemeral_public: keypair.public,
+            quote: Some(quote),
+        };
+        Ok((HandshakeInitiator { keypair, hello }, latency))
+    }
+
+    /// The first flight to send to the responder.
+    #[must_use]
+    pub fn hello(&self) -> InitiatorHello {
+        self.hello.clone()
+    }
+
+    /// Completes the handshake after receiving the responder's hello.
+    ///
+    /// `expected` is the measurement the initiator pins (e.g. the published
+    /// KeyService identity `E_K`); the handshake fails if the responder's
+    /// attested measurement differs.
+    pub fn finish(
+        self,
+        responder: &ResponderHello,
+        verifier: &QuoteVerifier,
+        expected: &Measurement,
+    ) -> Result<SecureChannel, EnclaveError> {
+        // Verify the responder's quote and its binding to the handshake keys.
+        verifier.verify_expecting(&responder.quote, expected)?;
+        let expected_report = bind_key_to_report(
+            &responder.ephemeral_public,
+            Some(&self.hello.ephemeral_public),
+        );
+        if responder.quote.report_data != expected_report {
+            return Err(EnclaveError::ChannelError(
+                "responder quote does not bind the handshake keys".into(),
+            ));
+        }
+        let shared = self
+            .keypair
+            .diffie_hellman(&responder.ephemeral_public)
+            .map_err(EnclaveError::from)?;
+        let (i2r, r2i) = derive_directional_keys(
+            &shared,
+            &self.hello.ephemeral_public,
+            &responder.ephemeral_public,
+        );
+        Ok(SecureChannel {
+            send_cipher: ChaCha20Poly1305::from_full_key(i2r),
+            recv_cipher: ChaCha20Poly1305::from_full_key(r2i),
+            send_seq: 0,
+            recv_seq: 0,
+            channel_id: channel_id_from(&self.hello.ephemeral_public, &responder.ephemeral_public),
+            peer_measurement: Some(responder.quote.measurement),
+        })
+    }
+}
+
+fn channel_id_from(initiator_public: &[u8; 32], responder_public: &[u8; 32]) -> u32 {
+    let digest = sha256_parts(&[b"ratls-channel-id", initiator_public, responder_public]);
+    u32::from_be_bytes([
+        digest.as_bytes()[0],
+        digest.as_bytes()[1],
+        digest.as_bytes()[2],
+        digest.as_bytes()[3],
+    ])
+}
+
+/// Outcome of the responder side of the handshake.
+#[derive(Debug)]
+pub struct ResponderResult {
+    /// Flight to return to the initiator.
+    pub hello: ResponderHello,
+    /// The established channel (responder's view).
+    pub channel: SecureChannel,
+    /// The initiator's attested measurement, if it presented a quote
+    /// (available to the application for access-control decisions).
+    pub initiator_measurement: Option<Measurement>,
+    /// Simulated latency of the responder's quote generation.
+    pub quote_latency: SimDuration,
+}
+
+/// Responds to an [`InitiatorHello`] inside the responder enclave
+/// (KeyService).
+///
+/// If the initiator presented a quote, it is verified for authenticity and
+/// key binding; the measurement is surfaced in the result so the application
+/// can enforce its access-control policy (the paper's KeyService checks it
+/// against `KS_R` / `ACM`).
+pub fn respond<R: RngCore>(
+    initiator: &InitiatorHello,
+    enclave: &Enclave,
+    verifier: &QuoteVerifier,
+    rng: &mut R,
+) -> Result<ResponderResult, EnclaveError> {
+    let initiator_measurement = match &initiator.quote {
+        Some(quote) => {
+            verifier.verify(quote)?;
+            let expected_report = bind_key_to_report(&initiator.ephemeral_public, None);
+            if quote.report_data != expected_report {
+                return Err(EnclaveError::ChannelError(
+                    "initiator quote does not bind the handshake keys".into(),
+                ));
+            }
+            Some(quote.measurement)
+        }
+        None => None,
+    };
+
+    let keypair = EphemeralKeyPair::generate(rng);
+    let report = bind_key_to_report(&keypair.public, Some(&initiator.ephemeral_public));
+    let (quote, quote_latency) = enclave.quote(report)?;
+    let shared = keypair
+        .diffie_hellman(&initiator.ephemeral_public)
+        .map_err(EnclaveError::from)?;
+    let (i2r, r2i) =
+        derive_directional_keys(&shared, &initiator.ephemeral_public, &keypair.public);
+    let channel = SecureChannel {
+        // The responder sends with the r2i key and receives with i2r.
+        send_cipher: ChaCha20Poly1305::from_full_key(r2i),
+        recv_cipher: ChaCha20Poly1305::from_full_key(i2r),
+        send_seq: 0,
+        recv_seq: 0,
+        channel_id: channel_id_from(&initiator.ephemeral_public, &keypair.public),
+        peer_measurement: initiator_measurement,
+    };
+    Ok(ResponderResult {
+        hello: ResponderHello {
+            ephemeral_public: keypair.public,
+            quote,
+        },
+        channel,
+        initiator_measurement,
+        quote_latency,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::attest::{AttestationAuthority, AttestationScheme};
+    use crate::enclave::EnclaveConfig;
+    use crate::measurement::CodeIdentity;
+    use crate::platform::SgxPlatform;
+    use sesemi_crypto::rng::SessionRng;
+    use std::sync::Arc;
+
+    const MB: u64 = 1024 * 1024;
+
+    struct Fixture {
+        authority: Arc<AttestationAuthority>,
+        keyservice: Enclave,
+        semirt: Enclave,
+    }
+
+    fn fixture() -> Fixture {
+        let platform = SgxPlatform::paper_sgx2_node("node-1");
+        let authority = AttestationAuthority::new(99);
+        authority.register_platform("node-1", AttestationScheme::EcdsaDcap);
+        let keyservice = Enclave::launch(
+            &platform,
+            &authority,
+            CodeIdentity::new("keyservice", b"ks code".to_vec(), "1.0"),
+            EnclaveConfig::new(64 * MB, 8),
+            1,
+        )
+        .unwrap()
+        .0;
+        let semirt = Enclave::launch(
+            &platform,
+            &authority,
+            CodeIdentity::new("semirt", b"rt code".to_vec(), "1.0"),
+            EnclaveConfig::new(128 * MB, 4),
+            1,
+        )
+        .unwrap()
+        .0;
+        Fixture {
+            authority,
+            keyservice,
+            semirt,
+        }
+    }
+
+    #[test]
+    fn client_to_keyservice_handshake_and_records() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut client_rng = SessionRng::from_seed(1);
+        let mut enclave_rng = SessionRng::from_seed(2);
+
+        let initiator = HandshakeInitiator::new_client(&mut client_rng);
+        let result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut enclave_rng).unwrap();
+        assert!(result.initiator_measurement.is_none());
+
+        let mut client_channel = initiator
+            .finish(&result.hello, &verifier, &fx.keyservice.measurement())
+            .unwrap();
+        let mut ks_channel = result.channel;
+
+        // Client -> KeyService.
+        let record = client_channel.send(b"register identity key");
+        assert_eq!(ks_channel.recv(&record).unwrap(), b"register identity key");
+        // KeyService -> client.
+        let reply = ks_channel.send(b"registered");
+        assert_eq!(client_channel.recv(&reply).unwrap(), b"registered");
+        assert_eq!(
+            client_channel.peer_measurement(),
+            Some(fx.keyservice.measurement())
+        );
+    }
+
+    #[test]
+    fn mutual_attestation_surfaces_initiator_measurement() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut rng_a = SessionRng::from_seed(3);
+        let mut rng_b = SessionRng::from_seed(4);
+
+        let (initiator, quote_latency) =
+            HandshakeInitiator::new_attested(&fx.semirt, &mut rng_a).unwrap();
+        assert!(quote_latency > SimDuration::ZERO);
+        let result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut rng_b).unwrap();
+        assert_eq!(result.initiator_measurement, Some(fx.semirt.measurement()));
+
+        let mut semirt_channel = initiator
+            .finish(&result.hello, &verifier, &fx.keyservice.measurement())
+            .unwrap();
+        let mut ks_channel = result.channel;
+        let record = semirt_channel.send(b"KEY_PROVISIONING request");
+        assert_eq!(
+            ks_channel.recv(&record).unwrap(),
+            b"KEY_PROVISIONING request"
+        );
+        assert_eq!(
+            ks_channel.peer_measurement(),
+            Some(fx.semirt.measurement())
+        );
+    }
+
+    #[test]
+    fn pinning_the_wrong_measurement_fails() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut rng_a = SessionRng::from_seed(5);
+        let mut rng_b = SessionRng::from_seed(6);
+
+        let initiator = HandshakeInitiator::new_client(&mut rng_a);
+        let result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut rng_b).unwrap();
+        // The client expected to talk to SeMIRT, not KeyService.
+        let err = initiator
+            .finish(&result.hello, &verifier, &fx.semirt.measurement())
+            .unwrap_err();
+        assert!(matches!(err, EnclaveError::QuoteVerificationFailed(_)));
+    }
+
+    #[test]
+    fn swapped_responder_key_is_detected() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut rng_a = SessionRng::from_seed(7);
+        let mut rng_b = SessionRng::from_seed(8);
+
+        let initiator = HandshakeInitiator::new_client(&mut rng_a);
+        let mut result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut rng_b).unwrap();
+        // A man in the middle substitutes its own ephemeral key but cannot
+        // produce a quote binding it.
+        result.hello.ephemeral_public[0] ^= 1;
+        let err = initiator
+            .finish(&result.hello, &verifier, &fx.keyservice.measurement())
+            .unwrap_err();
+        assert!(matches!(err, EnclaveError::ChannelError(_)));
+    }
+
+    #[test]
+    fn forged_initiator_quote_binding_is_detected() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut rng_a = SessionRng::from_seed(9);
+        let mut rng_b = SessionRng::from_seed(10);
+
+        let (initiator, _) = HandshakeInitiator::new_attested(&fx.semirt, &mut rng_a).unwrap();
+        let mut hello = initiator.hello();
+        // Replay SeMIRT's quote with a different ephemeral key (stolen-quote
+        // attack): the binding check must reject it.
+        hello.ephemeral_public = EphemeralKeyPair::generate(&mut rng_a).public;
+        let err = respond(&hello, &fx.keyservice, &verifier, &mut rng_b).unwrap_err();
+        assert!(matches!(err, EnclaveError::ChannelError(_)));
+    }
+
+    #[test]
+    fn replayed_and_reordered_records_fail() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut rng_a = SessionRng::from_seed(11);
+        let mut rng_b = SessionRng::from_seed(12);
+
+        let initiator = HandshakeInitiator::new_client(&mut rng_a);
+        let result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut rng_b).unwrap();
+        let mut client = initiator
+            .finish(&result.hello, &verifier, &fx.keyservice.measurement())
+            .unwrap();
+        let mut server = result.channel;
+
+        let first = client.send(b"message 1");
+        let second = client.send(b"message 2");
+        assert_eq!(server.recv(&first).unwrap(), b"message 1");
+        // Replay of the first record fails (sequence number advanced).
+        assert!(server.recv(&first).is_err());
+        // After the failed replay the expected sequence is still 1, so the
+        // genuine second record is accepted.
+        assert_eq!(server.recv(&second).unwrap(), b"message 2");
+    }
+
+    #[test]
+    fn channels_are_independent_across_handshakes() {
+        let fx = fixture();
+        let verifier = fx.authority.verifier();
+        let mut rng = SessionRng::from_seed(13);
+
+        let initiator_a = HandshakeInitiator::new_client(&mut rng);
+        let result_a = respond(&initiator_a.hello(), &fx.keyservice, &verifier, &mut rng).unwrap();
+        let mut client_a = initiator_a
+            .finish(&result_a.hello, &verifier, &fx.keyservice.measurement())
+            .unwrap();
+
+        let initiator_b = HandshakeInitiator::new_client(&mut rng);
+        let result_b = respond(&initiator_b.hello(), &fx.keyservice, &verifier, &mut rng).unwrap();
+        let mut server_b = result_b.channel;
+
+        // A record from channel A cannot be decrypted on channel B.
+        let record = client_a.send(b"cross-channel");
+        assert!(server_b.recv(&record).is_err());
+    }
+}

@@ -1,0 +1,42 @@
+//! # sesemi-fnpacker
+//!
+//! FnPacker is SeSeMI's model-management component (paper §IV-C).  A model
+//! owner typically serves several similar models whose individual request
+//! rates are low and unpredictable; deploying each model on its own endpoint
+//! wastes cold starts, while deploying all models behind a single endpoint
+//! causes constant model switching inside the sandboxes (Fig. 7).
+//!
+//! FnPacker sits in front of the serverless platform proxy.  The owner
+//! declares an [`FnPool`] (a set of models plus the per-instance memory
+//! budget); FnPacker deploys a small set of endpoints for the pool and routes
+//! each request based on two signals it monitors per endpoint and per model:
+//! the number of pending responses and the time of the last invocation.
+//!
+//! The scheduling policy (§IV-C):
+//! * a request for a model that still has pending responses goes to that
+//!   model's current endpoint, which is marked *exclusive* to the model;
+//! * otherwise the request goes to the first endpoint that is not busy
+//!   serving another model — an endpoint is "not busy" when it has no
+//!   pending responses and is not exclusive to a different model, or when its
+//!   exclusivity has lapsed because a large interval passed since its last
+//!   request;
+//! * models with high request rates therefore keep exclusive endpoints and
+//!   never pay model-switching costs, while rarely used models share
+//!   endpoints and avoid cold starts.
+//!
+//! The [`baselines`] module provides the two deployments the paper compares
+//! against in Tables III/IV: *One-to-one* (one endpoint per model) and
+//! *All-in-one* (a single endpoint for every model).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod baselines;
+pub mod packer;
+pub mod pool;
+pub mod stats;
+
+pub use baselines::{AllInOneRouter, OneToOneRouter, Router, RoutingStrategy};
+pub use packer::FnPacker;
+pub use pool::FnPool;
+pub use stats::{EndpointSnapshot, ModelExecutionStats};

@@ -1,0 +1,324 @@
+//! The FnPacker scheduler (paper §IV-C).
+
+use crate::pool::FnPool;
+use crate::stats::{EndpointSnapshot, ModelExecutionStats};
+use sesemi_inference::ModelId;
+use sesemi_platform::ActionName;
+use sesemi_sim::{SimDuration, SimTime};
+use std::collections::HashMap;
+
+#[derive(Clone, Debug, Default)]
+struct EndpointState {
+    pending: usize,
+    exclusive_for: Option<ModelId>,
+    last_model: Option<ModelId>,
+    last_dispatch: Option<SimTime>,
+    total_dispatched: u64,
+}
+
+impl EndpointState {
+    fn exclusivity_lapsed(&self, now: SimTime, interval: SimDuration) -> bool {
+        match self.last_dispatch {
+            Some(last) => now.duration_since(last) >= interval,
+            None => true,
+        }
+    }
+}
+
+/// The FnPacker request router for one [`FnPool`].
+#[derive(Debug)]
+pub struct FnPacker {
+    pool: FnPool,
+    endpoints: Vec<EndpointState>,
+    models: HashMap<ModelId, ModelExecutionStats>,
+    /// How long an exclusive endpoint must stay idle before it can be handed
+    /// to another model ("a large interval has passed since the last request
+    /// was sent to it").
+    exclusive_release_interval: SimDuration,
+}
+
+impl FnPacker {
+    /// Default exclusivity-release interval: twice the keep-alive window of a
+    /// typical hot model's inter-arrival gap; 30 s works well for the paper's
+    /// workloads and is what the T3/T4 experiments use.
+    pub const DEFAULT_RELEASE_INTERVAL: SimDuration = SimDuration::from_secs(30);
+
+    /// Creates a router for `pool`.
+    #[must_use]
+    pub fn new(pool: FnPool) -> Self {
+        Self::with_release_interval(pool, Self::DEFAULT_RELEASE_INTERVAL)
+    }
+
+    /// Creates a router with an explicit exclusivity-release interval (used
+    /// by the ablation bench).
+    #[must_use]
+    pub fn with_release_interval(pool: FnPool, interval: SimDuration) -> Self {
+        let endpoints = vec![EndpointState::default(); pool.endpoint_count];
+        let models = pool
+            .models
+            .iter()
+            .map(|m| (m.clone(), ModelExecutionStats::default()))
+            .collect();
+        FnPacker {
+            pool,
+            endpoints,
+            models,
+            exclusive_release_interval: interval,
+        }
+    }
+
+    /// The pool this router manages.
+    #[must_use]
+    pub fn pool(&self) -> &FnPool {
+        &self.pool
+    }
+
+    /// Routes one request for `model` at time `now`, returning the endpoint
+    /// index (and implicitly its [`ActionName`] via
+    /// [`FnPool::endpoint_action`]).
+    ///
+    /// # Panics
+    /// Panics if `model` is not part of the pool (a configuration error the
+    /// caller should have prevented).
+    pub fn route(&mut self, model: &ModelId, now: SimTime) -> usize {
+        assert!(
+            self.pool.serves(model),
+            "model {model} is not part of pool {}",
+            self.pool.name
+        );
+        let stats = self.models.get(model).expect("model registered");
+
+        // Rule 1: a model with pending responses sticks to its endpoint and
+        // that endpoint becomes exclusive to it.
+        let chosen = if stats.pending > 0 {
+            let endpoint = stats
+                .current_endpoint
+                .expect("pending requests imply an endpoint");
+            self.endpoints[endpoint].exclusive_for = Some(model.clone());
+            endpoint
+        } else {
+            self.pick_idle_endpoint(model, now)
+        };
+
+        // Bookkeeping.
+        let endpoint_state = &mut self.endpoints[chosen];
+        endpoint_state.pending += 1;
+        endpoint_state.last_model = Some(model.clone());
+        endpoint_state.last_dispatch = Some(now);
+        endpoint_state.total_dispatched += 1;
+        self.models
+            .get_mut(model)
+            .expect("model registered")
+            .on_dispatch(chosen, now);
+        chosen
+    }
+
+    fn pick_idle_endpoint(&mut self, model: &ModelId, now: SimTime) -> usize {
+        // Rule 2: first endpoint that is not busy serving another model.
+        for (index, endpoint) in self.endpoints.iter_mut().enumerate() {
+            let free_of_exclusivity = match &endpoint.exclusive_for {
+                None => true,
+                Some(owner) if owner == model => true,
+                Some(_) => {
+                    if endpoint.exclusivity_lapsed(now, self.exclusive_release_interval) {
+                        endpoint.exclusive_for = None;
+                        true
+                    } else {
+                        false
+                    }
+                }
+            };
+            if endpoint.pending == 0 && free_of_exclusivity {
+                return index;
+            }
+        }
+        // Fallback: everything is busy; pick the endpoint with the fewest
+        // pending responses (ties broken by index for determinism).
+        self.endpoints
+            .iter()
+            .enumerate()
+            .min_by_key(|(index, e)| (e.pending, *index))
+            .map(|(index, _)| index)
+            .expect("pool has at least one endpoint")
+    }
+
+    /// Records the completion of a request for `model` on `endpoint`.
+    pub fn complete(
+        &mut self,
+        model: &ModelId,
+        endpoint: usize,
+        now: SimTime,
+        latency: SimDuration,
+        path: &str,
+    ) {
+        let _ = now;
+        if let Some(state) = self.endpoints.get_mut(endpoint) {
+            state.pending = state.pending.saturating_sub(1);
+        }
+        if let Some(stats) = self.models.get_mut(model) {
+            stats.on_complete(latency, path);
+        }
+    }
+
+    /// The action name of endpoint `index`.
+    #[must_use]
+    pub fn endpoint_action(&self, index: usize) -> ActionName {
+        self.pool.endpoint_action(index)
+    }
+
+    /// Current statistics for `model`, if it belongs to the pool.
+    #[must_use]
+    pub fn model_stats(&self, model: &ModelId) -> Option<&ModelExecutionStats> {
+        self.models.get(model)
+    }
+
+    /// Point-in-time view of every endpoint.
+    #[must_use]
+    pub fn endpoint_snapshots(&self) -> Vec<EndpointSnapshot> {
+        self.endpoints
+            .iter()
+            .enumerate()
+            .map(|(index, e)| EndpointSnapshot {
+                index,
+                pending: e.pending,
+                exclusive_for: e.exclusive_for.clone(),
+                last_model: e.last_model.clone(),
+                last_dispatch: e.last_dispatch,
+                total_dispatched: e.total_dispatched,
+            })
+            .collect()
+    }
+
+    /// Number of distinct endpoints that have served at least one request —
+    /// a proxy for how well the packer consolidates infrequent models.
+    #[must_use]
+    pub fn endpoints_used(&self) -> usize {
+        self.endpoints.iter().filter(|e| e.total_dispatched > 0).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pool(models: &[&str], endpoints: usize) -> FnPool {
+        FnPool::new(
+            "pool",
+            models.iter().map(|m| ModelId::new(*m)).collect(),
+            768 * 1024 * 1024,
+            endpoints,
+        )
+    }
+
+    #[test]
+    fn hot_models_get_exclusive_endpoints() {
+        // m0 and m1 receive continuous traffic; they should end up on two
+        // different, exclusive endpoints (Table III's "no interference").
+        let mut packer = FnPacker::new(pool(&["m0", "m1", "m2"], 3));
+        let e0 = packer.route(&ModelId::new("m0"), SimTime::from_secs(1));
+        // m0's first request is still pending when the second arrives.
+        let e0_again = packer.route(&ModelId::new("m0"), SimTime::from_secs(2));
+        assert_eq!(e0, e0_again);
+        let e1 = packer.route(&ModelId::new("m1"), SimTime::from_secs(2));
+        assert_ne!(e0, e1);
+
+        let snapshots = packer.endpoint_snapshots();
+        assert_eq!(snapshots[e0].exclusive_for, Some(ModelId::new("m0")));
+        assert_eq!(snapshots[e0].pending, 2);
+        assert_eq!(snapshots[e1].pending, 1);
+    }
+
+    #[test]
+    fn infrequent_models_share_an_idle_endpoint() {
+        let mut packer = FnPacker::new(pool(&["m2", "m3", "m4"], 2));
+        // m2 is served and completes.
+        let e2 = packer.route(&ModelId::new("m2"), SimTime::from_secs(10));
+        packer.complete(
+            &ModelId::new("m2"),
+            e2,
+            SimTime::from_secs(12),
+            SimDuration::from_secs(2),
+            "cold",
+        );
+        // m3 arrives next; the endpoint is idle and not exclusive, so m3
+        // reuses it (warm invocation instead of a new cold start).
+        let e3 = packer.route(&ModelId::new("m3"), SimTime::from_secs(13));
+        assert_eq!(e2, e3);
+        assert_eq!(packer.endpoints_used(), 1);
+    }
+
+    #[test]
+    fn exclusive_endpoints_are_skipped_until_the_interval_lapses() {
+        let mut packer =
+            FnPacker::with_release_interval(pool(&["hot", "rare"], 2), SimDuration::from_secs(30));
+        // Make endpoint 0 exclusive to "hot" by overlapping requests.
+        let e_hot = packer.route(&ModelId::new("hot"), SimTime::from_secs(1));
+        packer.route(&ModelId::new("hot"), SimTime::from_secs(2));
+        assert_eq!(e_hot, 0);
+        packer.complete(&ModelId::new("hot"), 0, SimTime::from_secs(3), SimDuration::from_millis(500), "hot");
+        packer.complete(&ModelId::new("hot"), 0, SimTime::from_secs(3), SimDuration::from_millis(500), "hot");
+
+        // "rare" arrives shortly after: endpoint 0 is idle but still
+        // exclusive, so rare goes to endpoint 1.
+        let e_rare = packer.route(&ModelId::new("rare"), SimTime::from_secs(5));
+        assert_eq!(e_rare, 1);
+        packer.complete(&ModelId::new("rare"), 1, SimTime::from_secs(6), SimDuration::from_secs(1), "cold");
+
+        // Much later, endpoint 0's exclusivity has lapsed (no request for more
+        // than the release interval), so it counts as "not busy" again and,
+        // being the first such endpoint, receives the next rare request.
+        packer.route(&ModelId::new("hot"), SimTime::from_secs(40));
+        packer.complete(&ModelId::new("hot"), 0, SimTime::from_secs(41), SimDuration::from_millis(500), "hot");
+        let much_later = SimTime::from_secs(120);
+        let e = packer.route(&ModelId::new("rare"), much_later);
+        assert_eq!(e, 0, "lapsed exclusivity frees the endpoint");
+        // While that rare request is pending, further rare requests stick to
+        // the same endpoint (rule 1).
+        let e = packer.route(&ModelId::new("rare"), much_later);
+        assert_eq!(e, 0, "pending rare requests stick to their endpoint");
+        assert_eq!(
+            packer.endpoint_snapshots()[0].exclusive_for,
+            Some(ModelId::new("rare"))
+        );
+    }
+
+    #[test]
+    fn fallback_picks_least_loaded_endpoint_when_all_are_busy() {
+        let mut packer = FnPacker::new(pool(&["a", "b", "c"], 2));
+        // Saturate both endpoints.
+        let ea = packer.route(&ModelId::new("a"), SimTime::from_secs(1));
+        let eb = packer.route(&ModelId::new("b"), SimTime::from_secs(1));
+        assert_ne!(ea, eb);
+        packer.route(&ModelId::new("a"), SimTime::from_secs(2)); // a now has 2 pending
+        // c has nowhere idle; it must go to the endpoint with fewer pending
+        // requests, which is b's.
+        let ec = packer.route(&ModelId::new("c"), SimTime::from_secs(3));
+        assert_eq!(ec, eb);
+    }
+
+    #[test]
+    fn stats_are_tracked_per_model() {
+        let mut packer = FnPacker::new(pool(&["m0"], 1));
+        let e = packer.route(&ModelId::new("m0"), SimTime::from_secs(1));
+        packer.complete(
+            &ModelId::new("m0"),
+            e,
+            SimTime::from_secs(2),
+            SimDuration::from_millis(1500),
+            "cold",
+        );
+        let stats = packer.model_stats(&ModelId::new("m0")).unwrap();
+        assert_eq!(stats.completed, 1);
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.cold_latency, Some(SimDuration::from_millis(1500)));
+        assert!(packer.model_stats(&ModelId::new("zzz")).is_none());
+        assert_eq!(packer.endpoint_action(e).as_str(), "pool-ep0");
+    }
+
+    #[test]
+    #[should_panic(expected = "not part of pool")]
+    fn routing_an_unknown_model_panics() {
+        let mut packer = FnPacker::new(pool(&["m0"], 1));
+        packer.route(&ModelId::new("unknown"), SimTime::ZERO);
+    }
+}

@@ -1,0 +1,93 @@
+//! FnPool: the owner-declared group of models managed by FnPacker.
+
+use sesemi_inference::ModelId;
+use sesemi_platform::ActionName;
+
+/// An owner-declared pool: the models to serve and the per-instance memory
+/// budget (paper §IV-C: "the model owner specifies a Fnpool structure that
+/// contains a set of models and the memory budget for an instance").
+#[derive(Clone, Debug, PartialEq)]
+pub struct FnPool {
+    /// Pool name, used as the prefix of the generated endpoint names.
+    pub name: String,
+    /// Models served by this pool.
+    pub models: Vec<ModelId>,
+    /// Memory budget per endpoint instance in bytes.
+    pub memory_budget_bytes: u64,
+    /// Number of shared endpoints FnPacker deploys for the pool.
+    pub endpoint_count: usize,
+}
+
+impl FnPool {
+    /// Creates a pool.
+    ///
+    /// # Panics
+    /// Panics if the pool has no models or no endpoints.
+    #[must_use]
+    pub fn new(
+        name: impl Into<String>,
+        models: Vec<ModelId>,
+        memory_budget_bytes: u64,
+        endpoint_count: usize,
+    ) -> Self {
+        assert!(!models.is_empty(), "an FnPool needs at least one model");
+        assert!(endpoint_count > 0, "an FnPool needs at least one endpoint");
+        FnPool {
+            name: name.into(),
+            models,
+            memory_budget_bytes,
+            endpoint_count,
+        }
+    }
+
+    /// The action name of endpoint `index`.
+    #[must_use]
+    pub fn endpoint_action(&self, index: usize) -> ActionName {
+        ActionName::new(format!("{}-ep{}", self.name, index))
+    }
+
+    /// All endpoint action names.
+    #[must_use]
+    pub fn endpoint_actions(&self) -> Vec<ActionName> {
+        (0..self.endpoint_count)
+            .map(|i| self.endpoint_action(i))
+            .collect()
+    }
+
+    /// Whether the pool serves `model`.
+    #[must_use]
+    pub fn serves(&self, model: &ModelId) -> bool {
+        self.models.contains(model)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pool_generates_endpoint_actions() {
+        let pool = FnPool::new(
+            "clinic",
+            vec![ModelId::new("m0"), ModelId::new("m1")],
+            768 * 1024 * 1024,
+            3,
+        );
+        assert_eq!(pool.endpoint_actions().len(), 3);
+        assert_eq!(pool.endpoint_action(1).as_str(), "clinic-ep1");
+        assert!(pool.serves(&ModelId::new("m0")));
+        assert!(!pool.serves(&ModelId::new("m9")));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one model")]
+    fn empty_pool_rejected() {
+        let _ = FnPool::new("p", vec![], 1, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one endpoint")]
+    fn zero_endpoints_rejected() {
+        let _ = FnPool::new("p", vec![ModelId::new("m")], 1, 0);
+    }
+}

@@ -1,0 +1,92 @@
+//! The execution statistics FnPacker monitors per model and per endpoint.
+
+use sesemi_inference::ModelId;
+use sesemi_sim::{SimDuration, SimTime};
+
+/// Per-model execution statistics (paper §IV-C: "the number of concurrent
+/// requests pending response on each model, the last invocation time, and the
+/// latency of different types of execution").
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct ModelExecutionStats {
+    /// Requests sent but not yet completed.
+    pub pending: usize,
+    /// Time of the most recent request for this model.
+    pub last_invocation: Option<SimTime>,
+    /// The endpoint currently serving this model, if any.
+    pub current_endpoint: Option<usize>,
+    /// Observed cold-invocation latencies.
+    pub cold_latency: Option<SimDuration>,
+    /// Observed warm-invocation latencies.
+    pub warm_latency: Option<SimDuration>,
+    /// Observed hot-invocation latencies.
+    pub hot_latency: Option<SimDuration>,
+    /// Total completed requests.
+    pub completed: u64,
+}
+
+impl ModelExecutionStats {
+    /// Records a dispatched request.
+    pub fn on_dispatch(&mut self, endpoint: usize, now: SimTime) {
+        self.pending += 1;
+        self.last_invocation = Some(now);
+        self.current_endpoint = Some(endpoint);
+    }
+
+    /// Records a completed request with its observed latency and path label
+    /// (`"cold"`, `"warm"` or `"hot"`).
+    pub fn on_complete(&mut self, latency: SimDuration, path: &str) {
+        self.pending = self.pending.saturating_sub(1);
+        self.completed += 1;
+        match path {
+            "cold" => self.cold_latency = Some(latency),
+            "warm" => self.warm_latency = Some(latency),
+            _ => self.hot_latency = Some(latency),
+        }
+    }
+}
+
+/// A point-in-time view of one endpoint, used by the scheduling policy and by
+/// the experiment harness.
+#[derive(Clone, Debug, PartialEq)]
+pub struct EndpointSnapshot {
+    /// Endpoint index within the pool.
+    pub index: usize,
+    /// Requests dispatched to this endpoint that have not completed.
+    pub pending: usize,
+    /// The model this endpoint is exclusively serving, if any.
+    pub exclusive_for: Option<ModelId>,
+    /// The model most recently dispatched to this endpoint.
+    pub last_model: Option<ModelId>,
+    /// When the endpoint last received a request.
+    pub last_dispatch: Option<SimTime>,
+    /// Total requests dispatched to this endpoint.
+    pub total_dispatched: u64,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn dispatch_and_complete_update_counters() {
+        let mut stats = ModelExecutionStats::default();
+        stats.on_dispatch(2, SimTime::from_secs(5));
+        stats.on_dispatch(2, SimTime::from_secs(6));
+        assert_eq!(stats.pending, 2);
+        assert_eq!(stats.current_endpoint, Some(2));
+        assert_eq!(stats.last_invocation, Some(SimTime::from_secs(6)));
+
+        stats.on_complete(SimDuration::from_millis(100), "hot");
+        stats.on_complete(SimDuration::from_millis(900), "cold");
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.hot_latency, Some(SimDuration::from_millis(100)));
+        assert_eq!(stats.cold_latency, Some(SimDuration::from_millis(900)));
+        assert_eq!(stats.warm_latency, None);
+
+        // Completing more than dispatched saturates instead of underflowing.
+        stats.on_complete(SimDuration::from_millis(50), "warm");
+        assert_eq!(stats.pending, 0);
+        assert_eq!(stats.warm_latency, Some(SimDuration::from_millis(50)));
+    }
+}

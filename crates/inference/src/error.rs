@@ -1,0 +1,79 @@
+//! Error type for the inference substrate.
+
+use std::fmt;
+
+/// Errors raised while loading or executing models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum InferenceError {
+    /// The serialized model blob is malformed.
+    MalformedModel(String),
+    /// The input vector does not match the model's expected input dimension.
+    InputDimensionMismatch {
+        /// Dimension the model expects.
+        expected: usize,
+        /// Dimension the caller provided.
+        actual: usize,
+    },
+    /// The runtime was initialized for a different model than the one being
+    /// executed (SeMIRT guards against this; the engine double-checks).
+    RuntimeModelMismatch,
+    /// A layer received an activation of the wrong width (indicates a
+    /// corrupted or hand-edited graph).
+    ShapeMismatch {
+        /// Layer index in the graph.
+        layer: usize,
+        /// Width the layer expected.
+        expected: usize,
+        /// Width it received.
+        actual: usize,
+    },
+    /// A numeric value in the model is not finite.
+    NonFiniteParameter,
+}
+
+impl fmt::Display for InferenceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            InferenceError::MalformedModel(reason) => write!(f, "malformed model: {reason}"),
+            InferenceError::InputDimensionMismatch { expected, actual } => write!(
+                f,
+                "input dimension mismatch: model expects {expected}, got {actual}"
+            ),
+            InferenceError::RuntimeModelMismatch => {
+                write!(f, "runtime was initialized for a different model")
+            }
+            InferenceError::ShapeMismatch {
+                layer,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "shape mismatch at layer {layer}: expected width {expected}, got {actual}"
+            ),
+            InferenceError::NonFiniteParameter => write!(f, "model contains non-finite parameters"),
+        }
+    }
+}
+
+impl std::error::Error for InferenceError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_contains_dimensions() {
+        let err = InferenceError::InputDimensionMismatch {
+            expected: 64,
+            actual: 32,
+        };
+        assert!(err.to_string().contains("64"));
+        assert!(err.to_string().contains("32"));
+        let err = InferenceError::ShapeMismatch {
+            layer: 3,
+            expected: 10,
+            actual: 20,
+        };
+        assert!(err.to_string().contains("layer 3"));
+    }
+}

@@ -1,0 +1,78 @@
+//! Error type for the KeyService.
+
+use std::fmt;
+
+/// Errors raised by KeyService operations.
+///
+/// Authorization failures are deliberately coarse: a caller cannot
+/// distinguish "model does not exist" from "you are not authorized", which
+/// avoids leaking which models / users are registered.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum KeyServiceError {
+    /// The caller's identity is not registered in `KS_I`.
+    UnknownParty,
+    /// A payload failed to decrypt or parse under the caller's identity key.
+    InvalidPayload,
+    /// The requested provisioning is not authorized by the access-control
+    /// state (missing grant, missing request key, or mismatched enclave
+    /// identity).
+    NotAuthorized,
+    /// The remote attestation quote could not be verified.
+    AttestationFailed(String),
+    /// The secure channel failed (handshake or record protection).
+    Channel(String),
+    /// An operation conflicts with existing state (e.g. re-registering a
+    /// different key for the same model id).
+    Conflict(String),
+}
+
+impl fmt::Display for KeyServiceError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            KeyServiceError::UnknownParty => write!(f, "unknown owner or user identity"),
+            KeyServiceError::InvalidPayload => write!(f, "payload failed to decrypt or parse"),
+            KeyServiceError::NotAuthorized => write!(f, "request not authorized"),
+            KeyServiceError::AttestationFailed(reason) => {
+                write!(f, "remote attestation failed: {reason}")
+            }
+            KeyServiceError::Channel(reason) => write!(f, "secure channel error: {reason}"),
+            KeyServiceError::Conflict(reason) => write!(f, "conflicting state: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for KeyServiceError {}
+
+impl From<sesemi_enclave::EnclaveError> for KeyServiceError {
+    fn from(err: sesemi_enclave::EnclaveError) -> Self {
+        match err {
+            sesemi_enclave::EnclaveError::QuoteVerificationFailed(reason) => {
+                KeyServiceError::AttestationFailed(reason)
+            }
+            other => KeyServiceError::Channel(other.to_string()),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(KeyServiceError::UnknownParty.to_string().contains("unknown"));
+        assert!(KeyServiceError::NotAuthorized.to_string().contains("not authorized"));
+        assert!(KeyServiceError::AttestationFailed("bad quote".into())
+            .to_string()
+            .contains("bad quote"));
+    }
+
+    #[test]
+    fn enclave_errors_map_to_keyservice_errors() {
+        let err: KeyServiceError =
+            sesemi_enclave::EnclaveError::QuoteVerificationFailed("sig".into()).into();
+        assert!(matches!(err, KeyServiceError::AttestationFailed(_)));
+        let err: KeyServiceError = sesemi_enclave::EnclaveError::EnclaveDestroyed.into();
+        assert!(matches!(err, KeyServiceError::Channel(_)));
+    }
+}

@@ -1,0 +1,352 @@
+//! Encrypted request payloads exchanged between owners / users and the
+//! KeyService enclave.
+//!
+//! Algorithm 1's inputs such as `[M_oid ∥ K_M]_{K_oid}` are byte strings
+//! encrypted (and authenticated) under the party's long-term identity key;
+//! this module defines their structure, serialization and the seal/open
+//! helpers.  Because the payloads are AEAD-protected, only the holder of the
+//! identity key can produce them, which is exactly the authorization argument
+//! of the paper's security analysis ("the functions that modify ACM and KS_R
+//! check that the updates are authorized, i.e. signed with the long-term key
+//! of the model owner ... and the user").
+
+use crate::error::KeyServiceError;
+use crate::keystore::PartyId;
+use rand::RngCore;
+use sesemi_crypto::aead::{AeadKey, SealedBox, KEY_LEN};
+use sesemi_crypto::gcm::Aes128Gcm;
+use sesemi_enclave::Measurement;
+use sesemi_inference::ModelId;
+
+const OWNER_AAD: &[u8] = b"sesemi-keyservice-owner-request";
+const USER_AAD: &[u8] = b"sesemi-keyservice-user-request";
+
+/// Requests a model owner can make.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum OwnerRequest {
+    /// `ADD_MODEL_KEY`: register the decryption key for a model.
+    AddModelKey {
+        /// Model id.
+        model: ModelId,
+        /// Model decryption key `K_M`.
+        model_key: AeadKey,
+    },
+    /// `GRANT_ACCESS`: authorize a user to run the model inside a specific
+    /// enclave identity.
+    GrantAccess {
+        /// Model id.
+        model: ModelId,
+        /// Enclave identity `E_S` allowed to receive the keys.
+        enclave: Measurement,
+        /// The authorized user.
+        user: PartyId,
+    },
+}
+
+/// Requests a model user can make.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum UserRequest {
+    /// `ADD_REQ_KEY`: register the request key for a (model, enclave) pair.
+    AddRequestKey {
+        /// Model id.
+        model: ModelId,
+        /// Enclave identity `E_S` allowed to receive the key.
+        enclave: Measurement,
+        /// Request key `K_R`.
+        request_key: AeadKey,
+    },
+}
+
+fn write_model_id(out: &mut Vec<u8>, model: &ModelId) {
+    let bytes = model.as_str().as_bytes();
+    out.extend_from_slice(&(bytes.len() as u32).to_le_bytes());
+    out.extend_from_slice(bytes);
+}
+
+fn read_model_id(bytes: &[u8], offset: &mut usize) -> Result<ModelId, KeyServiceError> {
+    let len = read_u32(bytes, offset)? as usize;
+    if len > 1024 || *offset + len > bytes.len() {
+        return Err(KeyServiceError::InvalidPayload);
+    }
+    let value = std::str::from_utf8(&bytes[*offset..*offset + len])
+        .map_err(|_| KeyServiceError::InvalidPayload)?;
+    *offset += len;
+    Ok(ModelId::new(value))
+}
+
+fn read_u32(bytes: &[u8], offset: &mut usize) -> Result<u32, KeyServiceError> {
+    if *offset + 4 > bytes.len() {
+        return Err(KeyServiceError::InvalidPayload);
+    }
+    let value = u32::from_le_bytes([
+        bytes[*offset],
+        bytes[*offset + 1],
+        bytes[*offset + 2],
+        bytes[*offset + 3],
+    ]);
+    *offset += 4;
+    Ok(value)
+}
+
+fn read_array<const N: usize>(bytes: &[u8], offset: &mut usize) -> Result<[u8; N], KeyServiceError> {
+    if *offset + N > bytes.len() {
+        return Err(KeyServiceError::InvalidPayload);
+    }
+    let mut out = [0u8; N];
+    out.copy_from_slice(&bytes[*offset..*offset + N]);
+    *offset += N;
+    Ok(out)
+}
+
+fn ensure_exhausted(bytes: &[u8], offset: usize) -> Result<(), KeyServiceError> {
+    if offset == bytes.len() {
+        Ok(())
+    } else {
+        Err(KeyServiceError::InvalidPayload)
+    }
+}
+
+fn measurement_from_bytes(bytes: [u8; 32]) -> Measurement {
+    Measurement::from_digest(sesemi_crypto::sha256::Digest::from(bytes))
+}
+
+impl OwnerRequest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            OwnerRequest::AddModelKey { model, model_key } => {
+                out.push(0);
+                write_model_id(&mut out, model);
+                out.extend_from_slice(model_key.as_bytes());
+            }
+            OwnerRequest::GrantAccess {
+                model,
+                enclave,
+                user,
+            } => {
+                out.push(1);
+                write_model_id(&mut out, model);
+                out.extend_from_slice(enclave.as_bytes());
+                out.extend_from_slice(user.as_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, KeyServiceError> {
+        if bytes.is_empty() {
+            return Err(KeyServiceError::InvalidPayload);
+        }
+        let mut offset = 1usize;
+        match bytes[0] {
+            0 => {
+                let model = read_model_id(bytes, &mut offset)?;
+                let key: [u8; KEY_LEN] = read_array(bytes, &mut offset)?;
+                ensure_exhausted(bytes, offset)?;
+                Ok(OwnerRequest::AddModelKey {
+                    model,
+                    model_key: AeadKey::from_bytes(key),
+                })
+            }
+            1 => {
+                let model = read_model_id(bytes, &mut offset)?;
+                let enclave: [u8; 32] = read_array(bytes, &mut offset)?;
+                let user: [u8; 32] = read_array(bytes, &mut offset)?;
+                ensure_exhausted(bytes, offset)?;
+                Ok(OwnerRequest::GrantAccess {
+                    model,
+                    enclave: measurement_from_bytes(enclave),
+                    user: PartyId::from_bytes(user),
+                })
+            }
+            _ => Err(KeyServiceError::InvalidPayload),
+        }
+    }
+
+    /// Encrypts the request under the owner's long-term identity key.
+    pub fn seal<R: RngCore>(&self, identity_key: &AeadKey, rng: &mut R) -> Vec<u8> {
+        let cipher = Aes128Gcm::new(identity_key);
+        SealedBox::seal(&cipher, rng, &self.encode(), OWNER_AAD).to_bytes()
+    }
+
+    /// Decrypts and parses a sealed owner request (inside the enclave).
+    pub fn open(identity_key: &AeadKey, sealed: &[u8]) -> Result<Self, KeyServiceError> {
+        let cipher = Aes128Gcm::new(identity_key);
+        let parsed = SealedBox::from_bytes(sealed).map_err(|_| KeyServiceError::InvalidPayload)?;
+        if parsed.aad != OWNER_AAD {
+            return Err(KeyServiceError::InvalidPayload);
+        }
+        let plaintext = parsed
+            .open(&cipher)
+            .map_err(|_| KeyServiceError::InvalidPayload)?;
+        Self::decode(&plaintext)
+    }
+}
+
+impl UserRequest {
+    fn encode(&self) -> Vec<u8> {
+        let mut out = Vec::new();
+        match self {
+            UserRequest::AddRequestKey {
+                model,
+                enclave,
+                request_key,
+            } => {
+                out.push(0);
+                write_model_id(&mut out, model);
+                out.extend_from_slice(enclave.as_bytes());
+                out.extend_from_slice(request_key.as_bytes());
+            }
+        }
+        out
+    }
+
+    fn decode(bytes: &[u8]) -> Result<Self, KeyServiceError> {
+        if bytes.is_empty() || bytes[0] != 0 {
+            return Err(KeyServiceError::InvalidPayload);
+        }
+        let mut offset = 1usize;
+        let model = read_model_id(bytes, &mut offset)?;
+        let enclave: [u8; 32] = read_array(bytes, &mut offset)?;
+        let key: [u8; KEY_LEN] = read_array(bytes, &mut offset)?;
+        ensure_exhausted(bytes, offset)?;
+        Ok(UserRequest::AddRequestKey {
+            model,
+            enclave: measurement_from_bytes(enclave),
+            request_key: AeadKey::from_bytes(key),
+        })
+    }
+
+    /// Encrypts the request under the user's long-term identity key.
+    pub fn seal<R: RngCore>(&self, identity_key: &AeadKey, rng: &mut R) -> Vec<u8> {
+        let cipher = Aes128Gcm::new(identity_key);
+        SealedBox::seal(&cipher, rng, &self.encode(), USER_AAD).to_bytes()
+    }
+
+    /// Decrypts and parses a sealed user request (inside the enclave).
+    pub fn open(identity_key: &AeadKey, sealed: &[u8]) -> Result<Self, KeyServiceError> {
+        let cipher = Aes128Gcm::new(identity_key);
+        let parsed = SealedBox::from_bytes(sealed).map_err(|_| KeyServiceError::InvalidPayload)?;
+        if parsed.aad != USER_AAD {
+            return Err(KeyServiceError::InvalidPayload);
+        }
+        let plaintext = parsed
+            .open(&cipher)
+            .map_err(|_| KeyServiceError::InvalidPayload)?;
+        Self::decode(&plaintext)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesemi_crypto::rng::SessionRng;
+    use sesemi_enclave::CodeIdentity;
+
+    fn enclave_id() -> Measurement {
+        CodeIdentity::new("semirt", b"code".to_vec(), "1").measure()
+    }
+
+    #[test]
+    fn owner_requests_roundtrip() {
+        let mut rng = SessionRng::from_seed(1);
+        let identity = AeadKey::from_bytes([5u8; 16]);
+        let user = PartyId::from_identity_key(&AeadKey::from_bytes([6u8; 16]));
+        let requests = [
+            OwnerRequest::AddModelKey {
+                model: ModelId::new("hospital/diagnosis"),
+                model_key: AeadKey::from_bytes([7u8; 16]),
+            },
+            OwnerRequest::GrantAccess {
+                model: ModelId::new("hospital/diagnosis"),
+                enclave: enclave_id(),
+                user,
+            },
+        ];
+        for request in requests {
+            let sealed = request.seal(&identity, &mut rng);
+            let opened = OwnerRequest::open(&identity, &sealed).unwrap();
+            assert_eq!(opened, request);
+        }
+    }
+
+    #[test]
+    fn user_requests_roundtrip() {
+        let mut rng = SessionRng::from_seed(2);
+        let identity = AeadKey::from_bytes([9u8; 16]);
+        let request = UserRequest::AddRequestKey {
+            model: ModelId::new("m0"),
+            enclave: enclave_id(),
+            request_key: AeadKey::from_bytes([3u8; 16]),
+        };
+        let sealed = request.seal(&identity, &mut rng);
+        assert_eq!(UserRequest::open(&identity, &sealed).unwrap(), request);
+    }
+
+    #[test]
+    fn wrong_key_or_tampering_is_rejected() {
+        let mut rng = SessionRng::from_seed(3);
+        let identity = AeadKey::from_bytes([1u8; 16]);
+        let request = OwnerRequest::AddModelKey {
+            model: ModelId::new("m"),
+            model_key: AeadKey::from_bytes([2u8; 16]),
+        };
+        let sealed = request.seal(&identity, &mut rng);
+
+        // Wrong identity key.
+        let wrong = AeadKey::from_bytes([4u8; 16]);
+        assert_eq!(
+            OwnerRequest::open(&wrong, &sealed),
+            Err(KeyServiceError::InvalidPayload)
+        );
+        // Tampered ciphertext.
+        let mut tampered = sealed.clone();
+        let last = tampered.len() - 1;
+        tampered[last] ^= 1;
+        assert_eq!(
+            OwnerRequest::open(&identity, &tampered),
+            Err(KeyServiceError::InvalidPayload)
+        );
+        // Truncated.
+        assert_eq!(
+            OwnerRequest::open(&identity, &sealed[..10]),
+            Err(KeyServiceError::InvalidPayload)
+        );
+        // Garbage.
+        assert_eq!(
+            OwnerRequest::open(&identity, b"junk"),
+            Err(KeyServiceError::InvalidPayload)
+        );
+    }
+
+    #[test]
+    fn owner_and_user_payloads_are_domain_separated() {
+        // An owner payload cannot be replayed as a user payload even when the
+        // same identity key is (incorrectly) used for both roles.
+        let mut rng = SessionRng::from_seed(4);
+        let identity = AeadKey::from_bytes([8u8; 16]);
+        let owner_payload = OwnerRequest::AddModelKey {
+            model: ModelId::new("m"),
+            model_key: AeadKey::from_bytes([2u8; 16]),
+        }
+        .seal(&identity, &mut rng);
+        assert_eq!(
+            UserRequest::open(&identity, &owner_payload),
+            Err(KeyServiceError::InvalidPayload)
+        );
+    }
+
+    #[test]
+    fn decode_rejects_unknown_tags_and_trailing_bytes() {
+        assert!(OwnerRequest::decode(&[9, 0, 0, 0, 0]).is_err());
+        assert!(OwnerRequest::decode(&[]).is_err());
+        let mut encoded = OwnerRequest::AddModelKey {
+            model: ModelId::new("m"),
+            model_key: AeadKey::from_bytes([0u8; 16]),
+        }
+        .encode();
+        encoded.push(0);
+        assert!(OwnerRequest::decode(&encoded).is_err());
+        assert!(UserRequest::decode(&[1]).is_err());
+    }
+}

@@ -1,0 +1,487 @@
+//! The platform controller (OpenWhisk's controller + load balancer).
+//!
+//! Scheduling policy, matching the behaviour the paper relies on:
+//!
+//! 1. If a warm container for the action has a free concurrency slot, reuse
+//!    it (preferring the most recently used one, which maximizes hot
+//!    invocations for SeMIRT).
+//! 2. Otherwise start a new container on a node, preferring nodes that
+//!    already host containers of the same action ("OpenWhisk ... preferably
+//!    launches instances of a function on the same machine", §VI-C), then
+//!    falling back to the node with the most free invoker memory.
+//! 3. If no node has enough free memory, report saturation; the caller
+//!    queues the request.
+//!
+//! Idle containers are reclaimed after the keep-alive window (Table V:
+//! 3 minutes).
+
+use crate::action::{ActionName, ActionSpec};
+use crate::config::PlatformConfig;
+use crate::error::PlatformError;
+use crate::sandbox::{Sandbox, SandboxId, SandboxState};
+use sesemi_sim::SimTime;
+use std::collections::HashMap;
+
+/// Identifier of an invoker node (index into the cluster's node list).
+pub type NodeId = usize;
+
+/// One invoker node's bookkeeping.
+#[derive(Clone, Debug)]
+struct InvokerNode {
+    memory_capacity: u64,
+    memory_used: u64,
+}
+
+/// Result of scheduling one invocation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum ScheduleOutcome {
+    /// The invocation was assigned to an existing warm (or already starting)
+    /// container.
+    Reused {
+        /// The chosen sandbox.
+        sandbox: SandboxId,
+        /// Whether that sandbox is still cold-starting (the invocation must
+        /// additionally wait for it to become ready).
+        still_starting: bool,
+    },
+    /// A new container was created for this invocation (cold start).
+    ColdStart {
+        /// The new sandbox.
+        sandbox: SandboxId,
+        /// The node it was placed on.
+        node: NodeId,
+    },
+}
+
+impl ScheduleOutcome {
+    /// The sandbox the invocation was assigned to.
+    #[must_use]
+    pub fn sandbox(&self) -> SandboxId {
+        match self {
+            ScheduleOutcome::Reused { sandbox, .. } | ScheduleOutcome::ColdStart { sandbox, .. } => {
+                *sandbox
+            }
+        }
+    }
+
+    /// Whether this outcome corresponds to a container cold start.
+    #[must_use]
+    pub fn is_cold_start(&self) -> bool {
+        matches!(self, ScheduleOutcome::ColdStart { .. })
+    }
+}
+
+/// The serverless platform controller.
+#[derive(Debug)]
+pub struct Controller {
+    config: PlatformConfig,
+    nodes: Vec<InvokerNode>,
+    actions: HashMap<ActionName, ActionSpec>,
+    sandboxes: HashMap<SandboxId, Sandbox>,
+    next_sandbox_id: u64,
+    total_cold_starts: u64,
+    total_invocations: u64,
+}
+
+impl Controller {
+    /// Creates a controller managing `node_count` identical invoker nodes.
+    #[must_use]
+    pub fn new(config: PlatformConfig, node_count: usize) -> Self {
+        assert!(node_count > 0, "a cluster needs at least one invoker");
+        let nodes = (0..node_count)
+            .map(|_| InvokerNode {
+                memory_capacity: config.invoker_memory_bytes,
+                memory_used: 0,
+            })
+            .collect();
+        Controller {
+            config,
+            nodes,
+            actions: HashMap::new(),
+            sandboxes: HashMap::new(),
+            next_sandbox_id: 0,
+            total_cold_starts: 0,
+            total_invocations: 0,
+        }
+    }
+
+    /// The platform configuration.
+    #[must_use]
+    pub fn config(&self) -> &PlatformConfig {
+        &self.config
+    }
+
+    /// Registers (deploys) an action.
+    pub fn register_action(&mut self, spec: ActionSpec) -> Result<(), PlatformError> {
+        if let Some(existing) = self.actions.get(&spec.name) {
+            if existing != &spec {
+                return Err(PlatformError::ActionAlreadyRegistered(
+                    spec.name.as_str().to_string(),
+                ));
+            }
+            return Ok(());
+        }
+        self.actions.insert(spec.name.clone(), spec);
+        Ok(())
+    }
+
+    /// Looks up a deployed action.
+    pub fn action(&self, name: &ActionName) -> Result<&ActionSpec, PlatformError> {
+        self.actions
+            .get(name)
+            .ok_or_else(|| PlatformError::UnknownAction(name.as_str().to_string()))
+    }
+
+    /// Schedules one invocation of `action` at time `now`.
+    pub fn schedule(
+        &mut self,
+        action: &ActionName,
+        now: SimTime,
+    ) -> Result<ScheduleOutcome, PlatformError> {
+        let spec = self
+            .actions
+            .get(action)
+            .ok_or_else(|| PlatformError::UnknownAction(action.as_str().to_string()))?
+            .clone();
+        self.total_invocations += 1;
+
+        // 1. Reuse the most-recently-used container with a free slot.
+        let candidate = self
+            .sandboxes
+            .values()
+            .filter(|s| s.action == spec.name && s.has_free_slot())
+            .max_by_key(|s| (s.last_used, s.id))
+            .map(|s| (s.id, s.state));
+        if let Some((id, state)) = candidate {
+            let sandbox = self.sandboxes.get_mut(&id).expect("candidate exists");
+            sandbox.assign(now);
+            return Ok(ScheduleOutcome::Reused {
+                sandbox: id,
+                still_starting: state == SandboxState::Starting,
+            });
+        }
+
+        // 2. Start a new container.
+        let node = self.pick_node(&spec)?;
+        let id = SandboxId(self.next_sandbox_id);
+        self.next_sandbox_id += 1;
+        self.nodes[node].memory_used += spec.memory_budget_bytes;
+        let mut sandbox = Sandbox::new(
+            id,
+            spec.name.clone(),
+            node,
+            spec.memory_budget_bytes,
+            spec.container_concurrency,
+            now,
+        );
+        sandbox.assign(now);
+        self.sandboxes.insert(id, sandbox);
+        self.total_cold_starts += 1;
+        Ok(ScheduleOutcome::ColdStart { sandbox: id, node })
+    }
+
+    fn pick_node(&self, spec: &ActionSpec) -> Result<NodeId, PlatformError> {
+        let fits = |node: &InvokerNode| {
+            node.memory_used + spec.memory_budget_bytes <= node.memory_capacity
+        };
+        // Prefer nodes already hosting this action (home-invoker affinity).
+        let mut home_nodes: Vec<NodeId> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.action == spec.name)
+            .map(|s| s.node)
+            .collect();
+        home_nodes.sort_unstable();
+        home_nodes.dedup();
+        for node in home_nodes {
+            if fits(&self.nodes[node]) {
+                return Ok(node);
+            }
+        }
+        // Otherwise the node with the most free memory.
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, node)| fits(node))
+            .max_by_key(|(_, node)| node.memory_capacity - node.memory_used)
+            .map(|(idx, _)| idx)
+            .ok_or(PlatformError::ClusterSaturated {
+                required_bytes: spec.memory_budget_bytes,
+            })
+    }
+
+    /// Marks a cold-started sandbox as ready to execute.
+    pub fn sandbox_ready(&mut self, id: SandboxId) -> Result<(), PlatformError> {
+        let sandbox = self
+            .sandboxes
+            .get_mut(&id)
+            .ok_or(PlatformError::UnknownSandbox(id.0))?;
+        sandbox.mark_running();
+        Ok(())
+    }
+
+    /// Marks one invocation on `id` as finished at `now`.
+    pub fn invocation_finished(&mut self, id: SandboxId, now: SimTime) -> Result<(), PlatformError> {
+        let sandbox = self
+            .sandboxes
+            .get_mut(&id)
+            .ok_or(PlatformError::UnknownSandbox(id.0))?;
+        if sandbox.is_idle() {
+            return Err(PlatformError::InvalidSandboxState {
+                sandbox: id.0,
+                reason: "no invocation in flight".to_string(),
+            });
+        }
+        sandbox.finish(now);
+        Ok(())
+    }
+
+    /// Reclaims idle containers whose keep-alive window expired; returns the
+    /// reclaimed sandbox ids.
+    pub fn evict_idle(&mut self, now: SimTime) -> Vec<SandboxId> {
+        let keep_alive = self.config.container_keep_alive;
+        let expired: Vec<SandboxId> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.keep_alive_expired(now, keep_alive))
+            .map(|s| s.id)
+            .collect();
+        for id in &expired {
+            if let Some(sandbox) = self.sandboxes.remove(id) {
+                self.nodes[sandbox.node].memory_used = self.nodes[sandbox.node]
+                    .memory_used
+                    .saturating_sub(sandbox.memory_bytes);
+            }
+        }
+        expired
+    }
+
+    /// Read access to a sandbox.
+    pub fn sandbox(&self, id: SandboxId) -> Result<&Sandbox, PlatformError> {
+        self.sandboxes
+            .get(&id)
+            .ok_or(PlatformError::UnknownSandbox(id.0))
+    }
+
+    /// All live sandboxes (any state).
+    #[must_use]
+    pub fn sandboxes(&self) -> impl Iterator<Item = &Sandbox> {
+        self.sandboxes.values()
+    }
+
+    /// Number of live sandboxes.
+    #[must_use]
+    pub fn sandbox_count(&self) -> usize {
+        self.sandboxes.len()
+    }
+
+    /// Number of sandboxes with at least one activation in flight.
+    #[must_use]
+    pub fn serving_sandbox_count(&self) -> usize {
+        self.sandboxes.values().filter(|s| !s.is_idle()).count()
+    }
+
+    /// Total memory committed to containers across the cluster.
+    #[must_use]
+    pub fn committed_memory_bytes(&self) -> u64 {
+        self.nodes.iter().map(|n| n.memory_used).sum()
+    }
+
+    /// Total cold starts since creation.
+    #[must_use]
+    pub fn cold_start_count(&self) -> u64 {
+        self.total_cold_starts
+    }
+
+    /// Total invocations scheduled since creation.
+    #[must_use]
+    pub fn invocation_count(&self) -> u64 {
+        self.total_invocations
+    }
+
+    /// Number of invoker nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesemi_sim::SimDuration;
+
+    const MB: u64 = 1024 * 1024;
+
+    fn controller(nodes: usize, invoker_memory_mb: u64) -> Controller {
+        let config = PlatformConfig::default().with_invoker_memory(invoker_memory_mb * MB);
+        Controller::new(config, nodes)
+    }
+
+    fn spec(name: &str, memory_mb: u64, concurrency: usize) -> ActionSpec {
+        ActionSpec::new(name, "sesemi/semirt", memory_mb * MB, concurrency)
+    }
+
+    #[test]
+    fn first_invocation_cold_starts_then_reuses() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("mbnet", 128, 1)).unwrap();
+        let first = c.schedule(&"mbnet".into(), SimTime::from_secs(1)).unwrap();
+        assert!(first.is_cold_start());
+        assert_eq!(c.cold_start_count(), 1);
+        c.sandbox_ready(first.sandbox()).unwrap();
+        c.invocation_finished(first.sandbox(), SimTime::from_secs(2)).unwrap();
+
+        let second = c.schedule(&"mbnet".into(), SimTime::from_secs(3)).unwrap();
+        assert_eq!(
+            second,
+            ScheduleOutcome::Reused {
+                sandbox: first.sandbox(),
+                still_starting: false
+            }
+        );
+        assert_eq!(c.cold_start_count(), 1);
+        assert_eq!(c.invocation_count(), 2);
+    }
+
+    #[test]
+    fn concurrency_slots_allow_multiple_in_flight_invocations() {
+        let mut c = controller(1, 2048);
+        c.register_action(spec("tvm-dsnet", 384, 4)).unwrap();
+        let first = c.schedule(&"tvm-dsnet".into(), SimTime::from_secs(1)).unwrap();
+        assert!(first.is_cold_start());
+        // Three more requests pack into the same container (4 TCS slots).
+        for _ in 0..3 {
+            let outcome = c.schedule(&"tvm-dsnet".into(), SimTime::from_secs(1)).unwrap();
+            assert_eq!(outcome.sandbox(), first.sandbox());
+        }
+        // The fifth needs a new container.
+        let fifth = c.schedule(&"tvm-dsnet".into(), SimTime::from_secs(1)).unwrap();
+        assert!(fifth.is_cold_start());
+        assert_eq!(c.sandbox_count(), 2);
+        assert_eq!(c.serving_sandbox_count(), 2);
+    }
+
+    #[test]
+    fn scheduling_prefers_nodes_already_hosting_the_action() {
+        let mut c = controller(3, 4096);
+        c.register_action(spec("rsnet", 768, 1)).unwrap();
+        c.register_action(spec("other", 768, 1)).unwrap();
+        let a = c.schedule(&"rsnet".into(), SimTime::from_secs(1)).unwrap();
+        let ScheduleOutcome::ColdStart { node: home, .. } = a else {
+            panic!("expected cold start")
+        };
+        // A different action may land anywhere; rsnet's next container should
+        // stay on its home node while memory allows.
+        let b = c.schedule(&"rsnet".into(), SimTime::from_secs(1)).unwrap();
+        let ScheduleOutcome::ColdStart { node, .. } = b else {
+            panic!("expected cold start")
+        };
+        assert_eq!(node, home);
+    }
+
+    #[test]
+    fn saturation_is_reported_when_no_node_fits() {
+        let mut c = controller(2, 256);
+        c.register_action(spec("big", 256, 1)).unwrap();
+        let _a = c.schedule(&"big".into(), SimTime::from_secs(1)).unwrap();
+        let _b = c.schedule(&"big".into(), SimTime::from_secs(1)).unwrap();
+        let err = c.schedule(&"big".into(), SimTime::from_secs(1)).unwrap_err();
+        assert!(matches!(err, PlatformError::ClusterSaturated { .. }));
+        assert_eq!(c.committed_memory_bytes(), 512 * MB);
+    }
+
+    #[test]
+    fn keep_alive_eviction_frees_memory() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        let outcome = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        c.sandbox_ready(outcome.sandbox()).unwrap();
+        c.invocation_finished(outcome.sandbox(), SimTime::from_secs(5)).unwrap();
+
+        // Before the keep-alive window nothing is evicted.
+        assert!(c.evict_idle(SimTime::from_secs(100)).is_empty());
+        assert_eq!(c.sandbox_count(), 1);
+        // After 3 minutes of idleness the container is reclaimed.
+        let evicted = c.evict_idle(SimTime::from_secs(5 + 181));
+        assert_eq!(evicted, vec![outcome.sandbox()]);
+        assert_eq!(c.sandbox_count(), 0);
+        assert_eq!(c.committed_memory_bytes(), 0);
+        assert!(c.sandbox(outcome.sandbox()).is_err());
+    }
+
+    #[test]
+    fn busy_containers_are_never_evicted() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 128, 1)).unwrap();
+        let outcome = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        assert!(c
+            .evict_idle(SimTime::from_secs(1) + SimDuration::from_secs(10_000))
+            .is_empty());
+        assert_eq!(c.sandbox(outcome.sandbox()).unwrap().active, 1);
+    }
+
+    #[test]
+    fn unknown_action_and_sandbox_errors() {
+        let mut c = controller(1, 1024);
+        assert!(matches!(
+            c.schedule(&"ghost".into(), SimTime::ZERO),
+            Err(PlatformError::UnknownAction(_))
+        ));
+        assert!(matches!(
+            c.invocation_finished(SandboxId(77), SimTime::ZERO),
+            Err(PlatformError::UnknownSandbox(77))
+        ));
+        assert!(matches!(
+            c.sandbox_ready(SandboxId(77)),
+            Err(PlatformError::UnknownSandbox(77))
+        ));
+        assert!(c.action(&"ghost".into()).is_err());
+    }
+
+    #[test]
+    fn finishing_an_idle_sandbox_is_an_error_not_a_panic() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 128, 1)).unwrap();
+        let outcome = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        c.invocation_finished(outcome.sandbox(), SimTime::from_secs(2)).unwrap();
+        let err = c
+            .invocation_finished(outcome.sandbox(), SimTime::from_secs(3))
+            .unwrap_err();
+        assert!(matches!(err, PlatformError::InvalidSandboxState { .. }));
+    }
+
+    #[test]
+    fn duplicate_registration_is_idempotent_but_conflicts_error() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 128, 1)).unwrap();
+        c.register_action(spec("f", 128, 1)).unwrap();
+        let err = c.register_action(spec("f", 256, 1)).unwrap_err();
+        assert!(matches!(err, PlatformError::ActionAlreadyRegistered(_)));
+    }
+
+    #[test]
+    fn reuse_reports_still_starting_containers() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 128, 2)).unwrap();
+        let first = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        // Second request arrives before the container finished cold starting.
+        let second = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        match second {
+            ScheduleOutcome::Reused {
+                sandbox,
+                still_starting,
+            } => {
+                assert_eq!(sandbox, first.sandbox());
+                assert!(still_starting);
+            }
+            other => panic!("expected reuse, got {other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one invoker")]
+    fn zero_nodes_rejected() {
+        let _ = Controller::new(PlatformConfig::default(), 0);
+    }
+}

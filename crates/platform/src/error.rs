@@ -1,0 +1,75 @@
+//! Error type for the serverless platform substrate.
+
+use std::fmt;
+
+/// Errors raised by the platform controller and storage.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PlatformError {
+    /// The action has not been registered with the controller.
+    UnknownAction(String),
+    /// The referenced sandbox does not exist (it may have been evicted).
+    UnknownSandbox(u64),
+    /// No invoker has enough free memory to start another container and no
+    /// warm container has a free slot; the request must wait.
+    ClusterSaturated {
+        /// Memory the container would have needed, in bytes.
+        required_bytes: u64,
+    },
+    /// The requested object is not in cloud storage.
+    ObjectNotFound(String),
+    /// An action was registered twice with conflicting specifications.
+    ActionAlreadyRegistered(String),
+    /// The sandbox is not in a state that allows the requested transition
+    /// (e.g. finishing an invocation on an idle sandbox).
+    InvalidSandboxState {
+        /// Sandbox id.
+        sandbox: u64,
+        /// Description of the violated expectation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for PlatformError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PlatformError::UnknownAction(name) => write!(f, "unknown action: {name}"),
+            PlatformError::UnknownSandbox(id) => write!(f, "unknown sandbox: {id}"),
+            PlatformError::ClusterSaturated { required_bytes } => write!(
+                f,
+                "cluster saturated: no node can host another {required_bytes}-byte container"
+            ),
+            PlatformError::ObjectNotFound(key) => write!(f, "object not found in storage: {key}"),
+            PlatformError::ActionAlreadyRegistered(name) => {
+                write!(f, "action already registered: {name}")
+            }
+            PlatformError::InvalidSandboxState { sandbox, reason } => {
+                write!(f, "invalid state for sandbox {sandbox}: {reason}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PlatformError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        assert!(PlatformError::UnknownAction("f".into())
+            .to_string()
+            .contains("f"));
+        assert!(PlatformError::ClusterSaturated {
+            required_bytes: 256
+        }
+        .to_string()
+        .contains("256"));
+        assert!(PlatformError::InvalidSandboxState {
+            sandbox: 3,
+            reason: "idle".into()
+        }
+        .to_string()
+        .contains("sandbox 3"));
+    }
+}

@@ -1,0 +1,43 @@
+//! # sesemi-platform
+//!
+//! An OpenWhisk-like serverless substrate.  SeSeMI is built *on top of* an
+//! unmodified serverless platform (the paper uses Apache OpenWhisk on
+//! Kubernetes); this crate reproduces the platform behaviours the evaluation
+//! depends on, as a deterministic state machine that the cluster simulator
+//! drives with virtual time:
+//!
+//! * **Actions** — deployed functions with a container image, a memory budget
+//!   (multiples of 128 MB, Table V) and a per-container concurrency limit
+//!   (SeMIRT's TCS count).
+//! * **Invoker nodes** — machines with a configurable invoker memory pool;
+//!   the controller schedules containers onto them by memory, preferring
+//!   nodes that already run containers of the same action (OpenWhisk's
+//!   home-invoker affinity, which the paper exploits in §VI-C).
+//! * **Sandboxes** — containers with cold-start latency, a keep-alive window
+//!   (3 minutes by default, Table V) after which idle containers are
+//!   reclaimed, and per-container concurrency slots.
+//! * **Cloud storage** — the object store that holds encrypted models and
+//!   function images, with a latency/bandwidth model matching the Azure Blob
+//!   numbers quoted in §VI-A.
+//! * **Metering** — GB·second accounting used for the cost results (Fig. 14).
+//!
+//! The crate knows nothing about SGX or models; `sesemi-runtime` and the
+//! top-level `sesemi` crate compose it with the enclave runtime.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod action;
+pub mod config;
+pub mod controller;
+pub mod error;
+pub mod metering;
+pub mod sandbox;
+pub mod storage;
+
+pub use action::{ActionName, ActionSpec, ActivationId, ActivationRecord};
+pub use config::PlatformConfig;
+pub use controller::{Controller, NodeId, ScheduleOutcome};
+pub use error::PlatformError;
+pub use sandbox::{Sandbox, SandboxId, SandboxState};
+pub use storage::{CloudStorage, StorageClass};

@@ -1,0 +1,161 @@
+//! Cost metering: GB·second accounting per action and cluster-wide memory /
+//! sandbox-count time series (the data behind Fig. 14).
+
+use crate::action::{ActionName, ActivationRecord};
+use sesemi_sim::{GbSecondMeter, SimTime, TimeSeries};
+use std::collections::HashMap;
+
+/// Collects the cost and utilization metrics the paper reports in §VI-C.
+#[derive(Debug, Default)]
+pub struct Metering {
+    per_action_gb_seconds: HashMap<ActionName, f64>,
+    cluster_memory: GbSecondMeter,
+    memory_series: TimeSeries,
+    sandbox_series: TimeSeries,
+    serving_series: TimeSeries,
+    activations: u64,
+    cold_starts: u64,
+}
+
+impl Metering {
+    /// Creates an empty meter.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a completed activation.
+    pub fn record_activation(&mut self, record: &ActivationRecord) {
+        self.activations += 1;
+        if record.cold_start {
+            self.cold_starts += 1;
+        }
+        *self
+            .per_action_gb_seconds
+            .entry(record.action.clone())
+            .or_insert(0.0) += record.gb_seconds();
+    }
+
+    /// Records the cluster state at `now`: total memory committed to
+    /// sandboxes, total sandbox count, and the number currently serving.
+    pub fn record_cluster_state(
+        &mut self,
+        now: SimTime,
+        committed_bytes: u64,
+        total_sandboxes: usize,
+        serving_sandboxes: usize,
+    ) {
+        self.cluster_memory.set_memory(now, committed_bytes);
+        self.memory_series
+            .record(now, committed_bytes as f64 / (1024.0 * 1024.0 * 1024.0));
+        self.sandbox_series.record(now, total_sandboxes as f64);
+        self.serving_series.record(now, serving_sandboxes as f64);
+    }
+
+    /// GB·seconds billed for one action (per-activation execution-time ×
+    /// memory metering).
+    #[must_use]
+    pub fn action_gb_seconds(&self, action: &ActionName) -> f64 {
+        self.per_action_gb_seconds.get(action).copied().unwrap_or(0.0)
+    }
+
+    /// Total GB·seconds across all actions.
+    #[must_use]
+    pub fn total_gb_seconds(&self) -> f64 {
+        self.per_action_gb_seconds.values().sum()
+    }
+
+    /// Cluster-level GB·seconds computed as the integral of committed sandbox
+    /// memory over time — the metric Fig. 14 reports ("the number of sandbox
+    /// instances times the memory budget", integrated over the workload).
+    #[must_use]
+    pub fn cluster_gb_seconds(&self, end: SimTime) -> f64 {
+        self.cluster_memory.clone().finish(end)
+    }
+
+    /// Memory (GB) over time.
+    #[must_use]
+    pub fn memory_series(&self) -> &TimeSeries {
+        &self.memory_series
+    }
+
+    /// Total sandbox count over time.
+    #[must_use]
+    pub fn sandbox_series(&self) -> &TimeSeries {
+        &self.sandbox_series
+    }
+
+    /// Actively-serving sandbox count over time.
+    #[must_use]
+    pub fn serving_series(&self) -> &TimeSeries {
+        &self.serving_series
+    }
+
+    /// Number of activations recorded.
+    #[must_use]
+    pub fn activation_count(&self) -> u64 {
+        self.activations
+    }
+
+    /// Number of activations that caused a cold start.
+    #[must_use]
+    pub fn cold_start_count(&self) -> u64 {
+        self.cold_starts
+    }
+
+    /// Peak committed memory observed, in bytes.
+    #[must_use]
+    pub fn peak_memory_bytes(&self) -> u64 {
+        self.cluster_memory.peak_bytes()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::action::ActivationId;
+
+    const GB: u64 = 1024 * 1024 * 1024;
+
+    fn record(action: &str, start_ms: u64, end_ms: u64, cold: bool, memory: u64) -> ActivationRecord {
+        ActivationRecord {
+            id: ActivationId(start_ms),
+            action: ActionName::new(action),
+            submitted_at: SimTime::from_millis(start_ms),
+            started_at: SimTime::from_millis(start_ms),
+            completed_at: SimTime::from_millis(end_ms),
+            cold_start: cold,
+            memory_budget_bytes: memory,
+        }
+    }
+
+    #[test]
+    fn per_action_and_total_gb_seconds() {
+        let mut metering = Metering::new();
+        metering.record_activation(&record("a", 0, 1_000, true, GB));
+        metering.record_activation(&record("a", 0, 2_000, false, GB));
+        metering.record_activation(&record("b", 0, 500, false, 2 * GB));
+        let a = metering.action_gb_seconds(&ActionName::new("a"));
+        let b = metering.action_gb_seconds(&ActionName::new("b"));
+        assert!((a - 3.0 * 1.073741824).abs() < 1e-6, "a = {a}");
+        assert!((b - 0.5 * 2.147483648).abs() < 1e-6, "b = {b}");
+        assert!((metering.total_gb_seconds() - a - b).abs() < 1e-9);
+        assert_eq!(metering.activation_count(), 3);
+        assert_eq!(metering.cold_start_count(), 1);
+        assert_eq!(metering.action_gb_seconds(&ActionName::new("missing")), 0.0);
+    }
+
+    #[test]
+    fn cluster_memory_integration() {
+        let mut metering = Metering::new();
+        metering.record_cluster_state(SimTime::ZERO, 2 * GB, 2, 1);
+        metering.record_cluster_state(SimTime::from_secs(10), 4 * GB, 4, 4);
+        let total = metering.cluster_gb_seconds(SimTime::from_secs(20));
+        // 2 GiB for 10 s + 4 GiB for 10 s = ~64.4 GB-s (GiB -> GB factor).
+        assert!((total - (2.147483648 * 10.0 + 4.294967296 * 10.0)).abs() < 1e-6);
+        assert_eq!(metering.peak_memory_bytes(), 4 * GB);
+        assert_eq!(metering.memory_series().len(), 2);
+        assert_eq!(metering.sandbox_series().len(), 2);
+        assert_eq!(metering.serving_series().len(), 2);
+    }
+}

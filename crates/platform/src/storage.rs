@@ -1,0 +1,184 @@
+//! Cloud object storage for encrypted models and function images.
+//!
+//! The paper stores encrypted models in cloud storage (a cluster NFS in the
+//! testbed, Azure Blob Storage in the cost discussion of §VI-A, which quotes
+//! ~180 ms / ~360 ms / ~2100 ms to download MBNET / DSNET / RSNET within the
+//! same region).  [`CloudStorage`] keeps the object bytes and charges a
+//! latency per `get` that reproduces those numbers.
+
+use crate::error::PlatformError;
+use sesemi_sim::SimDuration;
+use std::collections::HashMap;
+
+/// Where the objects physically live, which determines access latency.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum StorageClass {
+    /// Cluster-local network file system (the paper's testbed default).
+    ClusterNfs,
+    /// Same-region cloud object store (Azure Blob Storage numbers of §VI-A).
+    CloudSameRegion,
+}
+
+impl StorageClass {
+    /// Fixed per-request latency.
+    #[must_use]
+    pub fn base_latency(self) -> SimDuration {
+        match self {
+            StorageClass::ClusterNfs => SimDuration::from_millis(2),
+            StorageClass::CloudSameRegion => SimDuration::from_millis(40),
+        }
+    }
+
+    /// Sustained transfer bandwidth in bytes per second.
+    #[must_use]
+    pub fn bandwidth_bytes_per_sec(self) -> f64 {
+        match self {
+            // 10 Gbps cluster network.
+            StorageClass::ClusterNfs => 1.1e9,
+            // Calibrated so MBNET (17 MB) ≈ 180 ms, DSNET (44 MB) ≈ 360 ms,
+            // RSNET (170 MB) ≈ 2.1 s, matching §VI-A.
+            StorageClass::CloudSameRegion => 1.25e8,
+        }
+    }
+
+    /// Latency of transferring `bytes` bytes (request latency + transfer).
+    #[must_use]
+    pub fn transfer_latency(self, bytes: u64) -> SimDuration {
+        self.base_latency() + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec())
+    }
+}
+
+/// A simple key → bytes object store with latency accounting.
+#[derive(Debug, Default)]
+pub struct CloudStorage {
+    objects: HashMap<String, Vec<u8>>,
+    class: Option<StorageClass>,
+    gets: u64,
+    puts: u64,
+}
+
+impl CloudStorage {
+    /// Creates an empty store with the given storage class.
+    #[must_use]
+    pub fn new(class: StorageClass) -> Self {
+        CloudStorage {
+            objects: HashMap::new(),
+            class: Some(class),
+            gets: 0,
+            puts: 0,
+        }
+    }
+
+    /// The store's storage class.
+    #[must_use]
+    pub fn class(&self) -> StorageClass {
+        self.class.unwrap_or(StorageClass::ClusterNfs)
+    }
+
+    /// Uploads an object, returning the simulated upload latency.
+    pub fn put(&mut self, key: impl Into<String>, bytes: Vec<u8>) -> SimDuration {
+        self.puts += 1;
+        let latency = self.class().transfer_latency(bytes.len() as u64);
+        self.objects.insert(key.into(), bytes);
+        latency
+    }
+
+    /// Downloads an object, returning its bytes and the simulated download
+    /// latency.
+    pub fn get(&mut self, key: &str) -> Result<(Vec<u8>, SimDuration), PlatformError> {
+        self.gets += 1;
+        let bytes = self
+            .objects
+            .get(key)
+            .cloned()
+            .ok_or_else(|| PlatformError::ObjectNotFound(key.to_string()))?;
+        let latency = self.class().transfer_latency(bytes.len() as u64);
+        Ok((bytes, latency))
+    }
+
+    /// Latency of downloading `bytes` without materializing an object (used
+    /// by the simulator for full-size models that are never actually stored).
+    #[must_use]
+    pub fn download_latency(&self, bytes: u64) -> SimDuration {
+        self.class().transfer_latency(bytes)
+    }
+
+    /// Whether an object exists.
+    #[must_use]
+    pub fn contains(&self, key: &str) -> bool {
+        self.objects.contains_key(key)
+    }
+
+    /// Total size of all stored objects.
+    #[must_use]
+    pub fn total_bytes(&self) -> u64 {
+        self.objects.values().map(|v| v.len() as u64).sum()
+    }
+
+    /// Number of `get` requests served.
+    #[must_use]
+    pub fn get_count(&self) -> u64 {
+        self.gets
+    }
+
+    /// Number of `put` requests served.
+    #[must_use]
+    pub fn put_count(&self) -> u64 {
+        self.puts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const MB: u64 = 1024 * 1024;
+
+    #[test]
+    fn put_get_roundtrip_and_counters() {
+        let mut storage = CloudStorage::new(StorageClass::ClusterNfs);
+        storage.put("models/mbnet.enc", vec![1, 2, 3]);
+        assert!(storage.contains("models/mbnet.enc"));
+        let (bytes, latency) = storage.get("models/mbnet.enc").unwrap();
+        assert_eq!(bytes, vec![1, 2, 3]);
+        assert!(latency > SimDuration::ZERO);
+        assert_eq!(storage.get_count(), 1);
+        assert_eq!(storage.put_count(), 1);
+        assert_eq!(storage.total_bytes(), 3);
+    }
+
+    #[test]
+    fn missing_objects_error() {
+        let mut storage = CloudStorage::new(StorageClass::ClusterNfs);
+        assert!(matches!(
+            storage.get("nope"),
+            Err(PlatformError::ObjectNotFound(_))
+        ));
+    }
+
+    #[test]
+    fn cloud_latencies_match_section_6a_quotes() {
+        // §VI-A: MBNET ≈ 180 ms, DSNET ≈ 360 ms, RSNET ≈ 2100 ms on Azure
+        // Blob Storage in the same region.
+        let class = StorageClass::CloudSameRegion;
+        let mbnet = class.transfer_latency(17 * MB).as_millis_f64();
+        let dsnet = class.transfer_latency(44 * MB).as_millis_f64();
+        let rsnet = class.transfer_latency(170 * MB).as_millis_f64();
+        assert!((140.0..230.0).contains(&mbnet), "mbnet {mbnet}ms");
+        assert!((300.0..450.0).contains(&dsnet), "dsnet {dsnet}ms");
+        assert!((1_400.0..2_400.0).contains(&rsnet), "rsnet {rsnet}ms");
+    }
+
+    #[test]
+    fn nfs_is_much_faster_than_cloud() {
+        let nfs = StorageClass::ClusterNfs.transfer_latency(170 * MB);
+        let cloud = StorageClass::CloudSameRegion.transfer_latency(170 * MB);
+        assert!(nfs.as_secs_f64() * 5.0 < cloud.as_secs_f64());
+    }
+
+    #[test]
+    fn download_latency_scales_with_size() {
+        let storage = CloudStorage::new(StorageClass::CloudSameRegion);
+        assert!(storage.download_latency(10 * MB) < storage.download_latency(100 * MB));
+    }
+}

@@ -1,0 +1,43 @@
+//! # sesemi-sim
+//!
+//! A small discrete-event simulation toolkit used to reproduce the cluster
+//! experiments of the SeSeMI paper (Figs. 11–14, Tables II–IV) without an
+//! 11-node SGX cluster.
+//!
+//! The toolkit is deliberately generic: it provides a virtual clock
+//! ([`SimTime`] / [`SimDuration`]), a deterministic event queue
+//! ([`EventQueue`]), seeded random-number helpers ([`SimRng`]) and metric
+//! sinks ([`metrics::LatencyStats`], [`metrics::TimeSeries`],
+//! [`metrics::GbSecondMeter`]).  The actual cluster model — invokers,
+//! sandboxes, enclaves, FnPacker — lives in the higher-level crates and is
+//! driven as an ordinary state machine by popping events from the queue.
+//!
+//! Everything is deterministic given a seed, so every figure and table in
+//! EXPERIMENTS.md can be regenerated exactly.
+//!
+//! ```
+//! use sesemi_sim::{EventQueue, SimDuration, SimTime};
+//!
+//! #[derive(Debug, PartialEq)]
+//! enum Ev { RequestArrived(u32) }
+//!
+//! let mut queue = EventQueue::new();
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(5), Ev::RequestArrived(1));
+//! queue.push(SimTime::ZERO + SimDuration::from_millis(2), Ev::RequestArrived(2));
+//! let (t, ev) = queue.pop().unwrap();
+//! assert_eq!(t, SimTime::from_millis(2));
+//! assert_eq!(ev, Ev::RequestArrived(2));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod metrics;
+pub mod queue;
+pub mod rng;
+pub mod time;
+
+pub use metrics::{GbSecondMeter, LatencyStats, TimeSeries};
+pub use queue::EventQueue;
+pub use rng::SimRng;
+pub use time::{SimDuration, SimTime};

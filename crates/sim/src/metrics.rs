@@ -1,0 +1,389 @@
+//! Metric sinks used by the experiment harness.
+//!
+//! Three collectors cover everything the paper reports:
+//!
+//! * [`LatencyStats`] — per-request latencies with mean / percentile queries
+//!   (Figs. 9, 11, 12, 13, Tables II–IV).
+//! * [`TimeSeries`] — values sampled over simulated time, with windowed
+//!   averaging (Fig. 13's latency-over-time curves, Fig. 14's sandbox and
+//!   memory curves).
+//! * [`GbSecondMeter`] — the GB·second cost integral used for the serverless
+//!   cost comparison in §VI-C.
+
+use crate::time::{SimDuration, SimTime};
+
+/// Collects duration samples and answers mean / percentile queries.
+#[derive(Clone, Debug, Default)]
+pub struct LatencyStats {
+    samples: Vec<SimDuration>,
+}
+
+impl LatencyStats {
+    /// Creates an empty collector.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one latency sample.
+    pub fn record(&mut self, latency: SimDuration) {
+        self.samples.push(latency);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Whether no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Arithmetic mean, or zero if empty.
+    #[must_use]
+    pub fn mean(&self) -> SimDuration {
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let total: u64 = self.samples.iter().map(|d| d.as_nanos()).sum();
+        SimDuration::from_nanos(total / self.samples.len() as u64)
+    }
+
+    /// The `q`-quantile (0.0 ..= 1.0) using nearest-rank interpolation, or
+    /// zero if empty.
+    #[must_use]
+    pub fn percentile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
+        if self.samples.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.samples.clone();
+        sorted.sort_unstable();
+        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
+        sorted[rank.min(sorted.len() - 1)]
+    }
+
+    /// Median latency.
+    #[must_use]
+    pub fn p50(&self) -> SimDuration {
+        self.percentile(0.50)
+    }
+
+    /// 95th-percentile latency (the paper's headline metric for Fig. 12).
+    #[must_use]
+    pub fn p95(&self) -> SimDuration {
+        self.percentile(0.95)
+    }
+
+    /// 99th-percentile latency.
+    #[must_use]
+    pub fn p99(&self) -> SimDuration {
+        self.percentile(0.99)
+    }
+
+    /// Maximum latency, or zero if empty.
+    #[must_use]
+    pub fn max(&self) -> SimDuration {
+        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Minimum latency, or zero if empty.
+    #[must_use]
+    pub fn min(&self) -> SimDuration {
+        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+    }
+
+    /// Merges another collector's samples into this one.
+    pub fn merge(&mut self, other: &LatencyStats) {
+        self.samples.extend_from_slice(&other.samples);
+    }
+
+    /// Read-only access to the raw samples.
+    #[must_use]
+    pub fn samples(&self) -> &[SimDuration] {
+        &self.samples
+    }
+}
+
+/// A `(time, value)` series with helpers for windowed averaging, used to plot
+/// curves over the workload duration.
+#[derive(Clone, Debug, Default)]
+pub struct TimeSeries {
+    points: Vec<(SimTime, f64)>,
+}
+
+impl TimeSeries {
+    /// Creates an empty series.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Appends a point.  Points may be appended out of order; queries sort a
+    /// copy internally.
+    pub fn record(&mut self, at: SimTime, value: f64) {
+        self.points.push((at, value));
+    }
+
+    /// Number of points.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Raw points.
+    #[must_use]
+    pub fn points(&self) -> &[(SimTime, f64)] {
+        &self.points
+    }
+
+    /// Buckets the series into windows of `window` length starting at time
+    /// zero and returns `(window_start, mean_value)` for every non-empty
+    /// window.  This is how the "average latency over time" curves of Fig. 13
+    /// are produced.
+    #[must_use]
+    pub fn windowed_mean(&self, window: SimDuration) -> Vec<(SimTime, f64)> {
+        assert!(window > SimDuration::ZERO, "window must be positive");
+        if self.points.is_empty() {
+            return Vec::new();
+        }
+        let mut sorted = self.points.clone();
+        sorted.sort_by_key(|(t, _)| *t);
+        let mut out = Vec::new();
+        let mut window_start = SimTime::ZERO;
+        let mut sum = 0.0;
+        let mut count = 0usize;
+        for (t, v) in sorted {
+            while t >= window_start + window {
+                if count > 0 {
+                    out.push((window_start, sum / count as f64));
+                }
+                window_start += window;
+                sum = 0.0;
+                count = 0;
+            }
+            sum += v;
+            count += 1;
+        }
+        if count > 0 {
+            out.push((window_start, sum / count as f64));
+        }
+        out
+    }
+
+    /// Maximum value over the series, or 0.0 if empty.
+    #[must_use]
+    pub fn max_value(&self) -> f64 {
+        self.points.iter().map(|(_, v)| *v).fold(0.0, f64::max)
+    }
+
+    /// Mean value over the series, or 0.0 if empty.
+    #[must_use]
+    pub fn mean_value(&self) -> f64 {
+        if self.points.is_empty() {
+            return 0.0;
+        }
+        self.points.iter().map(|(_, v)| *v).sum::<f64>() / self.points.len() as f64
+    }
+}
+
+/// Integrates memory consumption over time to produce the GB·second cost
+/// metric used by serverless platforms ("the integral of enclave memory
+/// consumption over the workload duration", §VI-C).
+#[derive(Clone, Debug)]
+pub struct GbSecondMeter {
+    last_update: SimTime,
+    current_bytes: u64,
+    accumulated_gb_seconds: f64,
+    peak_bytes: u64,
+}
+
+impl Default for GbSecondMeter {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl GbSecondMeter {
+    /// Creates a meter starting at time zero with zero allocated memory.
+    #[must_use]
+    pub fn new() -> Self {
+        GbSecondMeter {
+            last_update: SimTime::ZERO,
+            current_bytes: 0,
+            accumulated_gb_seconds: 0.0,
+            peak_bytes: 0,
+        }
+    }
+
+    fn integrate_to(&mut self, now: SimTime) {
+        let elapsed = now.duration_since(self.last_update).as_secs_f64();
+        self.accumulated_gb_seconds += self.current_bytes as f64 / 1e9 * elapsed;
+        self.last_update = now;
+    }
+
+    /// Records that total memory changed to `bytes` at time `now`.
+    pub fn set_memory(&mut self, now: SimTime, bytes: u64) {
+        self.integrate_to(now);
+        self.current_bytes = bytes;
+        self.peak_bytes = self.peak_bytes.max(bytes);
+    }
+
+    /// Adds `bytes` to the tracked total at time `now`.
+    pub fn add_memory(&mut self, now: SimTime, bytes: u64) {
+        let new_total = self.current_bytes + bytes;
+        self.set_memory(now, new_total);
+    }
+
+    /// Releases `bytes` from the tracked total at time `now`.
+    pub fn release_memory(&mut self, now: SimTime, bytes: u64) {
+        let new_total = self.current_bytes.saturating_sub(bytes);
+        self.set_memory(now, new_total);
+    }
+
+    /// Finalizes the integral at time `now` and returns GB·seconds.
+    #[must_use]
+    pub fn finish(mut self, now: SimTime) -> f64 {
+        self.integrate_to(now);
+        self.accumulated_gb_seconds
+    }
+
+    /// The GB·second integral accumulated so far (without finalizing).
+    #[must_use]
+    pub fn accumulated(&self) -> f64 {
+        self.accumulated_gb_seconds
+    }
+
+    /// Currently tracked memory in bytes.
+    #[must_use]
+    pub fn current_bytes(&self) -> u64 {
+        self.current_bytes
+    }
+
+    /// Peak tracked memory in bytes.
+    #[must_use]
+    pub fn peak_bytes(&self) -> u64 {
+        self.peak_bytes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn latency_stats_basic_queries() {
+        let mut stats = LatencyStats::new();
+        for ms in [10u64, 20, 30, 40, 50, 60, 70, 80, 90, 100] {
+            stats.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(stats.count(), 10);
+        assert_eq!(stats.mean(), SimDuration::from_millis(55));
+        assert_eq!(stats.min(), SimDuration::from_millis(10));
+        assert_eq!(stats.max(), SimDuration::from_millis(100));
+        // Nearest-rank on 10 samples: rank round(4.5) = 5 -> the 6th sample.
+        assert_eq!(stats.p50(), SimDuration::from_millis(60));
+        assert!(stats.p95() >= SimDuration::from_millis(90));
+    }
+
+    #[test]
+    fn empty_stats_return_zero() {
+        let stats = LatencyStats::new();
+        assert!(stats.is_empty());
+        assert_eq!(stats.mean(), SimDuration::ZERO);
+        assert_eq!(stats.p95(), SimDuration::ZERO);
+        assert_eq!(stats.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn merge_combines_samples() {
+        let mut a = LatencyStats::new();
+        a.record(SimDuration::from_millis(10));
+        let mut b = LatencyStats::new();
+        b.record(SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.count(), 2);
+        assert_eq!(a.mean(), SimDuration::from_millis(20));
+    }
+
+    #[test]
+    fn windowed_mean_buckets_correctly() {
+        let mut series = TimeSeries::new();
+        series.record(SimTime::from_secs(0), 1.0);
+        series.record(SimTime::from_secs(1), 3.0);
+        series.record(SimTime::from_secs(5), 10.0);
+        let windows = series.windowed_mean(SimDuration::from_secs(2));
+        assert_eq!(windows.len(), 2);
+        assert_eq!(windows[0], (SimTime::ZERO, 2.0));
+        assert_eq!(windows[1], (SimTime::from_secs(4), 10.0));
+        assert_eq!(series.max_value(), 10.0);
+        assert!((series.mean_value() - 14.0 / 3.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn windowed_mean_handles_out_of_order_points() {
+        let mut series = TimeSeries::new();
+        series.record(SimTime::from_secs(5), 10.0);
+        series.record(SimTime::from_secs(0), 2.0);
+        let windows = series.windowed_mean(SimDuration::from_secs(10));
+        assert_eq!(windows, vec![(SimTime::ZERO, 6.0)]);
+    }
+
+    #[test]
+    fn gb_second_meter_integrates_rectangles() {
+        let mut meter = GbSecondMeter::new();
+        // 1 GB held for 10 seconds, then 2 GB for 5 seconds = 20 GB-s.
+        meter.set_memory(SimTime::ZERO, 1_000_000_000);
+        meter.set_memory(SimTime::from_secs(10), 2_000_000_000);
+        assert_eq!(meter.current_bytes(), 2_000_000_000);
+        let total = meter.finish(SimTime::from_secs(15));
+        assert!((total - 20.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn gb_second_meter_add_release_and_peak() {
+        let mut meter = GbSecondMeter::new();
+        meter.add_memory(SimTime::ZERO, 500_000_000);
+        meter.add_memory(SimTime::from_secs(2), 500_000_000);
+        meter.release_memory(SimTime::from_secs(4), 1_000_000_000);
+        assert_eq!(meter.peak_bytes(), 1_000_000_000);
+        assert_eq!(meter.current_bytes(), 0);
+        // 0.5 GB * 2s + 1 GB * 2s = 3 GB-s
+        let total = meter.finish(SimTime::from_secs(10));
+        assert!((total - 3.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn release_more_than_held_saturates_at_zero() {
+        let mut meter = GbSecondMeter::new();
+        meter.add_memory(SimTime::ZERO, 100);
+        meter.release_memory(SimTime::from_secs(1), 1_000);
+        assert_eq!(meter.current_bytes(), 0);
+    }
+
+    proptest! {
+        #[test]
+        fn percentiles_are_monotone(samples in proptest::collection::vec(0u64..1_000_000, 1..100)) {
+            let mut stats = LatencyStats::new();
+            for s in &samples {
+                stats.record(SimDuration::from_nanos(*s));
+            }
+            prop_assert!(stats.p50() <= stats.p95());
+            prop_assert!(stats.p95() <= stats.p99());
+            prop_assert!(stats.p99() <= stats.max());
+            prop_assert!(stats.min() <= stats.p50());
+            prop_assert!(stats.mean() <= stats.max());
+            prop_assert!(stats.mean() >= stats.min());
+        }
+    }
+}

@@ -1,0 +1,222 @@
+//! Deterministic randomness and the distributions used by the workload
+//! generators (exponential inter-arrival times, uniform jitter, categorical
+//! model selection).
+
+use crate::time::SimDuration;
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore, SeedableRng};
+
+/// A seeded random-number generator for simulations.
+///
+/// Wraps [`rand::rngs::StdRng`] and adds the distribution helpers the SeSeMI
+/// experiments need.  Two `SimRng`s created with the same seed produce the
+/// same stream, which is what makes every figure reproducible.
+#[derive(Clone, Debug)]
+pub struct SimRng {
+    inner: StdRng,
+}
+
+impl SimRng {
+    /// Creates a generator from an experiment seed.
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Self {
+        SimRng {
+            inner: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// Derives an independent child generator, e.g. one per workload stream,
+    /// so adding a stream does not perturb the others.
+    #[must_use]
+    pub fn derive(&mut self, label: &str) -> SimRng {
+        let mut seed = self.inner.gen::<u64>();
+        for (i, byte) in label.bytes().enumerate() {
+            seed = seed
+                .rotate_left(7)
+                .wrapping_add(byte as u64)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15 ^ (i as u64 + 1));
+        }
+        SimRng::seed_from_u64(seed)
+    }
+
+    /// Uniform float in `[0, 1)`.
+    pub fn unit(&mut self) -> f64 {
+        self.inner.gen::<f64>()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        self.inner.gen_range(0..n)
+    }
+
+    /// Uniform float in `[low, high)`.
+    pub fn uniform(&mut self, low: f64, high: f64) -> f64 {
+        assert!(high >= low, "uniform range inverted");
+        if high == low {
+            return low;
+        }
+        self.inner.gen_range(low..high)
+    }
+
+    /// Samples an exponential random variable with the given rate (events per
+    /// second) and returns it as a duration — the inter-arrival time of a
+    /// Poisson process.
+    ///
+    /// # Panics
+    /// Panics if `rate_per_sec` is not strictly positive.
+    pub fn exponential(&mut self, rate_per_sec: f64) -> SimDuration {
+        assert!(
+            rate_per_sec > 0.0 && rate_per_sec.is_finite(),
+            "rate must be positive"
+        );
+        // Inverse-CDF sampling; guard against u == 0.
+        let mut u = self.unit();
+        if u <= f64::MIN_POSITIVE {
+            u = f64::MIN_POSITIVE;
+        }
+        let secs = -u.ln() / rate_per_sec;
+        SimDuration::from_secs_f64(secs)
+    }
+
+    /// Bernoulli trial with success probability `p` (clamped to `[0,1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        let p = p.clamp(0.0, 1.0);
+        self.unit() < p
+    }
+
+    /// Chooses an index according to the (non-negative, not necessarily
+    /// normalized) weights.
+    ///
+    /// # Panics
+    /// Panics if `weights` is empty or sums to zero.
+    pub fn weighted_choice(&mut self, weights: &[f64]) -> usize {
+        assert!(!weights.is_empty(), "weighted_choice needs weights");
+        let total: f64 = weights.iter().sum();
+        assert!(total > 0.0, "weights must not all be zero");
+        let mut target = self.unit() * total;
+        for (i, w) in weights.iter().enumerate() {
+            if target < *w {
+                return i;
+            }
+            target -= w;
+        }
+        weights.len() - 1
+    }
+
+    /// Normally-distributed sample (Box–Muller), used for latency jitter.
+    pub fn normal(&mut self, mean: f64, std_dev: f64) -> f64 {
+        assert!(std_dev >= 0.0, "standard deviation must be non-negative");
+        let u1 = self.unit().max(f64::MIN_POSITIVE);
+        let u2 = self.unit();
+        let z = (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos();
+        mean + std_dev * z
+    }
+}
+
+impl RngCore for SimRng {
+    fn next_u32(&mut self) -> u32 {
+        self.inner.next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.inner.next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        self.inner.fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), rand::Error> {
+        self.inner.try_fill_bytes(dest)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_seed_same_stream() {
+        let mut a = SimRng::seed_from_u64(11);
+        let mut b = SimRng::seed_from_u64(11);
+        for _ in 0..50 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn derived_streams_are_label_dependent() {
+        let mut parent1 = SimRng::seed_from_u64(5);
+        let mut parent2 = SimRng::seed_from_u64(5);
+        let mut child_a = parent1.derive("poisson-m0");
+        let mut child_b = parent2.derive("poisson-m1");
+        // Different labels at the same parent state should decorrelate.
+        let same = (0..10).all(|_| child_a.next_u64() == child_b.next_u64());
+        assert!(!same);
+    }
+
+    #[test]
+    fn exponential_mean_is_close_to_reciprocal_rate() {
+        let mut rng = SimRng::seed_from_u64(3);
+        let rate = 25.0; // 25 requests per second -> mean 40ms
+        let n = 20_000;
+        let total: f64 = (0..n).map(|_| rng.exponential(rate).as_secs_f64()).sum();
+        let mean = total / n as f64;
+        assert!((mean - 1.0 / rate).abs() < 0.003, "mean was {mean}");
+    }
+
+    #[test]
+    fn weighted_choice_respects_weights() {
+        let mut rng = SimRng::seed_from_u64(9);
+        let weights = [1.0, 0.0, 3.0];
+        let mut counts = [0usize; 3];
+        for _ in 0..10_000 {
+            counts[rng.weighted_choice(&weights)] += 1;
+        }
+        assert_eq!(counts[1], 0);
+        let ratio = counts[2] as f64 / counts[0] as f64;
+        assert!((ratio - 3.0).abs() < 0.5, "ratio was {ratio}");
+    }
+
+    #[test]
+    fn uniform_and_below_stay_in_range() {
+        let mut rng = SimRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let x = rng.uniform(2.0, 3.0);
+            assert!((2.0..3.0).contains(&x));
+            assert!(rng.below(7) < 7);
+        }
+        assert_eq!(rng.uniform(5.0, 5.0), 5.0);
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = SimRng::seed_from_u64(2);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+
+    #[test]
+    fn normal_has_roughly_correct_moments() {
+        let mut rng = SimRng::seed_from_u64(4);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| rng.normal(10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!((mean - 10.0).abs() < 0.1, "mean {mean}");
+        assert!((var - 4.0).abs() < 0.3, "var {var}");
+    }
+
+    #[test]
+    #[should_panic(expected = "rate must be positive")]
+    fn exponential_rejects_zero_rate() {
+        SimRng::seed_from_u64(0).exponential(0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "below(0)")]
+    fn below_zero_panics() {
+        SimRng::seed_from_u64(0).below(0);
+    }
+}

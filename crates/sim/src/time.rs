@@ -1,0 +1,349 @@
+//! Virtual time: a nanosecond-resolution simulated clock.
+//!
+//! All cluster-scale experiments run against virtual time so an 800-second
+//! MMPP workload (Fig. 13) replays in milliseconds of wall time.  The types
+//! intentionally mirror `std::time::{Instant, Duration}` arithmetic so the
+//! rest of the workspace reads naturally.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Sub};
+
+/// A point in simulated time, measured in nanoseconds since the start of the
+/// simulation.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimTime {
+    nanos: u64,
+}
+
+/// A span of simulated time.
+#[derive(Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SimDuration {
+    nanos: u64,
+}
+
+impl SimTime {
+    /// The start of the simulation.
+    pub const ZERO: SimTime = SimTime { nanos: 0 };
+
+    /// Builds a time point from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimTime { nanos }
+    }
+
+    /// Builds a time point from microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimTime { nanos: micros * 1_000 }
+    }
+
+    /// Builds a time point from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimTime { nanos: millis * 1_000_000 }
+    }
+
+    /// Builds a time point from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimTime { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Builds a time point from fractional seconds.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "time must be non-negative");
+        SimTime {
+            nanos: (secs * 1e9).round() as u64,
+        }
+    }
+
+    /// Raw nanoseconds since simulation start.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Seconds since simulation start as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Duration elapsed since `earlier`; saturates at zero if `earlier` is in
+    /// the future.
+    #[must_use]
+    pub fn duration_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos.saturating_sub(earlier.nanos),
+        }
+    }
+}
+
+impl SimDuration {
+    /// A zero-length duration.
+    pub const ZERO: SimDuration = SimDuration { nanos: 0 };
+
+    /// Builds a duration from raw nanoseconds.
+    #[must_use]
+    pub const fn from_nanos(nanos: u64) -> Self {
+        SimDuration { nanos }
+    }
+
+    /// Builds a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(micros: u64) -> Self {
+        SimDuration { nanos: micros * 1_000 }
+    }
+
+    /// Builds a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(millis: u64) -> Self {
+        SimDuration { nanos: millis * 1_000_000 }
+    }
+
+    /// Builds a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(secs: u64) -> Self {
+        SimDuration { nanos: secs * 1_000_000_000 }
+    }
+
+    /// Builds a duration from fractional seconds.
+    ///
+    /// # Panics
+    /// Panics if `secs` is negative, NaN or infinite.
+    #[must_use]
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative");
+        SimDuration {
+            nanos: (secs * 1e9).round() as u64,
+        }
+    }
+
+    /// Builds a duration from fractional milliseconds.
+    #[must_use]
+    pub fn from_millis_f64(millis: f64) -> Self {
+        Self::from_secs_f64(millis / 1e3)
+    }
+
+    /// Raw nanoseconds.
+    #[must_use]
+    pub const fn as_nanos(self) -> u64 {
+        self.nanos
+    }
+
+    /// Whole milliseconds (truncated).
+    #[must_use]
+    pub const fn as_millis(self) -> u64 {
+        self.nanos / 1_000_000
+    }
+
+    /// Seconds as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.nanos as f64 / 1e9
+    }
+
+    /// Milliseconds as a float.
+    #[must_use]
+    pub fn as_millis_f64(self) -> f64 {
+        self.nanos as f64 / 1e6
+    }
+
+    /// Saturating subtraction.
+    #[must_use]
+    pub fn saturating_sub(self, other: SimDuration) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos.saturating_sub(other.nanos),
+        }
+    }
+
+    /// Multiplies the duration by a non-negative float factor.
+    #[must_use]
+    pub fn mul_f64(self, factor: f64) -> SimDuration {
+        assert!(factor >= 0.0 && factor.is_finite(), "factor must be non-negative");
+        SimDuration {
+            nanos: (self.nanos as f64 * factor).round() as u64,
+        }
+    }
+
+    /// Returns the larger of two durations.
+    #[must_use]
+    pub fn max(self, other: SimDuration) -> SimDuration {
+        if self.nanos >= other.nanos {
+            self
+        } else {
+            other
+        }
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub<SimTime> for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        self.duration_since(rhs)
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos + rhs.nanos,
+        }
+    }
+}
+
+impl AddAssign for SimDuration {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        self.nanos += rhs.nanos;
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration {
+            nanos: self
+                .nanos
+                .checked_sub(rhs.nanos)
+                .expect("SimDuration subtraction underflow"),
+        }
+    }
+}
+
+impl Mul<u64> for SimDuration {
+    type Output = SimDuration;
+    fn mul(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos * rhs,
+        }
+    }
+}
+
+impl Div<u64> for SimDuration {
+    type Output = SimDuration;
+    fn div(self, rhs: u64) -> SimDuration {
+        SimDuration {
+            nanos: self.nanos / rhs,
+        }
+    }
+}
+
+impl fmt::Debug for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "t={:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Debug for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.nanos >= 1_000_000_000 {
+            write!(f, "{:.2}s", self.as_secs_f64())
+        } else {
+            write!(f, "{:.2}ms", self.as_millis_f64())
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn constructors_agree() {
+        assert_eq!(SimDuration::from_secs(2), SimDuration::from_millis(2000));
+        assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
+        assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
+        assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
+        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1500));
+    }
+
+    #[test]
+    fn arithmetic_behaves_like_instants() {
+        let start = SimTime::from_millis(100);
+        let later = start + SimDuration::from_millis(50);
+        assert_eq!(later - start, SimDuration::from_millis(50));
+        assert_eq!(start - later, SimDuration::ZERO); // saturating
+        let mut t = start;
+        t += SimDuration::from_secs(1);
+        assert_eq!(t, SimTime::from_millis(1100));
+    }
+
+    #[test]
+    fn duration_scaling() {
+        let d = SimDuration::from_millis(10);
+        assert_eq!(d * 3, SimDuration::from_millis(30));
+        assert_eq!(d / 2, SimDuration::from_millis(5));
+        assert_eq!(d.mul_f64(2.5), SimDuration::from_millis(25));
+        assert_eq!(d.max(SimDuration::from_millis(4)), d);
+        assert_eq!(SimDuration::from_millis(4).max(d), d);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(SimDuration::from_millis(1500).to_string(), "1.50s");
+        assert_eq!(SimDuration::from_micros(2500).to_string(), "2.50ms");
+        assert_eq!(SimTime::from_millis(1234).to_string(), "1.234s");
+    }
+
+    #[test]
+    #[should_panic(expected = "underflow")]
+    fn duration_subtraction_underflow_panics() {
+        let _ = SimDuration::from_millis(1) - SimDuration::from_millis(2);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_duration_rejected() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    proptest! {
+        #[test]
+        fn roundtrip_secs_f64(nanos in 0u64..10_000_000_000_000) {
+            let d = SimDuration::from_nanos(nanos);
+            let back = SimDuration::from_secs_f64(d.as_secs_f64());
+            // f64 has 53 bits of mantissa, so round-tripping is exact only up
+            // to ~2^53 ns; allow 1us slack.
+            let diff = back.as_nanos().abs_diff(d.as_nanos());
+            prop_assert!(diff < 1_000, "diff = {diff}");
+        }
+
+        #[test]
+        fn add_then_subtract_is_identity(a in 0u64..u32::MAX as u64, b in 0u64..u32::MAX as u64) {
+            let t = SimTime::from_nanos(a);
+            let d = SimDuration::from_nanos(b);
+            prop_assert_eq!((t + d) - t, d);
+        }
+    }
+}

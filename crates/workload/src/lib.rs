@@ -1,0 +1,23 @@
+//! # sesemi-workload
+//!
+//! Workload generators for the SeSeMI experiments.  The paper evaluates with
+//! three traffic shapes:
+//!
+//! * fixed-rate open-loop streams for the single-node throughput sweeps
+//!   (Fig. 12);
+//! * a **Markov-modulated Poisson process** (MMPP) alternating between mean
+//!   rates of 20 and 40 requests/s for the multi-node experiments (Fig. 13);
+//! * a multi-model mix of **Poisson streams** for popular models plus
+//!   **interactive sessions** that query a set of models one after another
+//!   (MLPerf-style, Tables III/IV).
+//!
+//! All generators are deterministic given a [`SimRng`] seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arrivals;
+pub mod interactive;
+
+pub use arrivals::{ArrivalProcess, RequestArrival};
+pub use interactive::InteractiveSession;

@@ -1,0 +1,110 @@
+//! Access control and attestation walk-through: what exactly KeyService
+//! checks before it hands decryption keys to an enclave (paper §IV-A and the
+//! security analysis of §IV-D).
+//!
+//! The example shows four attack attempts failing for four different reasons:
+//! 1. an enclave with *different code* (e.g. concurrency settings changed)
+//!    has a different measurement and gets nothing;
+//! 2. a user that was never granted access gets nothing even with a valid
+//!    request key;
+//! 3. a request encrypted for model A cannot be replayed against model B
+//!    (AEAD binding);
+//! 4. a tampered encrypted model fails authenticated decryption inside the
+//!    enclave.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example access_control --release
+//! ```
+
+use sesemi::deployment::{Deployment, DeploymentError};
+use sesemi_inference::{Framework, ModelKind};
+use sesemi_runtime::{RuntimeError, SemirtConfig};
+
+fn main() {
+    let mut deployment = Deployment::builder().seed(99).build();
+    let mut owner = deployment.register_owner("clinic");
+    let mut alice = deployment.register_user("alice");
+    let mut eve = deployment.register_user("eve");
+
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.02)
+        .expect("publish");
+    let input_dim = deployment.model_input_dim(&model).unwrap();
+    let features = vec![0.5f32; input_dim];
+
+    // The function alice is allowed to use: concurrent SeMIRT with TVM.
+    let approved = deployment.deploy_function(Framework::Tvm, 4).unwrap();
+    owner
+        .grant_access(&deployment, &model, &approved, alice.party())
+        .unwrap();
+    alice.authorize(&deployment, &model, &approved).unwrap();
+    let ok = deployment
+        .infer(&alice, &approved, &model, &features)
+        .expect("authorized inference succeeds");
+    println!("[ok] alice on the approved enclave: path {:?}", ok.report.path);
+
+    // 1. Same code but different build-time settings => different MRENCLAVE.
+    //    KeyService has no grant for it, so provisioning fails.
+    let modified = deployment
+        .deploy_function_with_config(
+            SemirtConfig::new(Framework::Tvm, 256 * 1024 * 1024, 4).with_strong_isolation(),
+        )
+        .unwrap();
+    println!(
+        "approved enclave E_S = {}, modified enclave E_S' = {}",
+        approved.measurement.fingerprint(),
+        modified.measurement.fingerprint()
+    );
+    alice.authorize(&deployment, &model, &modified).unwrap();
+    match deployment.infer(&alice, &modified, &model, &features) {
+        Err(DeploymentError::Runtime(RuntimeError::KeyProvisioning(err))) => {
+            println!("[blocked] differently-configured enclave: {err}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // 2. A user without a grant.
+    eve.authorize(&deployment, &model, &approved).unwrap();
+    match deployment.infer(&eve, &approved, &model, &features) {
+        Err(DeploymentError::Runtime(RuntimeError::KeyProvisioning(err))) => {
+            println!("[blocked] user without an owner grant: {err}");
+        }
+        other => panic!("expected rejection, got {other:?}"),
+    }
+
+    // 3. Replay alice's ciphertext against a different model id: the request
+    //    AAD binds the model id, so decryption inside the enclave fails.
+    let second_model = owner
+        .publish_model(&deployment, ModelKind::DsNet, 0.02)
+        .unwrap();
+    owner
+        .grant_access(&deployment, &second_model, &approved, alice.party())
+        .unwrap();
+    alice.authorize(&deployment, &second_model, &approved).unwrap();
+    let mut replayed = deployment
+        .encrypt_request(&mut alice, &approved, &model, &features)
+        .unwrap();
+    replayed.model = second_model.clone();
+    let instance = deployment.instance(&approved).unwrap();
+    match instance.handle_request(0, &replayed) {
+        Err(RuntimeError::RequestDecryption) => {
+            println!("[blocked] ciphertext replayed for a different model: request decryption failed");
+        }
+        other => panic!("expected decryption failure, got {other:?}"),
+    }
+
+    // 4. The cloud tampers with alice's encrypted request in flight.
+    let mut tampered = deployment
+        .encrypt_request(&mut alice, &approved, &model, &features)
+        .unwrap();
+    tampered.payload.ciphertext[0] ^= 0x80;
+    match instance.handle_request(0, &tampered) {
+        Err(RuntimeError::RequestDecryption) => {
+            println!("[blocked] tampered request ciphertext: authentication failed");
+        }
+        other => panic!("expected decryption failure, got {other:?}"),
+    }
+
+    println!("\nevery rejection happened inside attested components, not in client-side checks.");
+}

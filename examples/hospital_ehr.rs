@@ -1,0 +1,109 @@
+//! The paper's motivating scenario (Fig. 1): a hospital trains a disease
+//! prediction model on electronic health records and serves it to patients
+//! and doctors through an untrusted cloud, without revealing either the model
+//! or the patients' records to the cloud provider.
+//!
+//! This example deploys three diagnosis models (different sizes), registers
+//! several patients with different access rights, and shows that:
+//! * authorized patients get predictions,
+//! * the cloud only ever observes ciphertext,
+//! * unauthorized users are rejected by KeyService, not by convention.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example hospital_ehr --release
+//! ```
+
+use sesemi::deployment::{Deployment, DeploymentError};
+use sesemi_inference::{Framework, ModelKind};
+use sesemi_runtime::RuntimeError;
+
+fn main() {
+    let mut deployment = Deployment::builder().seed(7).build();
+    let mut hospital = deployment.register_owner("general-hospital");
+
+    // The hospital publishes three models: a lightweight triage model and two
+    // heavier diagnosis models.
+    let triage = hospital
+        .publish_model(&deployment, ModelKind::MbNet, 0.02)
+        .expect("publish triage model");
+    let cardiology = hospital
+        .publish_model(&deployment, ModelKind::DsNet, 0.02)
+        .expect("publish cardiology model");
+    let oncology = hospital
+        .publish_model(&deployment, ModelKind::RsNet, 0.01)
+        .expect("publish oncology model");
+    println!("published models: {triage}, {cardiology}, {oncology}");
+
+    // One SeMIRT function (TFLM backend — small enclave) serves all three.
+    let function = deployment
+        .deploy_function(Framework::Tflm, 2)
+        .expect("deploy function");
+
+    // Patients register; the hospital grants each one access to the models
+    // relevant to their treatment, pinned to this function's enclave identity.
+    let mut alice = deployment.register_user("patient-alice");
+    let mut bob = deployment.register_user("patient-bob");
+    let mut mallory = deployment.register_user("mallory");
+
+    hospital
+        .grant_access(&deployment, &triage, &function, alice.party())
+        .unwrap();
+    hospital
+        .grant_access(&deployment, &cardiology, &function, alice.party())
+        .unwrap();
+    hospital
+        .grant_access(&deployment, &triage, &function, bob.party())
+        .unwrap();
+    // Mallory is granted nothing.
+
+    alice.authorize(&deployment, &triage, &function).unwrap();
+    alice.authorize(&deployment, &cardiology, &function).unwrap();
+    bob.authorize(&deployment, &triage, &function).unwrap();
+    // Mallory registers a request key anyway, hoping to slip through.
+    mallory.authorize(&deployment, &oncology, &function).unwrap();
+
+    // Alice's EHR-derived feature vectors are encrypted with her request key.
+    let triage_dim = deployment.model_input_dim(&triage).unwrap();
+    let ehr_features: Vec<f32> = (0..triage_dim).map(|i| ((i % 17) as f32) / 17.0).collect();
+    let outcome = deployment
+        .infer(&alice, &function, &triage, &ehr_features)
+        .expect("alice is authorized for triage");
+    println!(
+        "alice/triage: path={:?}, top probability {:.3}",
+        outcome.report.path,
+        outcome.prediction.iter().cloned().fold(0.0f32, f32::max)
+    );
+
+    let cardio_dim = deployment.model_input_dim(&cardiology).unwrap();
+    let outcome = deployment
+        .infer(&alice, &function, &cardiology, &vec![0.4; cardio_dim])
+        .expect("alice is authorized for cardiology");
+    println!(
+        "alice/cardiology: path={:?} (model switched inside the same enclave)",
+        outcome.report.path
+    );
+
+    let outcome = deployment
+        .infer(&bob, &function, &triage, &vec![0.1; triage_dim])
+        .expect("bob is authorized for triage");
+    println!("bob/triage: path={:?}", outcome.report.path);
+
+    // Bob never authorized cardiology: he holds no request key for it.
+    let err = deployment
+        .infer(&bob, &function, &cardiology, &vec![0.1; cardio_dim])
+        .unwrap_err();
+    println!("bob/cardiology rejected locally: {err}");
+
+    // Mallory has a request key but no grant from the hospital: KeyService
+    // refuses to provision the model key to the enclave for her request.
+    let onco_dim = deployment.model_input_dim(&oncology).unwrap();
+    match deployment.infer(&mallory, &function, &oncology, &vec![0.5; onco_dim]) {
+        Err(DeploymentError::Runtime(RuntimeError::KeyProvisioning(reason))) => {
+            println!("mallory/oncology rejected by KeyService: {reason}");
+        }
+        other => panic!("expected a key-provisioning rejection, got {other:?}"),
+    }
+
+    println!("the cloud handled only encrypted models, encrypted requests and encrypted responses.");
+}

@@ -1,0 +1,78 @@
+//! Quickstart: the minimal SeSeMI workflow from the paper's §III.
+//!
+//! A model owner publishes an encrypted model, a user is granted access, and
+//! an encrypted inference request is served inside a SeMIRT enclave.
+//!
+//! Run with:
+//! ```text
+//! cargo run --example quickstart --release
+//! ```
+
+use sesemi::deployment::Deployment;
+use sesemi_inference::{Framework, ModelKind};
+
+fn main() {
+    // 1. Stand up the deployment: an SGX2 node, the attestation authority,
+    //    the KeyService enclave and empty cloud storage.
+    let mut deployment = Deployment::builder().seed(2024).build();
+    println!(
+        "KeyService enclave measurement (E_K): {}",
+        deployment.keyservice_measurement().fingerprint()
+    );
+
+    // 2. Key setup: owner and user attest KeyService and register their
+    //    long-term identity keys.
+    let mut owner = deployment.register_owner("acme-models");
+    let mut user = deployment.register_user("alice");
+    println!("owner identity: {}", owner.party());
+    println!("user identity:  {}", user.party());
+
+    // 3. Service deployment: the owner encrypts and uploads a MobileNet-sized
+    //    model and deploys a SeMIRT function (TVM backend, 4 TCS).
+    let model_id = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.02)
+        .expect("publish model");
+    // A single-TCS function keeps the example output simple: the first
+    // request is cold, every later one is hot.
+    let function = deployment
+        .deploy_function(Framework::Tvm, 1)
+        .expect("deploy SeMIRT function");
+    println!(
+        "published {model_id}; SeMIRT enclave identity (E_S): {}",
+        function.measurement.fingerprint()
+    );
+
+    // 4. Access control: the owner grants alice access to the model when it
+    //    is served by this exact enclave identity; alice registers a request
+    //    key bound to the same identity.
+    owner
+        .grant_access(&deployment, &model_id, &function, user.party())
+        .expect("grant access");
+    user.authorize(&deployment, &model_id, &function)
+        .expect("register request key");
+
+    // 5. Request serving: alice's features are encrypted with her request
+    //    key, decrypted only inside the enclave, and the prediction comes
+    //    back encrypted under the same key.
+    let input_dim = deployment.model_input_dim(&model_id).expect("model exists");
+    let features: Vec<f32> = (0..input_dim).map(|i| (i as f32 * 0.01).sin()).collect();
+
+    for round in 1..=3 {
+        let outcome = deployment
+            .infer(&user, &function, &model_id, &features)
+            .expect("inference");
+        let best_class = outcome
+            .prediction
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).unwrap())
+            .map(|(idx, _)| idx)
+            .unwrap();
+        println!(
+            "request {round}: served on the {:?} path ({} stages) -> predicted class {best_class}",
+            outcome.report.path,
+            outcome.report.stages.len(),
+        );
+    }
+    println!("requests after the first reuse the enclave, keys, model and runtime (hot path).");
+}

@@ -1,0 +1,188 @@
+//! Integration tests for the cluster simulator: sanity-check the qualitative
+//! claims of the paper's evaluation sections at small scale so `cargo test`
+//! stays fast, leaving full-scale runs to the bench harness.
+
+use sesemi::baseline::ServingStrategy;
+use sesemi::cluster::{ClusterConfig, ClusterSimulation};
+use sesemi_fnpacker::RoutingStrategy;
+use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
+use sesemi_sim::{SimDuration, SimRng};
+use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
+
+fn trace(model: &ModelId, rate: f64, secs: u64, seed: u64) -> Vec<RequestArrival> {
+    let mut rng = SimRng::seed_from_u64(seed);
+    ArrivalProcess::Poisson { rate_per_sec: rate }.generate(
+        model,
+        0,
+        SimDuration::from_secs(secs),
+        &mut rng,
+    )
+}
+
+#[test]
+fn hot_path_latency_tracks_the_calibrated_profile() {
+    // §VI-B: once warmed up, SeSeMI's latency is essentially the model
+    // execution time.  Run a light load and compare against Fig. 9's hot
+    // number.
+    let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+    let model = ModelKind::MbNet.default_id();
+    let mut config = ClusterConfig::single_node_sgx2();
+    config.tcs_per_container = 4;
+    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+    sim.prewarm(&model, 0, 2);
+    sim.add_arrivals(trace(&model, 5.0, 30, 1));
+    let result = sim.run(SimDuration::from_secs(30));
+
+    let hot = profile.sgx2.hot_total().as_secs_f64();
+    let mean = result.mean_latency().as_secs_f64();
+    assert!(
+        (mean / hot) < 1.5,
+        "mean {mean:.3}s should be close to the hot-path cost {hot:.3}s"
+    );
+    assert!(result.hot_fraction() > 0.9);
+}
+
+#[test]
+fn native_baseline_is_dramatically_slower_than_sesemi() {
+    // Fig. 12/13's qualitative claim at small scale.
+    let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+    let model = ModelKind::DsNet.default_id();
+    let mut latencies = Vec::new();
+    for strategy in [ServingStrategy::Sesemi, ServingStrategy::Native] {
+        let mut config = ClusterConfig::single_node_sgx2();
+        config.strategy = strategy;
+        config.tcs_per_container = 2;
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.prewarm(&model, 0, 2);
+        sim.add_arrivals(trace(&model, 2.0, 60, 2));
+        let result = sim.run(SimDuration::from_secs(60));
+        assert!(result.completed > 60);
+        latencies.push(result.mean_latency().as_secs_f64());
+    }
+    assert!(
+        latencies[1] > latencies[0] * 3.0,
+        "Native ({:.2}s) should be several times slower than SeSeMI ({:.2}s)",
+        latencies[1],
+        latencies[0]
+    );
+}
+
+#[test]
+fn sgx1_epc_pressure_hurts_tvm_more_than_tflm() {
+    // Fig. 11b / Fig. 12c-d: with a 128 MB EPC, TVM-MBNET's larger enclave
+    // footprint (model copy inside the runtime buffer) overflows the EPC at a
+    // concurrency level where TFLM-MBNET still fits.  Compare the relative
+    // latency penalty of running 8 concurrent requests on an SGX1-sized EPC
+    // versus an effectively unlimited one.
+    let sgx1_epc = 128 * 1024 * 1024;
+    let penalty = |framework: Framework| -> f64 {
+        let profile = ModelProfile::paper(ModelKind::MbNet, framework);
+        let pressured =
+            sesemi::cluster::concurrent_hot_latency(&profile, 8, 10, sgx1_epc).as_secs_f64();
+        let unpressured =
+            sesemi::cluster::concurrent_hot_latency(&profile, 8, 10, u64::MAX).as_secs_f64();
+        pressured / unpressured
+    };
+    let tvm = penalty(Framework::Tvm);
+    let tflm = penalty(Framework::Tflm);
+    assert!(
+        tvm > tflm,
+        "TVM's EPC penalty ({tvm:.2}x) should exceed TFLM's ({tflm:.2}x)"
+    );
+    assert!(tvm > 1.5, "TVM should overflow the 128 MB EPC at concurrency 8 ({tvm:.2}x)");
+    assert!(
+        (tflm - 1.0).abs() < 0.3,
+        "TFLM should still (almost) fit in the EPC at concurrency 8 ({tflm:.2}x)"
+    );
+}
+
+#[test]
+fn fnpacker_avoids_cold_starts_for_interactive_sessions() {
+    // §VI-D: the first session's rarely-used models cold start under
+    // One-to-one but reuse idle pool endpoints under FnPacker.
+    let models: Vec<(ModelId, ModelProfile)> = (0..4)
+        .map(|i| {
+            (
+                ModelId::new(format!("m{i}")),
+                ModelProfile::paper(ModelKind::DsNet, Framework::Tvm),
+            )
+        })
+        .collect();
+    let ids: Vec<ModelId> = models.iter().map(|(m, _)| m.clone()).collect();
+
+    let mut cold_starts = Vec::new();
+    for routing in [RoutingStrategy::OneToOne, RoutingStrategy::FnPacker] {
+        let mut config = ClusterConfig::multi_node_sgx2();
+        config.nodes = 4;
+        config.routing = routing;
+        let mut sim = ClusterSimulation::new(config, models.clone());
+        // Continuous traffic only on m0; the sessions then touch m1..m3.
+        sim.add_arrivals(trace(&ids[0], 1.0, 240, 4));
+        sim.add_session(InteractiveSession::new(
+            "Session 1",
+            sesemi_sim::SimTime::from_secs(60),
+            ids.clone(),
+            9,
+        ));
+        sim.add_session(InteractiveSession::new(
+            "Session 2",
+            sesemi_sim::SimTime::from_secs(150),
+            ids.clone(),
+            10,
+        ));
+        let result = sim.run(SimDuration::from_secs(240));
+        assert_eq!(result.session_latencies.len(), 8);
+        cold_starts.push(result.cold_starts);
+    }
+    assert!(
+        cold_starts[0] > cold_starts[1],
+        "One-to-one cold starts ({}) should exceed FnPacker's ({})",
+        cold_starts[0],
+        cold_starts[1]
+    );
+}
+
+#[test]
+fn gb_second_cost_shrinks_with_enclave_concurrency() {
+    // Fig. 14's cost claim at small scale: packing 4 threads into one enclave
+    // needs fewer, only slightly larger containers.
+    let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+    let model = ModelKind::DsNet.default_id();
+    let mut costs = Vec::new();
+    for tcs in [1usize, 4] {
+        let mut config = ClusterConfig::multi_node_sgx2();
+        config.nodes = 4;
+        config.tcs_per_container = tcs;
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.add_arrivals(trace(&model, 8.0, 120, 5));
+        let result = sim.run(SimDuration::from_secs(120));
+        assert!(result.completed > 500);
+        costs.push(result.gb_seconds);
+    }
+    assert!(
+        costs[1] < costs[0],
+        "4-thread enclaves ({:.1} GB-s) should cost less than 1-thread ({:.1} GB-s)",
+        costs[1],
+        costs[0]
+    );
+}
+
+#[test]
+fn simulation_is_deterministic_for_a_fixed_seed() {
+    let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+    let model = ModelKind::MbNet.default_id();
+    let run = || {
+        let mut config = ClusterConfig::single_node_sgx2();
+        config.seed = 77;
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.add_arrivals(trace(&model, 10.0, 30, 77));
+        let result = sim.run(SimDuration::from_secs(30));
+        (
+            result.completed,
+            result.cold_starts,
+            result.mean_latency(),
+            result.p95_latency(),
+        )
+    };
+    assert_eq!(run(), run());
+}
