@@ -72,12 +72,20 @@ fn bench_end_to_end(c: &mut Criterion) {
         let dim = deployment.model_input_dim(&model).unwrap();
         let features = vec![0.2f32; dim];
         // Warm it up so the measured iterations take the hot path.
-        deployment.infer(&user, &function, &model, &features).unwrap();
+        deployment
+            .infer(&user, &function, &model, &features)
+            .unwrap();
 
         group.bench_with_input(
             BenchmarkId::new("hot_inference_scaled_mbnet", framework.label()),
             &framework,
-            |b, _| b.iter(|| deployment.infer(&user, &function, &model, &features).unwrap()),
+            |b, _| {
+                b.iter(|| {
+                    deployment
+                        .infer(&user, &function, &model, &features)
+                        .unwrap()
+                })
+            },
         );
     }
     group.finish();
@@ -134,5 +142,10 @@ fn bench_fnpacker_ablation(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_crypto, bench_end_to_end, bench_fnpacker_ablation);
+criterion_group!(
+    benches,
+    bench_crypto,
+    bench_end_to_end,
+    bench_fnpacker_ablation
+);
 criterion_main!(benches);

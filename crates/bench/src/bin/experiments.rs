@@ -2,7 +2,7 @@
 //! tables as Markdown.
 //!
 //! ```text
-//! cargo run -p sesemi-bench --bin experiments --release [-- --seed 42] [--json]
+//! cargo run -p sesemi_bench --bin experiments --release [-- --seed 42] [--json]
 //! ```
 
 fn main() {

@@ -44,7 +44,9 @@ pub fn table1_models() -> Report {
             format!("{}", Framework::Tflm.table1_buffer_bytes(kind) / MB),
         ]);
     }
-    report.push_note("Paper: 17/170/44 MB models, 30/205/55 MB TVM buffers, 5/24/12 MB TFLM buffers.");
+    report.push_note(
+        "Paper: 17/170/44 MB models, 30/205/55 MB TVM buffers, 5/24/12 MB TFLM buffers.",
+    );
     report
 }
 
@@ -54,7 +56,14 @@ pub fn fig8_stage_ratio() -> Report {
     let mut report = Report::new(
         "F8",
         "Fig. 8 — latency ratio of serving stages (cold invocation)",
-        &["Combo", "Enclave init", "1st key fetch", "Model load", "Runtime init", "Model execution"],
+        &[
+            "Combo",
+            "Enclave init",
+            "1st key fetch",
+            "Model load",
+            "Runtime init",
+            "Model execution",
+        ],
     );
     for profile in all_profiles() {
         let c = profile.sgx2;
@@ -81,7 +90,14 @@ pub fn fig9_invocation_paths() -> Report {
     let mut report = Report::new(
         "F9",
         "Fig. 9 — execution time under different invocations (seconds)",
-        &["Combo", "Hot", "Warm", "Cold", "Untrusted", "Untrusted (reuse model)"],
+        &[
+            "Combo",
+            "Hot",
+            "Warm",
+            "Cold",
+            "Untrusted",
+            "Untrusted (reuse model)",
+        ],
     );
     for profile in all_profiles() {
         let sgx = profile.sgx2;
@@ -130,7 +146,9 @@ pub fn fig11_concurrency() -> Report {
     let mut report = Report::new(
         "F11",
         "Fig. 11 — latency vs number of concurrent executions (seconds)",
-        &["Setting", "Combo", "n=1", "n=4", "n=8", "n=12", "n=16", "n=24", "n=32"],
+        &[
+            "Setting", "Combo", "n=1", "n=4", "n=8", "n=12", "n=16", "n=24", "n=32",
+        ],
     );
     let sgx2_epc = SgxVersion::Sgx2.default_epc_bytes();
     let combos = [
@@ -182,7 +200,8 @@ pub fn fig11_concurrency() -> Report {
         cells.extend(row);
         report.push_row(cells);
     }
-    report.push_note("Paper Fig. 11a: latency grows once concurrency exceeds the 12 physical cores.");
+    report
+        .push_note("Paper Fig. 11a: latency grows once concurrency exceeds the 12 physical cores.");
     report.push_note("Paper Fig. 11b: on SGX1 the EPC limit dominates; TFLM (and 4-thread enclaves) degrade later than TVM-1.");
     report
 }
@@ -200,10 +219,15 @@ pub fn table2_isolation() -> Report {
         report.push_row(vec![
             format!("TVM-{}", kind.label()),
             format!("{:.2}", profile.sgx2.hot_total().as_millis_f64()),
-            format!("{:.2}", strong_isolation_hot_latency(&profile).as_millis_f64()),
+            format!(
+                "{:.2}",
+                strong_isolation_hot_latency(&profile).as_millis_f64()
+            ),
         ]);
     }
-    report.push_note("Paper Table II: 65.79→268.36, 982.96→1265.00, 388.81→587.79 ms for MBNET/RSNET/DSNET.");
+    report.push_note(
+        "Paper Table II: 65.79→268.36, 982.96→1265.00, 388.81→587.79 ms for MBNET/RSNET/DSNET.",
+    );
     report
 }
 
@@ -239,7 +263,9 @@ pub fn fig15_enclave_init() -> Report {
             report.push_row(cells);
         }
     }
-    report.push_note("Paper Fig. 15: 16 concurrent 256 MB enclaves average ≈ 4 s each on SGX2, ≈ 10 s on SGX1.");
+    report.push_note(
+        "Paper Fig. 15: 16 concurrent 256 MB enclaves average ≈ 4 s each on SGX2, ≈ 10 s on SGX1.",
+    );
     report
 }
 
@@ -265,7 +291,9 @@ pub fn fig16_attestation() -> Report {
         report.push_row(cells);
     }
     report.push_note("Attestation latency is independent of enclave size; EPID (IAS over the Internet) is slower than ECDSA/DCAP.");
-    report.push_note("Paper Fig. 16a: <0.1 s for one enclave, ≈1 s for 16 concurrent quote generations on SGX2.");
+    report.push_note(
+        "Paper Fig. 16a: <0.1 s for one enclave, ≈1 s for 16 concurrent quote generations on SGX2.",
+    );
     report
 }
 
@@ -275,7 +303,14 @@ pub fn fig17_breakdown_sgx() -> Report {
     let mut report = Report::new(
         "F17",
         "Fig. 17 — execution time breakdown inside SGX2 (seconds)",
-        &["Combo", "enclave init", "key fetch", "model load", "runtime init", "model execution"],
+        &[
+            "Combo",
+            "enclave init",
+            "key fetch",
+            "model load",
+            "runtime init",
+            "model execution",
+        ],
     );
     for profile in all_profiles() {
         let c = profile.sgx2;

@@ -1,10 +1,8 @@
 //! Experiment reports: a small tabular container rendered to Markdown.
 
-use serde::Serialize;
-
 /// The result of one experiment: a table plus free-form notes comparing the
 /// measured shape with the paper's.
-#[derive(Clone, Debug, Serialize)]
+#[derive(Clone, Debug)]
 pub struct Report {
     /// Experiment identifier (e.g. "F9", "T3").
     pub id: String,
@@ -56,10 +54,7 @@ impl Report {
         let mut out = String::new();
         out.push_str(&format!("### {} — {}\n\n", self.id, self.title));
         out.push_str(&format!("| {} |\n", self.columns.join(" | ")));
-        out.push_str(&format!(
-            "|{}\n",
-            "---|".repeat(self.columns.len())
-        ));
+        out.push_str(&format!("|{}\n", "---|".repeat(self.columns.len())));
         for row in &self.rows {
             out.push_str(&format!("| {} |\n", row.join(" | ")));
         }
@@ -75,9 +70,55 @@ impl Report {
 
     /// Renders the report as a JSON value (used by tooling that wants to
     /// post-process experiment output).
+    ///
+    /// Serialization is hand-written (pretty-printed, two-space indent,
+    /// `serde_json::to_string_pretty`-compatible layout) because the build
+    /// environment cannot fetch serde from a registry.
     #[must_use]
     pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("report serializes")
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len() + 2);
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        fn string_array(items: &[String], indent: &str) -> String {
+            if items.is_empty() {
+                return "[]".to_string();
+            }
+            let inner: Vec<String> = items
+                .iter()
+                .map(|item| format!("{indent}  \"{}\"", esc(item)))
+                .collect();
+            format!("[\n{}\n{indent}]", inner.join(",\n"))
+        }
+        let rows = if self.rows.is_empty() {
+            "[]".to_string()
+        } else {
+            let inner: Vec<String> = self
+                .rows
+                .iter()
+                .map(|row| format!("    {}", string_array(row, "    ")))
+                .collect();
+            format!("[\n{}\n  ]", inner.join(",\n"))
+        };
+        format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"columns\": {},\n  \"rows\": {},\n  \"notes\": {}\n}}",
+            esc(&self.id),
+            esc(&self.title),
+            string_array(&self.columns, "  "),
+            rows,
+            string_array(&self.notes, "  "),
+        )
     }
 }
 
@@ -100,7 +141,11 @@ mod tests {
 
     #[test]
     fn markdown_rendering_includes_all_cells_and_notes() {
-        let mut report = Report::new("F9", "Execution time under different invocations", &["combo", "hot (s)"]);
+        let mut report = Report::new(
+            "F9",
+            "Execution time under different invocations",
+            &["combo", "hot (s)"],
+        );
         report.push_row(vec!["TVM-MBNET".to_string(), "0.070".to_string()]);
         report.push_note("hot ≈ untrusted with cached model");
         let md = report.to_markdown();

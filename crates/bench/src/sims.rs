@@ -62,13 +62,25 @@ pub fn fig12_throughput(seed: u64) -> Report {
     let mut report = Report::new(
         "F12",
         "Fig. 12 — p95 latency (s) vs request rate, single node, hot serving",
-        &["Panel", "Strategy", "Rate (rps)", "p95 latency", "Completed"],
+        &[
+            "Panel",
+            "Strategy",
+            "Rate (rps)",
+            "p95 latency",
+            "Completed",
+        ],
     );
     // Panel (a): TVM-MBNET on SGX2, SeSeMI vs Iso-reuse around 30-50 rps.
     for strategy in [ServingStrategy::Sesemi, ServingStrategy::IsoReuse] {
         for rate in [30.0, 38.0, 46.0, 50.0] {
-            let result =
-                run_single_node_rate(ModelKind::MbNet, Framework::Tvm, strategy, false, rate, seed);
+            let result = run_single_node_rate(
+                ModelKind::MbNet,
+                Framework::Tvm,
+                strategy,
+                false,
+                rate,
+                seed,
+            );
             report.push_row(vec![
                 "(a) TVM-MBNET SGX2".into(),
                 strategy.label().into(),
@@ -81,8 +93,14 @@ pub fn fig12_throughput(seed: u64) -> Report {
     // Panel (b): TVM-RSNET on SGX2, all three strategies, 1-6 rps.
     for strategy in ServingStrategy::TEE_STRATEGIES {
         for rate in [1.0, 3.0, 5.0, 6.0] {
-            let result =
-                run_single_node_rate(ModelKind::RsNet, Framework::Tvm, strategy, false, rate, seed + 1);
+            let result = run_single_node_rate(
+                ModelKind::RsNet,
+                Framework::Tvm,
+                strategy,
+                false,
+                rate,
+                seed + 1,
+            );
             report.push_row(vec![
                 "(b) TVM-RSNET SGX2".into(),
                 strategy.label().into(),
@@ -117,12 +135,7 @@ pub fn fig12_throughput(seed: u64) -> Report {
     report
 }
 
-fn run_mmpp(
-    kind: ModelKind,
-    strategy: ServingStrategy,
-    tcs: usize,
-    seed: u64,
-) -> SimulationResult {
+fn run_mmpp(kind: ModelKind, strategy: ServingStrategy, tcs: usize, seed: u64) -> SimulationResult {
     let profile = ModelProfile::paper(kind, Framework::Tvm);
     let model = kind.default_id();
     let mut config = ClusterConfig::multi_node_sgx2();
@@ -144,8 +157,7 @@ fn run_mmpp(
     sim.prewarm(&model, 0, 8);
     let duration = SimDuration::from_secs(800);
     let mut rng = SimRng::seed_from_u64(seed);
-    let arrivals =
-        ArrivalProcess::paper_mmpp().generate(&model, 0, duration, &mut rng);
+    let arrivals = ArrivalProcess::paper_mmpp().generate(&model, 0, duration, &mut rng);
     sim.add_arrivals(arrivals);
     sim.run(duration)
 }
@@ -156,7 +168,14 @@ pub fn fig13_mmpp_latency(seed: u64) -> Report {
     let mut report = Report::new(
         "F13",
         "Fig. 13 — serving under the MMPP workload (20↔40 rps, 8 nodes)",
-        &["Model", "Strategy", "Mean latency (s)", "p95 (s)", "Hot fraction", "Completed"],
+        &[
+            "Model",
+            "Strategy",
+            "Mean latency (s)",
+            "p95 (s)",
+            "Hot fraction",
+            "Completed",
+        ],
     );
     for kind in [ModelKind::DsNet, ModelKind::RsNet] {
         for strategy in ServingStrategy::TEE_STRATEGIES {
@@ -183,7 +202,13 @@ pub fn fig14_mmpp_memory(seed: u64) -> Report {
     let mut report = Report::new(
         "F14",
         "Fig. 14 — memory usage for serving under the MMPP workload (SeSeMI)",
-        &["Setting", "Peak sandboxes", "Peak memory (GB)", "GB·seconds", "Mean latency (s)"],
+        &[
+            "Setting",
+            "Peak sandboxes",
+            "Peak memory (GB)",
+            "GB·seconds",
+            "Mean latency (s)",
+        ],
     );
     for kind in [ModelKind::DsNet, ModelKind::RsNet] {
         let mut costs = Vec::new();
@@ -220,11 +245,7 @@ fn fnpool_models() -> Vec<(ModelId, ModelProfile)> {
         .collect()
 }
 
-fn run_multi_model(
-    routing: RoutingStrategy,
-    with_sessions: bool,
-    seed: u64,
-) -> SimulationResult {
+fn run_multi_model(routing: RoutingStrategy, with_sessions: bool, seed: u64) -> SimulationResult {
     let models = fnpool_models();
     let mut config = ClusterConfig::multi_node_sgx2();
     config.routing = routing;
@@ -255,7 +276,12 @@ pub fn table3_fnpacker_poisson(seed: u64) -> Report {
     let mut report = Report::new(
         "T3",
         "Table III — latency of models with Poisson traffic (ms)",
-        &["Strategy", "Avg latency m0/m1 (ms)", "Completed", "Cold starts"],
+        &[
+            "Strategy",
+            "Avg latency m0/m1 (ms)",
+            "Completed",
+            "Cold starts",
+        ],
     );
     for routing in RoutingStrategy::ALL {
         let result = run_multi_model(routing, true, seed);
@@ -312,7 +338,9 @@ pub fn table4_fnpacker_sessions(seed: u64) -> Report {
         }
     }
     report.push_note("Paper Table IV: in session 1, One-to-one cold-starts m2–m4 (≈9.4–9.9 s); FnPacker serves them warm (≈2 s); All-in-one pays model switching (≈2–3.6 s).");
-    report.push_note("In session 2 every deployment reuses warm state and latencies converge to ≈1.3–2 s.");
+    report.push_note(
+        "In session 2 every deployment reuses warm state and latencies converge to ≈1.3–2 s.",
+    );
     report
 }
 

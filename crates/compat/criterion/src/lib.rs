@@ -1,0 +1,346 @@
+//! # criterion (in-tree compatibility shim)
+//!
+//! A minimal wall-clock benchmark harness exposing the subset of the
+//! [`criterion` 0.5 API](https://docs.rs/criterion/0.5) that the SeSeMI
+//! benches use: [`Criterion::benchmark_group`], group configuration
+//! (`sample_size`, `warm_up_time`, `measurement_time`),
+//! [`BenchmarkGroup::bench_function`] / [`BenchmarkGroup::bench_with_input`],
+//! [`Bencher::iter`], [`BenchmarkId`], [`black_box`], and the
+//! [`criterion_group!`] / [`criterion_main!`] macros.
+//!
+//! It performs a warm-up phase followed by `sample_size` timed samples and
+//! prints mean / min / max per benchmark.  It does not do outlier analysis,
+//! HTML reports or statistical regression — it exists so `cargo bench`
+//! builds and runs in an environment without crates.io access.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::{self, Display};
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver, normally constructed by [`criterion_group!`].
+#[derive(Debug)]
+pub struct Criterion {
+    default_sample_size: usize,
+    default_warm_up: Duration,
+    default_measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            default_sample_size: 100,
+            default_warm_up: Duration::from_secs(3),
+            default_measurement: Duration::from_secs(5),
+        }
+    }
+}
+
+impl Criterion {
+    /// Applies command-line configuration.  The shim accepts and ignores all
+    /// arguments (notably the `--bench` filter cargo passes).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let sample_size = self.default_sample_size;
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        let group = BenchmarkGroup {
+            _criterion: self,
+            name: name.into(),
+            sample_size,
+            warm_up,
+            measurement,
+        };
+        println!("\nbenchmark group: {}", group.name);
+        group
+    }
+
+    /// Benchmarks a single function outside any group.
+    pub fn bench_function<F>(&mut self, id: &str, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let sample_size = self.default_sample_size;
+        let warm_up = self.default_warm_up;
+        let measurement = self.default_measurement;
+        run_benchmark(id, sample_size, warm_up, measurement, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing sampling configuration.
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Sets how long to run the routine before sampling starts.
+    pub fn warm_up_time(&mut self, t: Duration) -> &mut Self {
+        self.warm_up = t;
+        self
+    }
+
+    /// Sets the total time budget for the timed samples.
+    pub fn measurement_time(&mut self, t: Duration) -> &mut Self {
+        self.measurement = t;
+        self
+    }
+
+    /// Benchmarks `f` under `id` within this group.
+    pub fn bench_function<I: IntoBenchmarkId, F>(&mut self, id: I, f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(&full, self.sample_size, self.warm_up, self.measurement, f);
+        self
+    }
+
+    /// Benchmarks `f` under `id`, passing `input` through to the closure.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        let full = format!("{}/{}", self.name, id.into_benchmark_id());
+        run_benchmark(
+            &full,
+            self.sample_size,
+            self.warm_up,
+            self.measurement,
+            |b| f(b, input),
+        );
+        self
+    }
+
+    /// Ends the group.  (The shim reports as it goes, so this is a no-op.)
+    pub fn finish(self) {}
+}
+
+/// Identifier combining a function name and a parameter value.
+#[derive(Clone, Debug)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Creates an id rendered as `function_name/parameter`.
+    #[must_use]
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// Creates an id from a parameter value alone.
+    #[must_use]
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Conversion into a printable benchmark identifier (mirrors criterion's
+/// `IntoBenchmarkId`, which accepts both `&str` and [`BenchmarkId`]).
+pub trait IntoBenchmarkId {
+    /// Renders the identifier.
+    fn into_benchmark_id(self) -> String;
+}
+
+impl IntoBenchmarkId for &str {
+    fn into_benchmark_id(self) -> String {
+        self.to_string()
+    }
+}
+
+impl IntoBenchmarkId for String {
+    fn into_benchmark_id(self) -> String {
+        self
+    }
+}
+
+impl IntoBenchmarkId for BenchmarkId {
+    fn into_benchmark_id(self) -> String {
+        self.id
+    }
+}
+
+/// Passed to the benchmark closure; [`Bencher::iter`] times the routine.
+#[derive(Debug)]
+pub struct Bencher {
+    mode: Mode,
+    /// Total elapsed time across `iterations` calls of the routine.
+    elapsed: Duration,
+    iterations: u64,
+}
+
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum Mode {
+    WarmUp { budget: Duration },
+    Sample,
+}
+
+impl Bencher {
+    /// Calls `routine` repeatedly and records its timing.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
+        match self.mode {
+            Mode::WarmUp { budget } => {
+                let start = Instant::now();
+                let mut n = 0u64;
+                while start.elapsed() < budget {
+                    black_box(routine());
+                    n += 1;
+                }
+                self.elapsed = start.elapsed();
+                self.iterations = n;
+            }
+            Mode::Sample => {
+                let start = Instant::now();
+                black_box(routine());
+                self.elapsed = start.elapsed();
+                self.iterations = 1;
+            }
+        }
+    }
+}
+
+fn run_benchmark<F>(
+    id: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+    mut f: F,
+) where
+    F: FnMut(&mut Bencher),
+{
+    // Warm-up: run the routine until the warm-up budget is spent.
+    let mut bencher = Bencher {
+        mode: Mode::WarmUp { budget: warm_up },
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let per_iter_estimate = if bencher.iterations > 0 {
+        bencher.elapsed / bencher.iterations.max(1) as u32
+    } else {
+        Duration::from_millis(1)
+    };
+
+    // Cap the sample count so slow routines still respect the measurement
+    // budget (criterion scales iteration counts instead; a cap is enough for
+    // a progress-reporting shim).
+    let budget_samples = if per_iter_estimate.is_zero() {
+        sample_size as u64
+    } else {
+        (measurement.as_nanos() / per_iter_estimate.as_nanos().max(1)).max(1) as u64
+    };
+    let samples = (sample_size as u64).min(budget_samples).max(1);
+
+    let mut times: Vec<Duration> = Vec::with_capacity(samples as usize);
+    for _ in 0..samples {
+        let mut bencher = Bencher {
+            mode: Mode::Sample,
+            elapsed: Duration::ZERO,
+            iterations: 0,
+        };
+        f(&mut bencher);
+        times.push(bencher.elapsed);
+    }
+    let total: Duration = times.iter().sum();
+    let mean = total / times.len() as u32;
+    let min = times.iter().min().copied().unwrap_or_default();
+    let max = times.iter().max().copied().unwrap_or_default();
+    println!(
+        "{id:<60} time: [{} {} {}]  ({} samples)",
+        fmt_duration(min),
+        fmt_duration(mean),
+        fmt_duration(max),
+        times.len()
+    );
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos < 1_000 {
+        format!("{nanos} ns")
+    } else if nanos < 1_000_000 {
+        format!("{:.2} µs", nanos as f64 / 1_000.0)
+    } else if nanos < 1_000_000_000 {
+        format!("{:.2} ms", nanos as f64 / 1_000_000.0)
+    } else {
+        format!("{:.2} s", nanos as f64 / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group function, mirroring `criterion::criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        /// Runs every benchmark registered in this group.
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default().configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring `criterion::criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn group_runs_each_benchmark_closure() {
+        let mut criterion = Criterion::default();
+        let mut group = criterion.benchmark_group("shim");
+        group.sample_size(3).warm_up_time(Duration::from_millis(1));
+        group.measurement_time(Duration::from_millis(10));
+        let mut calls = 0u32;
+        group.bench_function("counted", |b| {
+            b.iter(|| std::hint::black_box(1 + 1));
+            calls += 1;
+        });
+        group.finish();
+        assert!(calls >= 1);
+    }
+
+    #[test]
+    fn benchmark_id_formats_like_criterion() {
+        assert_eq!(BenchmarkId::new("f", 7).to_string(), "f/7");
+        assert_eq!(BenchmarkId::from_parameter("x").to_string(), "x");
+    }
+}

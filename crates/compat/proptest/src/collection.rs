@@ -1,0 +1,27 @@
+//! Collection strategies (mirrors `proptest::collection`).
+
+use crate::{Strategy, TestRng};
+use rand::Rng;
+use std::ops::Range;
+
+/// Strategy producing vectors whose elements come from `element` and whose
+/// length is drawn from `length`.
+pub struct VecStrategy<S> {
+    element: S,
+    length: Range<usize>,
+}
+
+/// Creates a [`VecStrategy`]; mirrors `proptest::collection::vec`.
+pub fn vec<S: Strategy>(element: S, length: Range<usize>) -> VecStrategy<S> {
+    assert!(length.start < length.end, "empty length range");
+    VecStrategy { element, length }
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut TestRng) -> Self::Value {
+        let len = rng.rng().gen_range(self.length.clone());
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}

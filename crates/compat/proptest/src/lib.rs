@@ -1,0 +1,334 @@
+//! # proptest (in-tree compatibility shim)
+//!
+//! Implements the subset of the [`proptest`](https://docs.rs/proptest)
+//! API that the SeSeMI test-suites use, as deterministic seeded random
+//! testing: the [`proptest!`] macro (both `arg: Type` and `arg in strategy`
+//! parameter forms, plus the `#![proptest_config(...)]` header),
+//! [`prop_assert!`] / [`prop_assert_eq!`] / [`prop_assert_ne!`] /
+//! [`prop_assume!`], integer-range and [`collection::vec`] strategies, and
+//! [`test_runner::Config`] (`ProptestConfig::with_cases`).
+//!
+//! Unlike real proptest there is **no shrinking** — a failing case reports
+//! the case number and assertion message only — and generation is seeded
+//! per test case from a fixed constant, so runs are fully reproducible.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::rngs::StdRng;
+use rand::{Rng, RngCore};
+use std::ops::Range;
+
+pub mod collection;
+pub mod test_runner;
+
+/// Items the `use proptest::prelude::*` glob imports.
+pub mod prelude {
+    pub use crate::test_runner::Config as ProptestConfig;
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest, Arbitrary, Strategy,
+    };
+}
+
+/// A source of random values for one generated test case.
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    /// Creates the deterministic generator for a given test case index.
+    #[must_use]
+    pub fn for_case(case: u64) -> Self {
+        use rand::SeedableRng;
+        TestRng {
+            inner: StdRng::seed_from_u64(
+                0x5E5E_3141_u64 ^ case.wrapping_mul(0x9E37_79B9_7F4A_7C15),
+            ),
+        }
+    }
+
+    /// Underlying generator access for strategies.
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// A recipe for generating values of a given type (mirrors
+/// `proptest::strategy::Strategy`, minus shrinking).
+pub trait Strategy {
+    /// The generated value type.
+    type Value;
+    /// Draws one value.
+    fn sample(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn sample(&self, rng: &mut TestRng) -> $t {
+                rng.rng().gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Strategy for Range<f64> {
+    type Value = f64;
+    fn sample(&self, rng: &mut TestRng) -> f64 {
+        rng.rng().gen_range(self.clone())
+    }
+}
+
+/// Types with a default generation recipe (mirrors
+/// `proptest::arbitrary::Arbitrary`), used for `arg: Type` parameters of
+/// [`proptest!`].
+pub trait Arbitrary: Sized {
+    /// Draws one value of this type.
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> Self {
+                rng.rng().next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().next_u64() & 1 == 1
+    }
+}
+
+impl Arbitrary for f64 {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        rng.rng().gen::<f64>()
+    }
+}
+
+impl<const N: usize> Arbitrary for [u8; N] {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        let mut out = [0u8; N];
+        rng.rng().fill_bytes(&mut out);
+        out
+    }
+}
+
+impl<T: Arbitrary> Arbitrary for Vec<T> {
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        // Default collection size range, matching proptest's 0..100 and
+        // deliberately including the empty vector often enough to exercise
+        // edge cases.
+        let len = rng.rng().gen_range(0usize..100);
+        (0..len).map(|_| T::arbitrary(rng)).collect()
+    }
+}
+
+/// Declares property tests.  Accepts an optional
+/// `#![proptest_config(ProptestConfig::with_cases(n))]` header followed by
+/// `#[test] fn name(params) { body }` items whose parameters are either
+/// `name: Type` (generated via [`Arbitrary`]) or `name in strategy`
+/// (generated via [`Strategy`]).
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! {
+            config = ($crate::test_runner::Config::default());
+            $($rest)*
+        }
+    };
+}
+
+/// Internal: expands each test item declared inside [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (config = ($cfg:expr);) => {};
+    (
+        config = ($cfg:expr);
+        $(#[$meta:meta])*
+        fn $name:ident($($params:tt)*) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $cfg;
+            let mut passed: u64 = 0;
+            let mut rejected: u64 = 0;
+            let mut attempt: u64 = 0;
+            while passed < u64::from(config.cases) {
+                // Seed from the attempt counter, not the pass counter, so a
+                // rejected draw (prop_assume) retries with fresh inputs.
+                let mut __proptest_rng = $crate::TestRng::for_case(attempt);
+                attempt += 1;
+                let outcome: ::std::result::Result<(), $crate::test_runner::TestCaseError> =
+                    (|| {
+                        $crate::__proptest_bind!(__proptest_rng; $($params)*);
+                        $body
+                        ::std::result::Result::Ok(())
+                    })();
+                match outcome {
+                    Ok(()) => passed += 1,
+                    Err($crate::test_runner::TestCaseError::Reject) => {
+                        // Rejections do not count toward the configured case
+                        // total; give up if assumptions almost never hold,
+                        // like proptest's global rejection cap.
+                        rejected += 1;
+                        assert!(
+                            rejected < 4 * u64::from(config.cases).max(256),
+                            "property test {}: too many rejected cases",
+                            stringify!($name),
+                        );
+                    }
+                    Err($crate::test_runner::TestCaseError::Fail(message)) => {
+                        panic!(
+                            "property test {} failed at case {}: {message}",
+                            stringify!($name),
+                            attempt - 1,
+                        );
+                    }
+                }
+            }
+        }
+        $crate::__proptest_items! { config = ($cfg); $($rest)* }
+    };
+}
+
+/// Internal: binds one [`proptest!`] parameter list entry at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_bind {
+    ($rng:ident;) => {};
+    ($rng:ident; $name:ident : $ty:ty) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+    };
+    ($rng:ident; $name:ident : $ty:ty, $($rest:tt)*) => {
+        let $name = <$ty as $crate::Arbitrary>::arbitrary(&mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+    ($rng:ident; $name:ident in $strategy:expr) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $rng);
+    };
+    ($rng:ident; $name:ident in $strategy:expr, $($rest:tt)*) => {
+        let $name = $crate::Strategy::sample(&($strategy), &mut $rng);
+        $crate::__proptest_bind!($rng; $($rest)*);
+    };
+}
+
+/// Asserts a condition inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)));
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !($cond) {
+            return ::std::result::Result::Err(
+                $crate::test_runner::TestCaseError::Fail(format!($($fmt)+)),
+            );
+        }
+    };
+}
+
+/// Asserts equality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left == right,
+            "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+            stringify!($left),
+            stringify!($right),
+            left,
+            right,
+        );
+    }};
+}
+
+/// Asserts inequality inside a [`proptest!`] body.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let left = $left;
+        let right = $right;
+        $crate::prop_assert!(
+            left != right,
+            "assertion failed: {} != {} (both {:?})",
+            stringify!($left),
+            stringify!($right),
+            left,
+        );
+    }};
+}
+
+/// Skips the current generated case when its inputs do not satisfy a
+/// precondition.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn typed_and_strategy_params_bind(v: Vec<u8>, cut in 0usize..16) {
+            let cut = cut.min(v.len());
+            let (a, b) = v.split_at(cut);
+            prop_assert_eq!(a.len() + b.len(), v.len());
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(8))]
+
+        #[test]
+        fn config_header_and_assume_work(x: u64) {
+            prop_assume!(x != 0);
+            prop_assert_ne!(x, 0);
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn collection_vec_respects_bounds(v in crate::collection::vec(0u64..10, 1..5)) {
+            prop_assert!(!v.is_empty() && v.len() < 5);
+            prop_assert!(v.iter().all(|&x| x < 10));
+        }
+    }
+
+    // Declared without #[test] so it only runs when driven by the
+    // should_panic test below.
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(4))]
+
+        fn always_fails(x: u64) {
+            prop_assert!(x == x.wrapping_add(1), "impossible");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "failed at case")]
+    fn failing_property_panics() {
+        always_fails();
+    }
+}

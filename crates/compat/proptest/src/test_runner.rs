@@ -1,0 +1,35 @@
+//! Test-runner configuration and case outcomes (mirrors
+//! `proptest::test_runner`).
+
+/// Configuration for a [`proptest!`](crate::proptest) block; the prelude
+/// re-exports this as `ProptestConfig`.
+#[derive(Clone, Debug)]
+pub struct Config {
+    /// Number of generated cases per property.
+    pub cases: u32,
+}
+
+impl Default for Config {
+    fn default() -> Self {
+        // Matches proptest's default case count.
+        Config { cases: 256 }
+    }
+}
+
+impl Config {
+    /// Configuration running `cases` generated cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        Config { cases }
+    }
+}
+
+/// Why a single generated case did not pass.
+#[derive(Debug)]
+pub enum TestCaseError {
+    /// The case was rejected by [`prop_assume!`](crate::prop_assume);
+    /// another case should run in its place.
+    Reject,
+    /// An assertion failed with the given message.
+    Fail(String),
+}

@@ -1,0 +1,347 @@
+//! # rand (in-tree compatibility shim)
+//!
+//! A from-scratch implementation of the subset of the
+//! [`rand` 0.8 API](https://docs.rs/rand/0.8) that the SeSeMI workspace
+//! uses.  The build
+//! environment for this reproduction has no access to crates.io, so the
+//! workspace vendors the surface it needs:
+//!
+//! * [`RngCore`] / [`SeedableRng`] / [`Rng`] traits,
+//! * [`rngs::StdRng`] — a seedable, statistically solid PRNG
+//!   (xoshiro256++ seeded via SplitMix64),
+//! * [`rngs::OsRng`] — operating-system entropy (`/dev/urandom`),
+//! * [`rngs::mock::StepRng`] — the deterministic arithmetic-sequence
+//!   generator used by tests,
+//! * [`Error`] — the fallible-generator error type.
+//!
+//! Unlike the real `rand`, [`rngs::StdRng`] here is xoshiro256++ rather than
+//! ChaCha12, so seeded value *streams* differ from upstream `rand` — but all
+//! determinism guarantees (same seed ⇒ same stream) hold, which is what the
+//! SeSeMI simulations and tests rely on.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt;
+use std::ops::Range;
+
+pub mod rngs;
+
+/// Error type reported by fallible generator methods such as
+/// [`RngCore::try_fill_bytes`].
+#[derive(Debug)]
+pub struct Error {
+    message: &'static str,
+}
+
+impl Error {
+    /// Creates an error with a static description.
+    #[must_use]
+    pub fn new(message: &'static str) -> Self {
+        Error { message }
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "random-number generator error: {}", self.message)
+    }
+}
+
+impl std::error::Error for Error {}
+
+/// The core random-number-generator interface (mirrors `rand_core::RngCore`).
+pub trait RngCore {
+    /// Returns the next 32 bits of randomness.
+    fn next_u32(&mut self) -> u32;
+    /// Returns the next 64 bits of randomness.
+    fn next_u64(&mut self) -> u64;
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]);
+    /// Fills `dest` with random bytes, reporting failure instead of
+    /// panicking.
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}
+
+impl<R: RngCore + ?Sized> RngCore for &mut R {
+    fn next_u32(&mut self) -> u32 {
+        (**self).next_u32()
+    }
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        (**self).fill_bytes(dest);
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        (**self).try_fill_bytes(dest)
+    }
+}
+
+/// Fills a byte slice from successive `next_u64` outputs (little-endian),
+/// the standard `rand_core` helper behaviour.
+pub(crate) fn fill_bytes_via_next_u64<R: RngCore + ?Sized>(rng: &mut R, dest: &mut [u8]) {
+    let mut chunks = dest.chunks_exact_mut(8);
+    for chunk in &mut chunks {
+        chunk.copy_from_slice(&rng.next_u64().to_le_bytes());
+    }
+    let rest = chunks.into_remainder();
+    if !rest.is_empty() {
+        let word = rng.next_u64().to_le_bytes();
+        rest.copy_from_slice(&word[..rest.len()]);
+    }
+}
+
+/// A generator that can be instantiated from a fixed seed (mirrors
+/// `rand_core::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// The seed type, typically a byte array.
+    type Seed: Sized + Default + AsMut<[u8]>;
+
+    /// Creates a generator from a full seed.
+    fn from_seed(seed: Self::Seed) -> Self;
+
+    /// Creates a generator from a `u64` by expanding it with SplitMix64,
+    /// exactly like `rand_core`'s default implementation.
+    fn seed_from_u64(mut state: u64) -> Self {
+        let mut seed = Self::Seed::default();
+        for chunk in seed.as_mut().chunks_mut(8) {
+            // SplitMix64 step.
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+        Self::from_seed(seed)
+    }
+}
+
+/// A range that a uniform value can be sampled from (mirrors
+/// `rand::distributions::uniform::SampleRange`).
+pub trait SampleRange<T> {
+    /// Draws one uniformly distributed value from the range.
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> T;
+}
+
+macro_rules! impl_int_sample_range {
+    ($($t:ty),*) => {$(
+        impl SampleRange<$t> for Range<$t> {
+            fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                assert!(self.start < self.end, "cannot sample empty range");
+                // Compute the width in i128 so signed ranges wider than the
+                // type's positive half are not sign-extended (every supported
+                // type's width fits in u64 because start < end).
+                let width = ((self.end as i128) - (self.start as i128)) as u64;
+                // Widening-multiply rejection sampling (Lemire) keeps the
+                // draw unbiased for every width; rejection is vanishingly
+                // rare for the small widths the simulations use.
+                let threshold = width.wrapping_neg() % width;
+                loop {
+                    let m = (rng.next_u64() as u128) * (width as u128);
+                    if (m as u64) < threshold {
+                        continue;
+                    }
+                    return self.start.wrapping_add((m >> 64) as $t);
+                }
+            }
+        }
+    )*};
+}
+
+impl_int_sample_range!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange<f64> for Range<f64> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+impl SampleRange<f32> for Range<f32> {
+    fn sample_single<R: RngCore + ?Sized>(self, rng: &mut R) -> f32 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        let unit = (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32);
+        self.start + unit * (self.end - self.start)
+    }
+}
+
+/// A type the [`Rng::gen`] method can produce (mirrors sampling from
+/// `rand`'s `Standard` distribution).
+pub trait Standard: Sized {
+    /// Draws one value from the generator.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for u32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32()
+    }
+}
+
+impl Standard for u64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64()
+    }
+}
+
+impl Standard for usize {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() as usize
+    }
+}
+
+impl Standard for u8 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() as u8
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u32() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 random mantissa bits -> uniform in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u32() >> 8) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Convenience extension methods over [`RngCore`] (mirrors `rand::Rng`).
+pub trait Rng: RngCore {
+    /// Draws a value of type `T` from the standard distribution.
+    fn gen<T: Standard>(&mut self) -> T
+    where
+        Self: Sized,
+    {
+        T::sample(self)
+    }
+
+    /// Draws a uniformly distributed value from `range`.
+    ///
+    /// # Panics
+    /// Panics if the range is empty.
+    fn gen_range<T, S: SampleRange<T>>(&mut self, range: S) -> T
+    where
+        Self: Sized,
+    {
+        range.sample_single(self)
+    }
+
+    /// Bernoulli trial returning `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.gen::<f64>() < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::mock::StepRng;
+    use super::rngs::StdRng;
+    use super::*;
+
+    #[test]
+    fn seed_from_u64_is_deterministic() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = StdRng::seed_from_u64(43);
+        assert_ne!(StdRng::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut rng = StdRng::seed_from_u64(7);
+        for len in [0usize, 1, 7, 8, 9, 31] {
+            let mut buf = vec![0u8; len];
+            rng.fill_bytes(&mut buf);
+            if len >= 8 {
+                assert!(buf.iter().any(|&b| b != 0), "len {len} produced zeros");
+            }
+        }
+    }
+
+    #[test]
+    fn gen_range_int_stays_in_bounds_and_hits_extremes() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut seen_low = false;
+        let mut seen_high = false;
+        for _ in 0..10_000 {
+            let x = rng.gen_range(3usize..7);
+            assert!((3..7).contains(&x));
+            seen_low |= x == 3;
+            seen_high |= x == 6;
+        }
+        assert!(seen_low && seen_high);
+    }
+
+    #[test]
+    fn gen_range_signed_full_width_stays_in_bounds() {
+        // Regression: the i32 width must not be sign-extended when the range
+        // spans more than the type's positive half.
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(i32::MIN..i32::MAX);
+            assert!(x < i32::MAX);
+            let y = rng.gen_range(-10i64..10);
+            assert!((-10..10).contains(&y));
+        }
+    }
+
+    #[test]
+    fn gen_range_float_stays_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(2);
+        for _ in 0..10_000 {
+            let x = rng.gen_range(-1.0f64..1.0);
+            assert!((-1.0..1.0).contains(&x));
+        }
+    }
+
+    #[test]
+    fn unit_float_mean_is_half() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let n = 100_000;
+        let mean: f64 = (0..n).map(|_| rng.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.005, "mean {mean}");
+    }
+
+    #[test]
+    fn step_rng_is_an_arithmetic_sequence() {
+        let mut rng = StepRng::new(7, 11);
+        assert_eq!(rng.next_u64(), 7);
+        assert_eq!(rng.next_u64(), 18);
+        assert_eq!(rng.next_u64(), 29);
+    }
+
+    #[test]
+    fn os_rng_produces_distinct_buffers() {
+        let mut a = [0u8; 32];
+        let mut b = [0u8; 32];
+        rngs::OsRng.fill_bytes(&mut a);
+        rngs::OsRng.fill_bytes(&mut b);
+        assert_ne!(a, b);
+    }
+}

@@ -1,0 +1,35 @@
+//! Deterministic mock generators for tests.
+
+use crate::{fill_bytes_via_next_u64, RngCore};
+
+/// A "generator" that returns an arithmetic sequence: `start`,
+/// `start + step`, `start + 2·step`, … (wrapping).  Mirrors
+/// `rand::rngs::mock::StepRng` and is only useful for tests that need a
+/// fully predictable byte stream.
+#[derive(Clone, Debug)]
+pub struct StepRng {
+    value: u64,
+    step: u64,
+}
+
+impl StepRng {
+    /// Creates the sequence starting at `start` and advancing by `step`.
+    #[must_use]
+    pub fn new(start: u64, step: u64) -> Self {
+        StepRng { value: start, step }
+    }
+}
+
+impl RngCore for StepRng {
+    fn next_u32(&mut self) -> u32 {
+        self.next_u64() as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        let out = self.value;
+        self.value = self.value.wrapping_add(self.step);
+        out
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_next_u64(self, dest);
+    }
+}

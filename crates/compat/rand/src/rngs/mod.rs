@@ -1,0 +1,131 @@
+//! Concrete generators: [`StdRng`], [`OsRng`] and the [`mock`] generators.
+
+use crate::{fill_bytes_via_next_u64, Error, RngCore, SeedableRng};
+
+pub mod mock;
+
+/// The workspace's standard seedable PRNG.
+///
+/// Implemented as **xoshiro256++** (Blackman & Vigna), seeded through
+/// SplitMix64 — statistically strong, tiny and fast.  Note this differs from
+/// upstream `rand 0.8`, whose `StdRng` is ChaCha12: seeded streams are
+/// deterministic here too, but the concrete values differ from upstream.
+#[derive(Clone, Debug)]
+pub struct StdRng {
+    s: [u64; 4],
+}
+
+impl StdRng {
+    #[inline]
+    fn step(&mut self) -> u64 {
+        let result = self.s[0]
+            .wrapping_add(self.s[3])
+            .rotate_left(23)
+            .wrapping_add(self.s[0]);
+        let t = self.s[1] << 17;
+        self.s[2] ^= self.s[0];
+        self.s[3] ^= self.s[1];
+        self.s[1] ^= self.s[2];
+        self.s[0] ^= self.s[3];
+        self.s[2] ^= t;
+        self.s[3] = self.s[3].rotate_left(45);
+        result
+    }
+}
+
+impl SeedableRng for StdRng {
+    type Seed = [u8; 32];
+
+    fn from_seed(seed: Self::Seed) -> Self {
+        let mut s = [0u64; 4];
+        for (i, word) in s.iter_mut().enumerate() {
+            let mut bytes = [0u8; 8];
+            bytes.copy_from_slice(&seed[i * 8..(i + 1) * 8]);
+            *word = u64::from_le_bytes(bytes);
+        }
+        // xoshiro must not start from the all-zero state.
+        if s.iter().all(|&w| w == 0) {
+            s = [
+                0x9E37_79B9_7F4A_7C15,
+                0xBF58_476D_1CE4_E5B9,
+                0x94D0_49BB_1331_11EB,
+                0x2545_F491_4F6C_DD1D,
+            ];
+        }
+        StdRng { s }
+    }
+}
+
+impl RngCore for StdRng {
+    fn next_u32(&mut self) -> u32 {
+        (self.step() >> 32) as u32
+    }
+    fn next_u64(&mut self) -> u64 {
+        self.step()
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        fill_bytes_via_next_u64(self, dest);
+    }
+}
+
+/// Operating-system entropy source.
+///
+/// Reads `/dev/urandom`; if that fails (e.g. in an exotic sandbox) it falls
+/// back to hashing the current time, the process id and a process-global
+/// counter through SplitMix64 so callers still receive unpredictable,
+/// non-repeating bytes.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct OsRng;
+
+impl OsRng {
+    fn fallback_fill(dest: &mut [u8]) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::time::{SystemTime, UNIX_EPOCH};
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let nanos = SystemTime::now()
+            .duration_since(UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0);
+        let mut state = nanos
+            ^ (std::process::id() as u64).rotate_left(32)
+            ^ COUNTER
+                .fetch_add(1, Ordering::Relaxed)
+                .wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        for chunk in dest.chunks_mut(8) {
+            state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^= z >> 31;
+            let bytes = z.to_le_bytes();
+            let n = chunk.len();
+            chunk.copy_from_slice(&bytes[..n]);
+        }
+    }
+}
+
+impl RngCore for OsRng {
+    fn next_u32(&mut self) -> u32 {
+        let mut buf = [0u8; 4];
+        self.fill_bytes(&mut buf);
+        u32::from_le_bytes(buf)
+    }
+    fn next_u64(&mut self) -> u64 {
+        let mut buf = [0u8; 8];
+        self.fill_bytes(&mut buf);
+        u64::from_le_bytes(buf)
+    }
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        use std::io::Read;
+        let filled = std::fs::File::open("/dev/urandom")
+            .and_then(|mut f| f.read_exact(dest))
+            .is_ok();
+        if !filled {
+            Self::fallback_fill(dest);
+        }
+    }
+    fn try_fill_bytes(&mut self, dest: &mut [u8]) -> Result<(), Error> {
+        self.fill_bytes(dest);
+        Ok(())
+    }
+}

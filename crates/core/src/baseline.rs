@@ -178,8 +178,8 @@ impl ServingStrategy {
 mod tests {
     use super::*;
     use sesemi_crypto::aead::AeadKey;
-    use sesemi_runtime::InvocationReport;
     use sesemi_runtime::InvocationPath;
+    use sesemi_runtime::InvocationReport;
 
     fn user() -> PartyId {
         PartyId::from_identity_key(&AeadKey::from_bytes([1u8; 16]))
@@ -206,8 +206,7 @@ mod tests {
 
     #[test]
     fn sesemi_cold_sandbox_runs_everything() {
-        let stages =
-            ServingStrategy::Sesemi.stages_for(&SandboxWarmth::cold(), user(), &model());
+        let stages = ServingStrategy::Sesemi.stages_for(&SandboxWarmth::cold(), user(), &model());
         assert!(stages.contains(&ServingStage::EnclaveInit));
         assert!(stages.contains(&ServingStage::KeyFetch));
         assert!(stages.contains(&ServingStage::ModelLoad));

@@ -306,8 +306,7 @@ impl ClusterSimulation {
                         config.tcs_per_container,
                     );
                     controller.register_action(spec).expect("fresh action");
-                    action_models
-                        .insert(action, models.iter().map(|(m, _)| m.clone()).collect());
+                    action_models.insert(action, models.iter().map(|(m, _)| m.clone()).collect());
                 }
             }
         }
@@ -347,8 +346,9 @@ impl ClusterSimulation {
             let mut key = [0u8; 16];
             key[..8].copy_from_slice(&next.to_le_bytes());
             key[8] = 0xA5;
-            self.users
-                .push(PartyId::from_identity_key(&sesemi_crypto::aead::AeadKey::from_bytes(key)));
+            self.users.push(PartyId::from_identity_key(
+                &sesemi_crypto::aead::AeadKey::from_bytes(key),
+            ));
         }
         self.users[index]
     }
@@ -405,13 +405,16 @@ impl ClusterSimulation {
                 .sandbox(sandbox_id)
                 .expect("just scheduled")
                 .memory_bytes;
-            let node = self.controller.sandbox(sandbox_id).expect("just scheduled").node;
+            let node = self
+                .controller
+                .sandbox(sandbox_id)
+                .expect("just scheduled")
+                .node;
             self.controller.sandbox_ready(sandbox_id).expect("exists");
             self.controller
                 .invocation_finished(sandbox_id, SimTime::ZERO)
                 .expect("assigned at schedule time");
-            let mut state =
-                SandboxSimState::new(node, self.config.tcs_per_container, spec_memory);
+            let mut state = SandboxSimState::new(node, self.config.tcs_per_container, spec_memory);
             state.ready = true;
             state.enclave_ready = self.config.strategy.reuses_enclave()
                 || self.config.strategy == ServingStrategy::Untrusted;
@@ -459,7 +462,8 @@ impl ClusterSimulation {
                 // concurrent-initialization penalty of Fig. 15 (measured up
                 // to 16 concurrent launches; cap there).
                 let concurrent = self.node_enclave_inits[node].clamp(1, 16);
-                let penalty = 1.0 + self.cost_model.init_concurrency_penalty * (concurrent - 1) as f64;
+                let penalty =
+                    1.0 + self.cost_model.init_concurrency_penalty * (concurrent - 1) as f64;
                 costs.enclave_init.mul_f64(penalty * epc)
             }
             ServingStage::KeyFetch => costs.key_fetch,
@@ -499,14 +503,18 @@ impl ClusterSimulation {
             loaded_model: state.loaded_model.clone(),
             slot_runtime_ready: state.slot_models[slot].as_ref() == Some(&request.model),
         };
-        let stages = self.config.strategy.stages_for(&warmth, user, &request.model);
+        let stages = self
+            .config
+            .strategy
+            .stages_for(&warmth, user, &request.model);
         let path = InvocationReport::classify(&stages);
         let enclave_was_initialized = stages.contains(&ServingStage::EnclaveInit);
 
         // Update sandbox state to reflect what the invocation leaves behind.
         state.slot_busy[slot] = true;
         state.slot_models[slot] = Some(request.model.clone());
-        if self.config.strategy.reuses_enclave() || self.config.strategy == ServingStrategy::Untrusted
+        if self.config.strategy.reuses_enclave()
+            || self.config.strategy == ServingStrategy::Untrusted
         {
             state.enclave_ready = true;
         }
@@ -523,11 +531,9 @@ impl ClusterSimulation {
             self.node_enclave_inits[node] += 1;
         }
 
-        let duration: SimDuration = stages
-            .iter()
-            .fold(SimDuration::ZERO, |acc, stage| {
-                acc + self.price_stage(*stage, &profile, node)
-            });
+        let duration: SimDuration = stages.iter().fold(SimDuration::ZERO, |acc, stage| {
+            acc + self.price_stage(*stage, &profile, node)
+        });
 
         self.queue.push(
             now + duration,
@@ -558,17 +564,16 @@ impl ClusterSimulation {
                 let node = sandbox.node;
                 let memory = sandbox.memory_bytes;
                 let is_cold = outcome.is_cold_start();
-                let entry = self
-                    .sandbox_state
-                    .entry(sandbox_id)
-                    .or_insert_with(|| {
-                        SandboxSimState::new(node, self.config.tcs_per_container, memory)
-                    });
+                let entry = self.sandbox_state.entry(sandbox_id).or_insert_with(|| {
+                    SandboxSimState::new(node, self.config.tcs_per_container, memory)
+                });
                 if is_cold {
                     self.node_enclave_bytes[node] += entry.enclave_bytes;
                     entry.waiting.push_back(request);
-                    self.queue
-                        .push(now + self.config.sandbox_cold_start, Event::SandboxReady(sandbox_id));
+                    self.queue.push(
+                        now + self.config.sandbox_cold_start,
+                        Event::SandboxReady(sandbox_id),
+                    );
                 } else if !entry.ready {
                     // Assigned to a container that is still starting.
                     entry.waiting.push_back(request);
@@ -821,9 +826,17 @@ mod tests {
         sim.add_arrivals(poisson_trace(&model, 20.0, 60, 1));
         let result = sim.run(SimDuration::from_secs(60));
         assert!(result.completed > 1_000);
-        assert!(result.hot_fraction() > 0.95, "hot fraction {}", result.hot_fraction());
+        assert!(
+            result.hot_fraction() > 0.95,
+            "hot fraction {}",
+            result.hot_fraction()
+        );
         // Hot TVM-MBNET requests complete in well under a second.
-        assert!(result.p95_latency() < SimDuration::from_millis(500), "p95 {}", result.p95_latency());
+        assert!(
+            result.p95_latency() < SimDuration::from_millis(500),
+            "p95 {}",
+            result.p95_latency()
+        );
     }
 
     #[test]
@@ -841,7 +854,11 @@ mod tests {
             sim.prewarm(&model, 0, 8);
             sim.add_arrivals(poisson_trace(&model, 10.0, 120, 7));
             let result = sim.run(SimDuration::from_secs(120));
-            assert!(result.completed > 500, "{strategy:?} completed {}", result.completed);
+            assert!(
+                result.completed > 500,
+                "{strategy:?} completed {}",
+                result.completed
+            );
             means.insert(strategy, result.mean_latency());
         }
         let sesemi = means[&ServingStrategy::Sesemi];
@@ -864,15 +881,24 @@ mod tests {
         assert!(result.peak_sandboxes >= 1);
         assert!(!result.sandbox_series.is_empty());
         assert!(!result.memory_series.is_empty());
-        let cold = result.path_counts.get(&InvocationPath::Cold).copied().unwrap_or(0);
+        let cold = result
+            .path_counts
+            .get(&InvocationPath::Cold)
+            .copied()
+            .unwrap_or(0);
         assert!(cold >= 1);
     }
 
     #[test]
     fn higher_request_rates_increase_p95_latency() {
+        // Compare a comfortably-served rate against one near the node's
+        // saturation point (12 cores / ~1.1s RSNET-TVM execution): below
+        // ~6 rps the p95 is dominated by warm-path tail noise rather than
+        // queueing, so the Fig. 12 monotonicity only shows once the higher
+        // rate actually stresses capacity.
         let (model, profile) = profile(ModelKind::RsNet, Framework::Tvm);
         let mut p95 = Vec::new();
-        for rate in [2.0, 6.0] {
+        for rate in [4.0, 10.0] {
             let config = ClusterConfig {
                 tcs_per_container: 2,
                 ..ClusterConfig::single_node_sgx2()
@@ -883,15 +909,26 @@ mod tests {
             let result = sim.run(SimDuration::from_secs(60));
             p95.push(result.p95_latency());
         }
-        assert!(p95[1] > p95[0], "p95 at 6 rps {} vs 2 rps {}", p95[1], p95[0]);
+        assert!(
+            p95[1] > p95[0],
+            "p95 at 10 rps {} vs 4 rps {}",
+            p95[1],
+            p95[0]
+        );
     }
 
     #[test]
     fn fnpacker_reduces_latency_versus_all_in_one_for_mixed_traffic() {
         // Two popular models with interleaved Poisson traffic: All-in-one
         // keeps swapping models, FnPacker gives each an exclusive endpoint.
-        let (m0, p0) = (ModelId::new("m0"), ModelProfile::paper(ModelKind::RsNet, Framework::Tvm));
-        let (m1, p1) = (ModelId::new("m1"), ModelProfile::paper(ModelKind::RsNet, Framework::Tvm));
+        let (m0, p0) = (
+            ModelId::new("m0"),
+            ModelProfile::paper(ModelKind::RsNet, Framework::Tvm),
+        );
+        let (m1, p1) = (
+            ModelId::new("m1"),
+            ModelProfile::paper(ModelKind::RsNet, Framework::Tvm),
+        );
         let mut means = HashMap::new();
         for routing in [RoutingStrategy::AllInOne, RoutingStrategy::FnPacker] {
             let config = ClusterConfig {
@@ -900,8 +937,7 @@ mod tests {
                 tcs_per_container: 1,
                 ..ClusterConfig::multi_node_sgx2()
             };
-            let mut sim =
-                ClusterSimulation::new(config, vec![(m0.clone(), p0), (m1.clone(), p1)]);
+            let mut sim = ClusterSimulation::new(config, vec![(m0.clone(), p0), (m1.clone(), p1)]);
             let mut trace = poisson_trace(&m0, 2.0, 300, 11);
             trace.extend(poisson_trace(&m1, 2.0, 300, 13));
             trace.sort_by_key(|a| a.at);

@@ -19,19 +19,23 @@
 //! [`crate::cluster`].
 
 use parking_lot::Mutex;
+use rand::RngCore;
 use sesemi_crypto::aead::AeadKey;
 use sesemi_crypto::rng::SessionRng;
 use sesemi_enclave::attest::{AttestationAuthority, AttestationScheme};
-use sesemi_enclave::{CodeIdentity, Enclave, EnclaveConfig, Measurement, QuoteVerifier, SgxPlatform};
+use sesemi_enclave::{
+    CodeIdentity, Enclave, EnclaveConfig, Measurement, QuoteVerifier, SgxPlatform,
+};
 use sesemi_inference::{Framework, ModelId, ModelKind};
 use sesemi_keyservice::client::{OwnerClient, UserClient};
 use sesemi_keyservice::service::KeyService;
 use sesemi_keyservice::{KeyServiceError, PartyId};
-use sesemi_runtime::provider::{encrypt_model, InMemoryModelStore, KeyProvider, KeyServiceProvider, ModelFetcher};
+use sesemi_runtime::provider::{
+    encrypt_model, InMemoryModelStore, KeyProvider, KeyServiceProvider, ModelFetcher,
+};
 use sesemi_runtime::{
     InferenceRequest, InvocationReport, RuntimeError, SemirtConfig, SemirtInstance,
 };
-use rand::RngCore;
 use std::collections::HashMap;
 use std::fmt;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -288,7 +292,8 @@ impl UserHandle {
     /// The request key this user holds for `(model, function)`, if any.
     #[must_use]
     pub fn request_key(&self, model: &ModelId, function: &FunctionHandle) -> Option<&AeadKey> {
-        self.request_keys.get(&(model.clone(), function.measurement))
+        self.request_keys
+            .get(&(model.clone(), function.measurement))
     }
 
     fn rng(&mut self) -> &mut SessionRng {
@@ -485,13 +490,8 @@ impl Deployment {
             u64::from_le_bytes(request_key.as_bytes()[..8].try_into().expect("8 bytes"))
                 ^ features.len() as u64,
         );
-        let request = InferenceRequest::encrypt(
-            user.party,
-            model.clone(),
-            features,
-            &request_key,
-            &mut rng,
-        );
+        let request =
+            InferenceRequest::encrypt(user.party, model.clone(), features, &request_key, &mut rng);
         let (response, report) = instance.handle_request(worker, &request)?;
         let prediction = response
             .decrypt(&request_key)
@@ -559,16 +559,22 @@ mod tests {
         let dim = deployment.model_input_dim(&model).unwrap();
         let features = vec![0.3f32; dim];
 
-        let first = deployment.infer(&user, &function, &model, &features).unwrap();
+        let first = deployment
+            .infer(&user, &function, &model, &features)
+            .unwrap();
         assert_eq!(first.report.path, InvocationPath::Cold);
         assert!((first.prediction.iter().sum::<f32>() - 1.0).abs() < 1e-4);
 
         // Cycle through all four workers so every TCS has a runtime, then the
         // fifth request (worker 0 again) is hot.
         for _ in 0..3 {
-            deployment.infer(&user, &function, &model, &features).unwrap();
+            deployment
+                .infer(&user, &function, &model, &features)
+                .unwrap();
         }
-        let fifth = deployment.infer(&user, &function, &model, &features).unwrap();
+        let fifth = deployment
+            .infer(&user, &function, &model, &features)
+            .unwrap();
         assert_eq!(fifth.report.path, InvocationPath::Hot);
         assert_eq!(fifth.prediction, first.prediction);
         assert_eq!(deployment.model_kind(&model), Some(ModelKind::MbNet));
@@ -647,13 +653,19 @@ mod tests {
         assert_ne!(out_a.prediction.len(), out_b.prediction.len());
         // The second model's first request on this instance had to switch the
         // loaded model.
-        assert!(out_b.report.performed(sesemi_runtime::ServingStage::ModelLoad));
+        assert!(out_b
+            .report
+            .performed(sesemi_runtime::ServingStage::ModelLoad));
     }
 
     #[test]
     fn deployment_error_display() {
-        assert!(DeploymentError::UnknownModel("m".into()).to_string().contains('m'));
-        assert!(DeploymentError::UnknownFunction(3).to_string().contains('3'));
+        assert!(DeploymentError::UnknownModel("m".into())
+            .to_string()
+            .contains('m'));
+        assert!(DeploymentError::UnknownFunction(3)
+            .to_string()
+            .contains('3'));
         let err: DeploymentError = KeyServiceError::NotAuthorized.into();
         assert!(err.to_string().contains("key service"));
     }

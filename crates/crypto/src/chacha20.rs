@@ -26,16 +26,16 @@ fn quarter_round(state: &mut [u32; 16], a: usize, b: usize, c: usize, d: usize) 
 
 /// Computes one 64-byte ChaCha20 keystream block.
 #[must_use]
-pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]) -> [u8; BLOCK_LEN] {
+pub fn chacha20_block(
+    key: &[u8; KEY_LEN],
+    counter: u32,
+    nonce: &[u8; NONCE_LEN],
+) -> [u8; BLOCK_LEN] {
     let mut state = [0u32; 16];
     state[..4].copy_from_slice(&CONSTANTS);
     for i in 0..8 {
-        state[4 + i] = u32::from_le_bytes([
-            key[4 * i],
-            key[4 * i + 1],
-            key[4 * i + 2],
-            key[4 * i + 3],
-        ]);
+        state[4 + i] =
+            u32::from_le_bytes([key[4 * i], key[4 * i + 1], key[4 * i + 2], key[4 * i + 3]]);
     }
     state[12] = counter;
     for i in 0..3 {
@@ -71,7 +71,12 @@ pub fn chacha20_block(key: &[u8; KEY_LEN], counter: u32, nonce: &[u8; NONCE_LEN]
 
 /// Encrypts or decrypts `data` in place (XOR with the keystream starting at
 /// block `initial_counter`).
-pub fn chacha20_xor(key: &[u8; KEY_LEN], nonce: &[u8; NONCE_LEN], initial_counter: u32, data: &mut [u8]) {
+pub fn chacha20_xor(
+    key: &[u8; KEY_LEN],
+    nonce: &[u8; NONCE_LEN],
+    initial_counter: u32,
+    data: &mut [u8],
+) {
     for (block_idx, chunk) in data.chunks_mut(BLOCK_LEN).enumerate() {
         let counter = initial_counter.wrapping_add(block_idx as u32);
         let keystream = chacha20_block(key, counter, nonce);
@@ -141,6 +146,9 @@ mod tests {
     fn different_counters_give_different_keystreams() {
         let key = [0u8; 32];
         let nonce = [0u8; 12];
-        assert_ne!(chacha20_block(&key, 0, &nonce), chacha20_block(&key, 1, &nonce));
+        assert_ne!(
+            chacha20_block(&key, 0, &nonce),
+            chacha20_block(&key, 1, &nonce)
+        );
     }
 }

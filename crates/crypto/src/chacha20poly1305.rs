@@ -126,7 +126,10 @@ mod tests {
         let cipher = ChaCha20Poly1305::new(&key);
         let nonce = Nonce::from_counter(3, 77);
         let sealed = cipher.seal(&nonce, b"inference request", b"m0");
-        assert_eq!(cipher.open(&nonce, &sealed, b"m0").unwrap(), b"inference request");
+        assert_eq!(
+            cipher.open(&nonce, &sealed, b"m0").unwrap(),
+            b"inference request"
+        );
 
         let mut bad = sealed.clone();
         bad[2] ^= 0x40;

@@ -67,7 +67,9 @@ mod tests {
         assert!(text.contains("nonce"));
         assert!(text.contains("12"));
         assert!(text.contains('7'));
-        assert!(CryptoError::AuthenticationFailed.to_string().contains("failed"));
+        assert!(CryptoError::AuthenticationFailed
+            .to_string()
+            .contains("failed"));
     }
 
     #[test]

@@ -39,7 +39,9 @@ impl Aes128Gcm {
     fn ctr_xor(&self, nonce: &Nonce, data: &mut [u8]) {
         let mut counter = 2u32; // counter 1 is reserved for the tag mask
         for chunk in data.chunks_mut(BLOCK_LEN) {
-            let keystream = self.aes.encrypt_block_copy(&Self::counter_block(nonce, counter));
+            let keystream = self
+                .aes
+                .encrypt_block_copy(&Self::counter_block(nonce, counter));
             for (byte, ks) in chunk.iter_mut().zip(keystream.iter()) {
                 *byte ^= ks;
             }

@@ -10,7 +10,11 @@ use crate::sha256::DIGEST_LEN;
 /// HKDF-Extract: turns input keying material into a pseudo-random key.
 #[must_use]
 pub fn hkdf_extract(salt: &[u8], ikm: &[u8]) -> [u8; DIGEST_LEN] {
-    let salt: &[u8] = if salt.is_empty() { &[0u8; DIGEST_LEN] } else { salt };
+    let salt: &[u8] = if salt.is_empty() {
+        &[0u8; DIGEST_LEN]
+    } else {
+        salt
+    };
     let mut mac = HmacSha256::new(salt);
     mac.update(ikm);
     *mac.finalize().as_bytes()

@@ -6,7 +6,7 @@
 //! SeMIRT enclaves.  This crate provides every primitive those protocols need
 //! without any external cryptography dependency:
 //!
-//! * [`sha256`] — SHA-256 hashing (used for owner/user identities and enclave
+//! * [`sha256`](mod@sha256) — SHA-256 hashing (used for owner/user identities and enclave
 //!   measurement values, `MRENCLAVE`).
 //! * [`hmac`] / [`hkdf`] — keyed MACs and key derivation for session keys.
 //! * [`aes`] / [`gcm`] — AES-128 and AES-128-GCM authenticated encryption
@@ -14,7 +14,7 @@
 //! * [`chacha20`] / [`poly1305`] / [`chacha20poly1305`] — an alternative AEAD
 //!   suite used for RA-TLS record protection.
 //! * [`x25519`] — Diffie–Hellman key agreement for the RA-TLS handshake.
-//! * [`aead`] — a common [`Aead`](aead::Aead) trait plus key / nonce types.
+//! * [`aead`] — a common [`aead::Aead`] trait plus key / nonce types.
 //! * [`ct`] — constant-time comparison helpers.
 //!
 //! ## Security disclaimer

@@ -178,10 +178,7 @@ mod tests {
         let mut key_arr = [0u8; 32];
         key_arr.copy_from_slice(&key);
         let tag = poly1305(&key_arr, b"Cryptographic Forum Research Group");
-        assert_eq!(
-            tag.to_vec(),
-            unhex("a8061dc1305136c6c22b8baf0c0127a9")
-        );
+        assert_eq!(tag.to_vec(), unhex("a8061dc1305136c6c22b8baf0c0127a9"));
     }
 
     // RFC 8439 Appendix A.3 test vector #1: all-zero key and message.

@@ -182,8 +182,10 @@ impl QuoteVerifier {
             &quote.platform_id,
             quote.scheme,
         );
-        let expected =
-            hmac_sha256(&self.authority.platform_secret(&quote.platform_id), &payload);
+        let expected = hmac_sha256(
+            &self.authority.platform_secret(&quote.platform_id),
+            &payload,
+        );
         if !sesemi_crypto::ct::ct_eq(expected.as_bytes(), &quote.signature) {
             return Err(EnclaveError::QuoteVerificationFailed(
                 "signature mismatch".to_string(),

@@ -222,7 +222,10 @@ mod tests {
         let sgx1 = EnclaveCostModel::for_version(SgxVersion::Sgx1);
         let sgx2 = EnclaveCostModel::for_version(SgxVersion::Sgx2);
         assert!(sgx1.quote_generation(1) > sgx2.quote_generation(1));
-        assert!(verification_latency(AttestationScheme::Epid) > verification_latency(AttestationScheme::EcdsaDcap));
+        assert!(
+            verification_latency(AttestationScheme::Epid)
+                > verification_latency(AttestationScheme::EcdsaDcap)
+        );
     }
 
     #[test]

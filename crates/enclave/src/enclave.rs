@@ -385,7 +385,10 @@ mod tests {
         let _t4 = enclave.enter().unwrap();
         assert_eq!(enclave.threads_inside(), 4);
         let err = enclave.enter().unwrap_err();
-        assert!(matches!(err, EnclaveError::NoAvailableTcs { configured: 4 }));
+        assert!(matches!(
+            err,
+            EnclaveError::NoAvailableTcs { configured: 4 }
+        ));
         drop(t1);
         assert_eq!(enclave.threads_inside(), 3);
         let _t5 = enclave.enter().unwrap();
@@ -423,7 +426,10 @@ mod tests {
         let enclave = launch(&platform, &authority);
         enclave.destroy();
         assert!(enclave.is_destroyed());
-        assert!(matches!(enclave.enter(), Err(EnclaveError::EnclaveDestroyed)));
+        assert!(matches!(
+            enclave.enter(),
+            Err(EnclaveError::EnclaveDestroyed)
+        ));
         assert!(matches!(
             enclave.allocate(1),
             Err(EnclaveError::EnclaveDestroyed)

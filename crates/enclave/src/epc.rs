@@ -139,10 +139,7 @@ pub struct OwnedEpcReservation {
 
 impl OwnedEpcReservation {
     /// Commits `bytes` against `manager`, returning an owning guard.
-    pub fn reserve(
-        manager: std::sync::Arc<EpcManager>,
-        bytes: u64,
-    ) -> Result<Self, EnclaveError> {
+    pub fn reserve(manager: std::sync::Arc<EpcManager>, bytes: u64) -> Result<Self, EnclaveError> {
         {
             // Reuse the borrow-based reservation for the limit check, then
             // leak it into the owned form.

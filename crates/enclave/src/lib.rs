@@ -21,7 +21,7 @@
 //!    causes expensive paging.  See [`epc`].
 //! 5. **Threading via TCS** — threads enter the enclave through Thread
 //!    Control Structures; the number of TCSs bounds in-enclave concurrency.
-//!    See [`enclave::TcsPool`].
+//!    See [`enclave::TcsToken`].
 //!
 //! Costs that are hardware-bound (enclave creation, quote generation, EPC
 //! paging) are modelled by [`costs::EnclaveCostModel`], calibrated against

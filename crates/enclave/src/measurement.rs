@@ -70,7 +70,11 @@ pub struct CodeIdentity {
 impl CodeIdentity {
     /// Creates a new code identity.
     #[must_use]
-    pub fn new(name: impl Into<String>, code: impl Into<Vec<u8>>, version: impl Into<String>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        code: impl Into<Vec<u8>>,
+        version: impl Into<String>,
+    ) -> Self {
         CodeIdentity {
             name: name.into(),
             code: code.into(),

@@ -59,7 +59,12 @@ impl SgxPlatform {
     /// Creates a platform with the generation's default EPC size.
     #[must_use]
     pub fn new(version: SgxVersion, physical_cores: usize, platform_id: impl Into<String>) -> Self {
-        Self::with_epc_bytes(version, physical_cores, platform_id, version.default_epc_bytes())
+        Self::with_epc_bytes(
+            version,
+            physical_cores,
+            platform_id,
+            version.default_epc_bytes(),
+        )
     }
 
     /// Creates a platform with an explicit EPC size (used to study EPC
@@ -108,7 +113,10 @@ mod tests {
     #[test]
     fn default_epc_sizes_match_paper_setup() {
         assert_eq!(SgxVersion::Sgx1.default_epc_bytes(), 128 * 1024 * 1024);
-        assert_eq!(SgxVersion::Sgx2.default_epc_bytes(), 64 * 1024 * 1024 * 1024);
+        assert_eq!(
+            SgxVersion::Sgx2.default_epc_bytes(),
+            64 * 1024 * 1024 * 1024
+        );
     }
 
     #[test]

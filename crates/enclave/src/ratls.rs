@@ -266,8 +266,7 @@ pub fn respond<R: RngCore>(
     let shared = keypair
         .diffie_hellman(&initiator.ephemeral_public)
         .map_err(EnclaveError::from)?;
-    let (i2r, r2i) =
-        derive_directional_keys(&shared, &initiator.ephemeral_public, &keypair.public);
+    let (i2r, r2i) = derive_directional_keys(&shared, &initiator.ephemeral_public, &keypair.public);
     let channel = SecureChannel {
         // The responder sends with the r2i key and receives with i2r.
         send_cipher: ChaCha20Poly1305::from_full_key(r2i),
@@ -343,7 +342,13 @@ mod tests {
         let mut enclave_rng = SessionRng::from_seed(2);
 
         let initiator = HandshakeInitiator::new_client(&mut client_rng);
-        let result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut enclave_rng).unwrap();
+        let result = respond(
+            &initiator.hello(),
+            &fx.keyservice,
+            &verifier,
+            &mut enclave_rng,
+        )
+        .unwrap();
         assert!(result.initiator_measurement.is_none());
 
         let mut client_channel = initiator
@@ -385,10 +390,7 @@ mod tests {
             ks_channel.recv(&record).unwrap(),
             b"KEY_PROVISIONING request"
         );
-        assert_eq!(
-            ks_channel.peer_measurement(),
-            Some(fx.semirt.measurement())
-        );
+        assert_eq!(ks_channel.peer_measurement(), Some(fx.semirt.measurement()));
     }
 
     #[test]
@@ -415,7 +417,8 @@ mod tests {
         let mut rng_b = SessionRng::from_seed(8);
 
         let initiator = HandshakeInitiator::new_client(&mut rng_a);
-        let mut result = respond(&initiator.hello(), &fx.keyservice, &verifier, &mut rng_b).unwrap();
+        let mut result =
+            respond(&initiator.hello(), &fx.keyservice, &verifier, &mut rng_b).unwrap();
         // A man in the middle substitutes its own ephemeral key but cannot
         // produce a quote binding it.
         result.hello.ephemeral_public[0] ^= 1;

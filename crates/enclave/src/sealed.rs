@@ -69,7 +69,9 @@ pub fn unseal(
     if data.sealed.aad != data.label.as_bytes() {
         return Err(EnclaveError::UnsealFailed);
     }
-    data.sealed.open(&cipher).map_err(|_| EnclaveError::UnsealFailed)
+    data.sealed
+        .open(&cipher)
+        .map_err(|_| EnclaveError::UnsealFailed)
 }
 
 #[cfg(test)]
@@ -86,7 +88,13 @@ mod tests {
     fn seal_unseal_roundtrip() {
         let mut rng = SessionRng::from_seed(1);
         let m = measurement("keyservice");
-        let sealed = seal(&m, b"platform-secret", "keystore", b"key material", &mut rng);
+        let sealed = seal(
+            &m,
+            b"platform-secret",
+            "keystore",
+            b"key material",
+            &mut rng,
+        );
         let opened = unseal(&m, b"platform-secret", &sealed).unwrap();
         assert_eq!(opened, b"key material");
     }

@@ -193,7 +193,10 @@ impl FnPacker {
     /// a proxy for how well the packer consolidates infrequent models.
     #[must_use]
     pub fn endpoints_used(&self) -> usize {
-        self.endpoints.iter().filter(|e| e.total_dispatched > 0).count()
+        self.endpoints
+            .iter()
+            .filter(|e| e.total_dispatched > 0)
+            .count()
     }
 }
 
@@ -255,20 +258,44 @@ mod tests {
         let e_hot = packer.route(&ModelId::new("hot"), SimTime::from_secs(1));
         packer.route(&ModelId::new("hot"), SimTime::from_secs(2));
         assert_eq!(e_hot, 0);
-        packer.complete(&ModelId::new("hot"), 0, SimTime::from_secs(3), SimDuration::from_millis(500), "hot");
-        packer.complete(&ModelId::new("hot"), 0, SimTime::from_secs(3), SimDuration::from_millis(500), "hot");
+        packer.complete(
+            &ModelId::new("hot"),
+            0,
+            SimTime::from_secs(3),
+            SimDuration::from_millis(500),
+            "hot",
+        );
+        packer.complete(
+            &ModelId::new("hot"),
+            0,
+            SimTime::from_secs(3),
+            SimDuration::from_millis(500),
+            "hot",
+        );
 
         // "rare" arrives shortly after: endpoint 0 is idle but still
         // exclusive, so rare goes to endpoint 1.
         let e_rare = packer.route(&ModelId::new("rare"), SimTime::from_secs(5));
         assert_eq!(e_rare, 1);
-        packer.complete(&ModelId::new("rare"), 1, SimTime::from_secs(6), SimDuration::from_secs(1), "cold");
+        packer.complete(
+            &ModelId::new("rare"),
+            1,
+            SimTime::from_secs(6),
+            SimDuration::from_secs(1),
+            "cold",
+        );
 
         // Much later, endpoint 0's exclusivity has lapsed (no request for more
         // than the release interval), so it counts as "not busy" again and,
         // being the first such endpoint, receives the next rare request.
         packer.route(&ModelId::new("hot"), SimTime::from_secs(40));
-        packer.complete(&ModelId::new("hot"), 0, SimTime::from_secs(41), SimDuration::from_millis(500), "hot");
+        packer.complete(
+            &ModelId::new("hot"),
+            0,
+            SimTime::from_secs(41),
+            SimDuration::from_millis(500),
+            "hot",
+        );
         let much_later = SimTime::from_secs(120);
         let e = packer.route(&ModelId::new("rare"), much_later);
         assert_eq!(e, 0, "lapsed exclusivity frees the endpoint");
@@ -290,8 +317,8 @@ mod tests {
         let eb = packer.route(&ModelId::new("b"), SimTime::from_secs(1));
         assert_ne!(ea, eb);
         packer.route(&ModelId::new("a"), SimTime::from_secs(2)); // a now has 2 pending
-        // c has nowhere idle; it must go to the endpoint with fewer pending
-        // requests, which is b's.
+                                                                 // c has nowhere idle; it must go to the endpoint with fewer pending
+                                                                 // requests, which is b's.
         let ec = packer.route(&ModelId::new("c"), SimTime::from_secs(3));
         assert_eq!(ec, eb);
     }

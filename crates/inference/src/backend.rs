@@ -51,7 +51,11 @@ impl Framework {
 
     /// `MODEL_LOAD`: deserializes (an already decrypted) model blob into an
     /// in-enclave representation.
-    pub fn model_load(self, model_id: &ModelId, bytes: &[u8]) -> Result<LoadedModel, InferenceError> {
+    pub fn model_load(
+        self,
+        model_id: &ModelId,
+        bytes: &[u8],
+    ) -> Result<LoadedModel, InferenceError> {
         let graph = ModelGraph::from_bytes(bytes)?;
         Ok(LoadedModel {
             id: model_id.clone(),
@@ -439,12 +443,30 @@ mod tests {
     #[test]
     fn table1_buffer_sizes_match_the_paper() {
         const MB: u64 = 1024 * 1024;
-        assert_eq!(Framework::Tvm.table1_buffer_bytes(ModelKind::MbNet), 30 * MB);
-        assert_eq!(Framework::Tvm.table1_buffer_bytes(ModelKind::RsNet), 205 * MB);
-        assert_eq!(Framework::Tvm.table1_buffer_bytes(ModelKind::DsNet), 55 * MB);
-        assert_eq!(Framework::Tflm.table1_buffer_bytes(ModelKind::MbNet), 5 * MB);
-        assert_eq!(Framework::Tflm.table1_buffer_bytes(ModelKind::RsNet), 24 * MB);
-        assert_eq!(Framework::Tflm.table1_buffer_bytes(ModelKind::DsNet), 12 * MB);
+        assert_eq!(
+            Framework::Tvm.table1_buffer_bytes(ModelKind::MbNet),
+            30 * MB
+        );
+        assert_eq!(
+            Framework::Tvm.table1_buffer_bytes(ModelKind::RsNet),
+            205 * MB
+        );
+        assert_eq!(
+            Framework::Tvm.table1_buffer_bytes(ModelKind::DsNet),
+            55 * MB
+        );
+        assert_eq!(
+            Framework::Tflm.table1_buffer_bytes(ModelKind::MbNet),
+            5 * MB
+        );
+        assert_eq!(
+            Framework::Tflm.table1_buffer_bytes(ModelKind::RsNet),
+            24 * MB
+        );
+        assert_eq!(
+            Framework::Tflm.table1_buffer_bytes(ModelKind::DsNet),
+            12 * MB
+        );
     }
 
     #[test]

@@ -207,12 +207,12 @@ impl ModelProfile {
     pub fn paper(kind: ModelKind, framework: Framework) -> Self {
         let enclave_bytes = match (framework, kind) {
             // Appendix D memory configurations (hex values from the paper).
-            (Framework::Tflm, ModelKind::MbNet) => 0x0300_0000,  // 48 MB
-            (Framework::Tvm, ModelKind::MbNet) => 0x0400_0000,   // 64 MB
-            (Framework::Tflm, ModelKind::RsNet) => 0x1600_0000,  // 352 MB
-            (Framework::Tvm, ModelKind::RsNet) => 0x2300_0000,   // 560 MB
-            (Framework::Tflm, ModelKind::DsNet) => 0x0600_0000,  // 96 MB
-            (Framework::Tvm, ModelKind::DsNet) => 0x0800_0000,   // 128 MB
+            (Framework::Tflm, ModelKind::MbNet) => 0x0300_0000, // 48 MB
+            (Framework::Tvm, ModelKind::MbNet) => 0x0400_0000,  // 64 MB
+            (Framework::Tflm, ModelKind::RsNet) => 0x1600_0000, // 352 MB
+            (Framework::Tvm, ModelKind::RsNet) => 0x2300_0000,  // 560 MB
+            (Framework::Tflm, ModelKind::DsNet) => 0x0600_0000, // 96 MB
+            (Framework::Tvm, ModelKind::DsNet) => 0x0800_0000,  // 128 MB
         };
         ModelProfile {
             kind,
@@ -298,8 +298,14 @@ mod tests {
         let costs = StageCosts::paper_sgx2(ModelKind::MbNet, Framework::Tvm);
         let hot_speedup = costs.cold_total().as_secs_f64() / costs.hot_total().as_secs_f64();
         let warm_speedup = costs.cold_total().as_secs_f64() / costs.warm_total().as_secs_f64();
-        assert!((15.0..27.0).contains(&hot_speedup), "hot speedup {hot_speedup:.1}");
-        assert!((8.0..15.0).contains(&warm_speedup), "warm speedup {warm_speedup:.1}");
+        assert!(
+            (15.0..27.0).contains(&hot_speedup),
+            "hot speedup {hot_speedup:.1}"
+        );
+        assert!(
+            (8.0..15.0).contains(&warm_speedup),
+            "warm speedup {warm_speedup:.1}"
+        );
     }
 
     #[test]
@@ -314,7 +320,9 @@ mod tests {
             (Framework::Tvm, ModelKind::DsNet, 0.38),
         ];
         for (framework, kind, expected) in expectations {
-            let hot = StageCosts::paper_sgx2(kind, framework).hot_total().as_secs_f64();
+            let hot = StageCosts::paper_sgx2(kind, framework)
+                .hot_total()
+                .as_secs_f64();
             let ratio = hot / expected;
             assert!(
                 (0.9..1.12).contains(&ratio),

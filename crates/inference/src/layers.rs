@@ -82,7 +82,11 @@ pub enum Layer {
 impl Layer {
     /// Output width of this layer given the input width, or an error if the
     /// widths are inconsistent.
-    pub fn output_dim(&self, input_dim: usize, layer_index: usize) -> Result<usize, InferenceError> {
+    pub fn output_dim(
+        &self,
+        input_dim: usize,
+        layer_index: usize,
+    ) -> Result<usize, InferenceError> {
         match self {
             Layer::Dense { weights, bias, .. } => {
                 if weights.cols() != input_dim {
@@ -262,7 +266,10 @@ mod tests {
         assert_eq!(layer.parameter_count(), 4 * 8 + 4);
         assert_eq!(layer.op_count(), 2);
         let block = Layer::Residual {
-            branch: vec![dense(4, 4, 0.1, Activation::Relu), dense(4, 4, 0.1, Activation::None)],
+            branch: vec![
+                dense(4, 4, 0.1, Activation::Relu),
+                dense(4, 4, 0.1, Activation::None),
+            ],
         };
         assert_eq!(block.parameter_count(), 2 * (16 + 4));
         assert_eq!(block.op_count(), 1 + 4);

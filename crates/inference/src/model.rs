@@ -362,7 +362,9 @@ impl<'a> Cursor<'a> {
 
     fn take(&mut self, len: usize) -> Result<&'a [u8], InferenceError> {
         if self.offset + len > self.bytes.len() {
-            return Err(InferenceError::MalformedModel("truncated model".to_string()));
+            return Err(InferenceError::MalformedModel(
+                "truncated model".to_string(),
+            ));
         }
         let slice = &self.bytes[self.offset..self.offset + len];
         self.offset += len;
@@ -415,7 +417,9 @@ mod tests {
             weights: Matrix::from_vec(
                 rows,
                 cols,
-                (0..rows * cols).map(|i| (i as f32 * 0.013 - 0.3) * scale).collect(),
+                (0..rows * cols)
+                    .map(|i| (i as f32 * 0.013 - 0.3) * scale)
+                    .collect(),
             ),
             bias: (0..rows).map(|i| i as f32 * 0.01).collect(),
             activation: Activation::Relu,
@@ -464,7 +468,10 @@ mod tests {
         let model = small_model();
         assert!(matches!(
             model.forward(&[0.0; 5]),
-            Err(InferenceError::InputDimensionMismatch { expected: 8, actual: 5 })
+            Err(InferenceError::InputDimensionMismatch {
+                expected: 8,
+                actual: 5
+            })
         ));
     }
 
@@ -476,7 +483,10 @@ mod tests {
         let restored = ModelGraph::from_bytes(&bytes).unwrap();
         assert_eq!(restored, model);
         let input: Vec<f32> = (0..8).map(|i| (i as f32).sin()).collect();
-        assert_eq!(model.forward(&input).unwrap(), restored.forward(&input).unwrap());
+        assert_eq!(
+            model.forward(&input).unwrap(),
+            restored.forward(&input).unwrap()
+        );
     }
 
     #[test]

@@ -178,7 +178,8 @@ mod tests {
         let mut direct = [0.0f32; 3];
         m.matvec_into(&x, &mut direct);
         let mut via_transpose = [0.0f32; 3];
-        m.transposed().matvec_transposed_into(&x, &mut via_transpose);
+        m.transposed()
+            .matvec_transposed_into(&x, &mut via_transpose);
         for (a, b) in direct.iter().zip(via_transpose.iter()) {
             assert!((a - b).abs() < 1e-5, "{a} vs {b}");
         }

@@ -51,7 +51,11 @@ impl Session {
         })
     }
 
-    fn call(&mut self, service: &KeyService, request: &Request) -> Result<Response, KeyServiceError> {
+    fn call(
+        &mut self,
+        service: &KeyService,
+        request: &Request,
+    ) -> Result<Response, KeyServiceError> {
         let record = self.channel.send(&encode_request(request));
         let (response_record, _latency) = service.handle_record(self.connection, &record)?;
         let plaintext = self
@@ -127,7 +131,10 @@ impl OwnerClient {
             model_key: model_key.clone(),
         }
         .seal(&self.session.identity_key, rng);
-        match self.session.call(service, &Request::OwnerOp { owner, payload })? {
+        match self
+            .session
+            .call(service, &Request::OwnerOp { owner, payload })?
+        {
             Response::Ok => Ok(()),
             Response::Error(err) => Err(err),
             _ => Err(KeyServiceError::InvalidPayload),
@@ -151,7 +158,10 @@ impl OwnerClient {
             user,
         }
         .seal(&self.session.identity_key, rng);
-        match self.session.call(service, &Request::OwnerOp { owner, payload })? {
+        match self
+            .session
+            .call(service, &Request::OwnerOp { owner, payload })?
+        {
             Response::Ok => Ok(()),
             Response::Error(err) => Err(err),
             _ => Err(KeyServiceError::InvalidPayload),
@@ -210,7 +220,10 @@ impl UserClient {
             request_key: request_key.clone(),
         }
         .seal(&self.session.identity_key, rng);
-        match self.session.call(service, &Request::UserOp { user, payload })? {
+        match self
+            .session
+            .call(service, &Request::UserOp { user, payload })?
+        {
             Response::Ok => Ok(()),
             Response::Error(err) => Err(err),
             _ => Err(KeyServiceError::InvalidPayload),
@@ -299,10 +312,22 @@ mod tests {
             .add_model_key(&fx.service, &model, &model_key, &mut rng)
             .unwrap();
         owner
-            .grant_access(&fx.service, &model, fx.semirt_measurement, user_id, &mut rng)
+            .grant_access(
+                &fx.service,
+                &model,
+                fx.semirt_measurement,
+                user_id,
+                &mut rng,
+            )
             .unwrap();
-        user.add_request_key(&fx.service, &model, fx.semirt_measurement, &request_key, &mut rng)
-            .unwrap();
+        user.add_request_key(
+            &fx.service,
+            &model,
+            fx.semirt_measurement,
+            &request_key,
+            &mut rng,
+        )
+        .unwrap();
 
         let (parties, models, request_keys, grants) = fx.service.store_stats();
         assert_eq!((parties, models, request_keys, grants), (2, 1, 1, 1));
@@ -330,7 +355,10 @@ mod tests {
             },
             None,
         );
-        assert!(matches!(response, Response::Error(KeyServiceError::AttestationFailed(_))));
+        assert!(matches!(
+            response,
+            Response::Error(KeyServiceError::AttestationFailed(_))
+        ));
         let other = CodeIdentity::new("rogue", b"rogue".to_vec(), "1").measure();
         let response = fx.service.handle_request(
             Request::Provision {

@@ -60,8 +60,12 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(KeyServiceError::UnknownParty.to_string().contains("unknown"));
-        assert!(KeyServiceError::NotAuthorized.to_string().contains("not authorized"));
+        assert!(KeyServiceError::UnknownParty
+            .to_string()
+            .contains("unknown"));
+        assert!(KeyServiceError::NotAuthorized
+            .to_string()
+            .contains("not authorized"));
         assert!(KeyServiceError::AttestationFailed("bad quote".into())
             .to_string()
             .contains("bad quote"));

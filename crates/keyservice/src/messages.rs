@@ -88,7 +88,10 @@ fn read_u32(bytes: &[u8], offset: &mut usize) -> Result<u32, KeyServiceError> {
     Ok(value)
 }
 
-fn read_array<const N: usize>(bytes: &[u8], offset: &mut usize) -> Result<[u8; N], KeyServiceError> {
+fn read_array<const N: usize>(
+    bytes: &[u8],
+    offset: &mut usize,
+) -> Result<[u8; N], KeyServiceError> {
     if *offset + N > bytes.len() {
         return Err(KeyServiceError::InvalidPayload);
     }

@@ -322,8 +322,8 @@ pub fn decode_request(bytes: &[u8]) -> Result<Request, KeyServiceError> {
             if body.len() != 36 + len {
                 return Err(KeyServiceError::InvalidPayload);
             }
-            let model = std::str::from_utf8(&body[36..])
-                .map_err(|_| KeyServiceError::InvalidPayload)?;
+            let model =
+                std::str::from_utf8(&body[36..]).map_err(|_| KeyServiceError::InvalidPayload)?;
             Ok(Request::Provision {
                 user: PartyId::from_bytes(party),
                 model: ModelId::new(model),

@@ -87,7 +87,10 @@ mod tests {
 
     #[test]
     fn sgx1_profile_has_smaller_invoker_memory() {
-        assert!(PlatformConfig::paper_sgx1().invoker_memory_bytes < PlatformConfig::paper_sgx2().invoker_memory_bytes);
+        assert!(
+            PlatformConfig::paper_sgx1().invoker_memory_bytes
+                < PlatformConfig::paper_sgx2().invoker_memory_bytes
+        );
     }
 
     #[test]
@@ -102,7 +105,10 @@ mod tests {
         // TVM-DSNET-4, 768MB for TVM-RSNET-1, 1536MB for TVM-RSNET-4 are all
         // multiples of 128 MB.
         for budget in [256u64, 384, 768, 1536] {
-            assert_eq!(PlatformConfig::round_memory_budget(budget * MB), budget * MB);
+            assert_eq!(
+                PlatformConfig::round_memory_budget(budget * MB),
+                budget * MB
+            );
         }
     }
 

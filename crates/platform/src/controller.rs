@@ -58,9 +58,8 @@ impl ScheduleOutcome {
     #[must_use]
     pub fn sandbox(&self) -> SandboxId {
         match self {
-            ScheduleOutcome::Reused { sandbox, .. } | ScheduleOutcome::ColdStart { sandbox, .. } => {
-                *sandbox
-            }
+            ScheduleOutcome::Reused { sandbox, .. }
+            | ScheduleOutcome::ColdStart { sandbox, .. } => *sandbox,
         }
     }
 
@@ -221,7 +220,11 @@ impl Controller {
     }
 
     /// Marks one invocation on `id` as finished at `now`.
-    pub fn invocation_finished(&mut self, id: SandboxId, now: SimTime) -> Result<(), PlatformError> {
+    pub fn invocation_finished(
+        &mut self,
+        id: SandboxId,
+        now: SimTime,
+    ) -> Result<(), PlatformError> {
         let sandbox = self
             .sandboxes
             .get_mut(&id)
@@ -330,7 +333,8 @@ mod tests {
         assert!(first.is_cold_start());
         assert_eq!(c.cold_start_count(), 1);
         c.sandbox_ready(first.sandbox()).unwrap();
-        c.invocation_finished(first.sandbox(), SimTime::from_secs(2)).unwrap();
+        c.invocation_finished(first.sandbox(), SimTime::from_secs(2))
+            .unwrap();
 
         let second = c.schedule(&"mbnet".into(), SimTime::from_secs(3)).unwrap();
         assert_eq!(
@@ -348,15 +352,21 @@ mod tests {
     fn concurrency_slots_allow_multiple_in_flight_invocations() {
         let mut c = controller(1, 2048);
         c.register_action(spec("tvm-dsnet", 384, 4)).unwrap();
-        let first = c.schedule(&"tvm-dsnet".into(), SimTime::from_secs(1)).unwrap();
+        let first = c
+            .schedule(&"tvm-dsnet".into(), SimTime::from_secs(1))
+            .unwrap();
         assert!(first.is_cold_start());
         // Three more requests pack into the same container (4 TCS slots).
         for _ in 0..3 {
-            let outcome = c.schedule(&"tvm-dsnet".into(), SimTime::from_secs(1)).unwrap();
+            let outcome = c
+                .schedule(&"tvm-dsnet".into(), SimTime::from_secs(1))
+                .unwrap();
             assert_eq!(outcome.sandbox(), first.sandbox());
         }
         // The fifth needs a new container.
-        let fifth = c.schedule(&"tvm-dsnet".into(), SimTime::from_secs(1)).unwrap();
+        let fifth = c
+            .schedule(&"tvm-dsnet".into(), SimTime::from_secs(1))
+            .unwrap();
         assert!(fifth.is_cold_start());
         assert_eq!(c.sandbox_count(), 2);
         assert_eq!(c.serving_sandbox_count(), 2);
@@ -386,7 +396,9 @@ mod tests {
         c.register_action(spec("big", 256, 1)).unwrap();
         let _a = c.schedule(&"big".into(), SimTime::from_secs(1)).unwrap();
         let _b = c.schedule(&"big".into(), SimTime::from_secs(1)).unwrap();
-        let err = c.schedule(&"big".into(), SimTime::from_secs(1)).unwrap_err();
+        let err = c
+            .schedule(&"big".into(), SimTime::from_secs(1))
+            .unwrap_err();
         assert!(matches!(err, PlatformError::ClusterSaturated { .. }));
         assert_eq!(c.committed_memory_bytes(), 512 * MB);
     }
@@ -397,7 +409,8 @@ mod tests {
         c.register_action(spec("f", 256, 1)).unwrap();
         let outcome = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
         c.sandbox_ready(outcome.sandbox()).unwrap();
-        c.invocation_finished(outcome.sandbox(), SimTime::from_secs(5)).unwrap();
+        c.invocation_finished(outcome.sandbox(), SimTime::from_secs(5))
+            .unwrap();
 
         // Before the keep-alive window nothing is evicted.
         assert!(c.evict_idle(SimTime::from_secs(100)).is_empty());
@@ -444,7 +457,8 @@ mod tests {
         let mut c = controller(1, 1024);
         c.register_action(spec("f", 128, 1)).unwrap();
         let outcome = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
-        c.invocation_finished(outcome.sandbox(), SimTime::from_secs(2)).unwrap();
+        c.invocation_finished(outcome.sandbox(), SimTime::from_secs(2))
+            .unwrap();
         let err = c
             .invocation_finished(outcome.sandbox(), SimTime::from_secs(3))
             .unwrap_err();

@@ -56,7 +56,10 @@ impl Metering {
     /// memory metering).
     #[must_use]
     pub fn action_gb_seconds(&self, action: &ActionName) -> f64 {
-        self.per_action_gb_seconds.get(action).copied().unwrap_or(0.0)
+        self.per_action_gb_seconds
+            .get(action)
+            .copied()
+            .unwrap_or(0.0)
     }
 
     /// Total GB·seconds across all actions.
@@ -117,7 +120,13 @@ mod tests {
 
     const GB: u64 = 1024 * 1024 * 1024;
 
-    fn record(action: &str, start_ms: u64, end_ms: u64, cold: bool, memory: u64) -> ActivationRecord {
+    fn record(
+        action: &str,
+        start_ms: u64,
+        end_ms: u64,
+        cold: bool,
+        memory: u64,
+    ) -> ActivationRecord {
         ActivationRecord {
             id: ActivationId(start_ms),
             action: ActionName::new(action),

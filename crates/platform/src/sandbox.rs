@@ -110,7 +110,10 @@ impl Sandbox {
     /// # Panics
     /// Panics if the sandbox has no active activation (caller bug).
     pub fn finish(&mut self, now: SimTime) {
-        assert!(self.active > 0, "finishing an activation on an idle sandbox");
+        assert!(
+            self.active > 0,
+            "finishing an activation on an idle sandbox"
+        );
         self.active -= 1;
         self.last_used = now;
     }

@@ -44,7 +44,8 @@ impl StorageClass {
     /// Latency of transferring `bytes` bytes (request latency + transfer).
     #[must_use]
     pub fn transfer_latency(self, bytes: u64) -> SimDuration {
-        self.base_latency() + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec())
+        self.base_latency()
+            + SimDuration::from_secs_f64(bytes as f64 / self.bandwidth_bytes_per_sec())
     }
 }
 

@@ -13,11 +13,9 @@ use sesemi_crypto::aead::AeadKey;
 use sesemi_crypto::rng::SessionRng;
 use sesemi_enclave::ratls::HandshakeInitiator;
 use sesemi_enclave::{Enclave, Measurement, QuoteVerifier};
-use sesemi_keyservice::service::{
-    decode_response, encode_request, KeyService, Request, Response,
-};
-use sesemi_keyservice::{KeyServiceError, PartyId};
 use sesemi_inference::ModelId;
+use sesemi_keyservice::service::{decode_response, encode_request, KeyService, Request, Response};
+use sesemi_keyservice::{KeyServiceError, PartyId};
 use sesemi_sim::SimDuration;
 use std::collections::HashMap;
 use std::sync::Arc;
@@ -38,7 +36,10 @@ pub trait KeyProvider: Send + Sync {
 /// Fetches encrypted model blobs from storage.
 pub trait ModelFetcher: Send + Sync {
     /// Returns the encrypted model bytes and the simulated transfer latency.
-    fn fetch_encrypted_model(&self, model: &ModelId) -> Result<(Vec<u8>, SimDuration), RuntimeError>;
+    fn fetch_encrypted_model(
+        &self,
+        model: &ModelId,
+    ) -> Result<(Vec<u8>, SimDuration), RuntimeError>;
 }
 
 /// The production [`KeyProvider`]: talks to the in-process [`KeyService`]
@@ -79,8 +80,8 @@ impl KeyProvider for KeyServiceProvider {
     ) -> Result<(AeadKey, AeadKey, SimDuration), RuntimeError> {
         let mut rng = self.rng.lock();
         // Mutual attestation: SeMIRT proves its identity, verifies E_K.
-        let (initiator, quote_latency) = HandshakeInitiator::new_attested(enclave, &mut *rng)
-            .map_err(RuntimeError::from)?;
+        let (initiator, quote_latency) =
+            HandshakeInitiator::new_attested(enclave, &mut *rng).map_err(RuntimeError::from)?;
         let (responder_hello, connection, responder_quote_latency) = self
             .service
             .accept_connection(&initiator.hello(), &mut *rng)
@@ -113,7 +114,9 @@ impl KeyProvider for KeyServiceProvider {
                 request_key,
             } => Ok((model_key, request_key, total)),
             Response::Error(err) => Err(RuntimeError::KeyProvisioning(err)),
-            _ => Err(RuntimeError::KeyProvisioning(KeyServiceError::InvalidPayload)),
+            _ => Err(RuntimeError::KeyProvisioning(
+                KeyServiceError::InvalidPayload,
+            )),
         }
     }
 }
@@ -155,7 +158,10 @@ impl InMemoryModelStore {
 }
 
 impl ModelFetcher for InMemoryModelStore {
-    fn fetch_encrypted_model(&self, model: &ModelId) -> Result<(Vec<u8>, SimDuration), RuntimeError> {
+    fn fetch_encrypted_model(
+        &self,
+        model: &ModelId,
+    ) -> Result<(Vec<u8>, SimDuration), RuntimeError> {
         let models = self.models.lock();
         let bytes = models
             .get(model)
@@ -194,7 +200,9 @@ pub fn decrypt_model(
     if sealed.aad != model_id.as_str().as_bytes() {
         return Err(RuntimeError::ModelDecryption);
     }
-    sealed.open(&cipher).map_err(|_| RuntimeError::ModelDecryption)
+    sealed
+        .open(&cipher)
+        .map_err(|_| RuntimeError::ModelDecryption)
 }
 
 #[cfg(test)]
@@ -207,7 +215,10 @@ mod tests {
         let key = AeadKey::from_bytes([1u8; 16]);
         let model_id = ModelId::new("mbnet");
         let blob = encrypt_model(&model_id, b"model bytes", &key, &mut rng);
-        assert_eq!(decrypt_model(&model_id, &blob, &key).unwrap(), b"model bytes");
+        assert_eq!(
+            decrypt_model(&model_id, &blob, &key).unwrap(),
+            b"model bytes"
+        );
 
         // Wrong key.
         let wrong = AeadKey::from_bytes([2u8; 16]);

@@ -11,8 +11,8 @@ use crate::error::RuntimeError;
 use rand::RngCore;
 use sesemi_crypto::aead::{AeadKey, SealedBox};
 use sesemi_crypto::gcm::Aes128Gcm;
-use sesemi_keyservice::PartyId;
 use sesemi_inference::ModelId;
+use sesemi_keyservice::PartyId;
 
 fn request_aad(user: &PartyId, model: &ModelId) -> Vec<u8> {
     let mut aad = Vec::with_capacity(64);
@@ -177,13 +177,8 @@ mod tests {
         let mut rng = SessionRng::from_seed(1);
         let key = AeadKey::from_bytes([9u8; 16]);
         let features = vec![1.0f32, 2.0, 3.0];
-        let request = InferenceRequest::encrypt(
-            user(1),
-            ModelId::new("mbnet"),
-            &features,
-            &key,
-            &mut rng,
-        );
+        let request =
+            InferenceRequest::encrypt(user(1), ModelId::new("mbnet"), &features, &key, &mut rng);
         assert_eq!(request.decrypt(&key).unwrap(), features);
         assert!(request.wire_bytes() > features.len() * 4);
     }
@@ -193,13 +188,8 @@ mod tests {
         let mut rng = SessionRng::from_seed(2);
         let key = AeadKey::from_bytes([9u8; 16]);
         let wrong_key = AeadKey::from_bytes([8u8; 16]);
-        let mut request = InferenceRequest::encrypt(
-            user(1),
-            ModelId::new("mbnet"),
-            &[1.0, 2.0],
-            &key,
-            &mut rng,
-        );
+        let mut request =
+            InferenceRequest::encrypt(user(1), ModelId::new("mbnet"), &[1.0, 2.0], &key, &mut rng);
         assert!(matches!(
             request.decrypt(&wrong_key),
             Err(RuntimeError::RequestDecryption)
@@ -223,13 +213,8 @@ mod tests {
             }
             bytes
         };
-        let response = InferenceResponse::encrypt(
-            user(2),
-            ModelId::new("dsnet"),
-            &serialized,
-            &key,
-            &mut rng,
-        );
+        let response =
+            InferenceResponse::encrypt(user(2), ModelId::new("dsnet"), &serialized, &key, &mut rng);
         assert_eq!(response.decrypt(&key).unwrap(), output);
 
         let mut tampered = response.clone();
@@ -244,8 +229,7 @@ mod tests {
     fn request_and_response_domains_are_separated() {
         let mut rng = SessionRng::from_seed(4);
         let key = AeadKey::from_bytes([7u8; 16]);
-        let request =
-            InferenceRequest::encrypt(user(3), ModelId::new("m"), &[1.0], &key, &mut rng);
+        let request = InferenceRequest::encrypt(user(3), ModelId::new("m"), &[1.0], &key, &mut rng);
         // Interpret the request ciphertext as a response: must fail because
         // the AAD domain separates them.
         let as_response = InferenceResponse {

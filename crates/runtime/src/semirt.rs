@@ -464,14 +464,17 @@ mod tests {
     use rand::SeedableRng;
     use sesemi_enclave::attest::AttestationScheme;
     use sesemi_enclave::QuoteVerifier;
+    use sesemi_inference::ModelKind;
     use sesemi_keyservice::client::{OwnerClient, UserClient};
     use sesemi_keyservice::service::KeyService;
-    use sesemi_inference::ModelKind;
 
     const MB: u64 = 1024 * 1024;
 
     /// A complete in-process deployment: KeyService enclave, one registered
-    /// owner and user, one encrypted scaled-down model in storage.
+    /// owner and user, one encrypted scaled-down model in storage.  The
+    /// `verifier`/`keyservice` handles are held to keep the services alive
+    /// for the duration of a test even when it only exercises the provider.
+    #[allow(dead_code)]
     struct World {
         platform: SgxPlatform,
         authority: Arc<AttestationAuthority>,
@@ -486,7 +489,11 @@ mod tests {
         semirt_config: SemirtConfig,
     }
 
-    fn build_world(framework: Framework, kind: ModelKind, config_mutator: impl FnOnce(SemirtConfig) -> SemirtConfig) -> World {
+    fn build_world(
+        framework: Framework,
+        kind: ModelKind,
+        config_mutator: impl FnOnce(SemirtConfig) -> SemirtConfig,
+    ) -> World {
         let mut rng = SessionRng::from_seed(1234);
         let platform = SgxPlatform::paper_sgx2_node("node-1");
         let authority = AttestationAuthority::new(77);
@@ -506,8 +513,7 @@ mod tests {
         let keyservice = Arc::new(KeyService::new(Arc::new(ks_enclave), verifier.clone()));
 
         // SeMIRT configuration and its published measurement.
-        let semirt_config =
-            config_mutator(SemirtConfig::new(framework, 256 * MB, 4));
+        let semirt_config = config_mutator(SemirtConfig::new(framework, 256 * MB, 4));
         let semirt_measurement = semirt_config.measurement();
 
         // Owner and user register and set up keys / grants.
@@ -539,10 +545,22 @@ mod tests {
             .add_model_key(&keyservice, &model_id, &model_key, &mut rng)
             .unwrap();
         owner
-            .grant_access(&keyservice, &model_id, semirt_measurement, user_id, &mut rng)
+            .grant_access(
+                &keyservice,
+                &model_id,
+                semirt_measurement,
+                user_id,
+                &mut rng,
+            )
             .unwrap();
-        user.add_request_key(&keyservice, &model_id, semirt_measurement, &request_key, &mut rng)
-            .unwrap();
+        user.add_request_key(
+            &keyservice,
+            &model_id,
+            semirt_measurement,
+            &request_key,
+            &mut rng,
+        )
+        .unwrap();
 
         // Owner encrypts and uploads the (scaled-down) model.
         let graph = kind.generate(0.01, &mut StdRng::seed_from_u64(7));
@@ -592,7 +610,9 @@ mod tests {
 
     fn make_request(world: &World, seed: u64) -> InferenceRequest {
         let mut rng = SessionRng::from_seed(seed);
-        let features: Vec<f32> = (0..world.input_dim).map(|i| (i as f32 * 0.01).sin()).collect();
+        let features: Vec<f32> = (0..world.input_dim)
+            .map(|i| (i as f32 * 0.01).sin())
+            .collect();
         InferenceRequest::encrypt(
             world.user,
             world.model_id.clone(),
@@ -619,7 +639,9 @@ mod tests {
         assert!((prediction.iter().sum::<f32>() - 1.0).abs() < 1e-4);
 
         // Second request on the same worker: hot (everything cached).
-        let (response, report) = instance.handle_request(0, &make_request(&world, 2)).unwrap();
+        let (response, report) = instance
+            .handle_request(0, &make_request(&world, 2))
+            .unwrap();
         assert_eq!(report.path, InvocationPath::Hot);
         assert!(report.key_cache_hit && report.model_cache_hit && report.runtime_reused);
         assert_eq!(
@@ -634,7 +656,9 @@ mod tests {
 
         // A different worker thread shares keys and model but needs its own
         // runtime: warm-ish (runtime init only).
-        let (_, report) = instance.handle_request(1, &make_request(&world, 3)).unwrap();
+        let (_, report) = instance
+            .handle_request(1, &make_request(&world, 3))
+            .unwrap();
         assert_eq!(report.path, InvocationPath::Warm);
         assert!(report.key_cache_hit && report.model_cache_hit && !report.runtime_reused);
         assert!(report.performed(ServingStage::RuntimeInit));
@@ -676,7 +700,10 @@ mod tests {
         // and must be refused by KeyService.
         let world = build_world(Framework::Tvm, ModelKind::MbNet, |c| c);
         let isolated_config = world.semirt_config.clone().with_strong_isolation();
-        assert_ne!(isolated_config.measurement(), world.semirt_config.measurement());
+        assert_ne!(
+            isolated_config.measurement(),
+            world.semirt_config.measurement()
+        );
         let instance = SemirtInstance::launch(
             &world.platform,
             &world.authority,
@@ -688,7 +715,9 @@ mod tests {
         )
         .unwrap()
         .0;
-        let err = instance.handle_request(0, &make_request(&world, 1)).unwrap_err();
+        let err = instance
+            .handle_request(0, &make_request(&world, 1))
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::KeyProvisioning(_)));
     }
 
@@ -701,19 +730,29 @@ mod tests {
         let err = instance.handle_request(0, &request).unwrap_err();
         assert!(matches!(err, RuntimeError::RequestDecryption));
         // The instance still serves legitimate requests afterwards.
-        let (_, report) = instance.handle_request(0, &make_request(&world, 2)).unwrap();
+        let (_, report) = instance
+            .handle_request(0, &make_request(&world, 2))
+            .unwrap();
         assert!(report.model_cache_hit);
     }
 
     #[test]
     fn strong_isolation_disables_caches_and_reports_warm_paths() {
-        let world = build_world(Framework::Tvm, ModelKind::MbNet, SemirtConfig::with_strong_isolation);
+        let world = build_world(
+            Framework::Tvm,
+            ModelKind::MbNet,
+            SemirtConfig::with_strong_isolation,
+        );
         let instance = launch(&world);
-        let (_, first) = instance.handle_request(0, &make_request(&world, 1)).unwrap();
+        let (_, first) = instance
+            .handle_request(0, &make_request(&world, 1))
+            .unwrap();
         assert_eq!(first.path, InvocationPath::Cold);
         // Second request: model stays loaded, but keys and runtime are redone
         // every time (Table II's overhead).
-        let (_, second) = instance.handle_request(0, &make_request(&world, 2)).unwrap();
+        let (_, second) = instance
+            .handle_request(0, &make_request(&world, 2))
+            .unwrap();
         assert_eq!(second.path, InvocationPath::Warm);
         assert!(!second.key_cache_hit);
         assert!(second.model_cache_hit);
@@ -729,7 +768,9 @@ mod tests {
             c.with_pinned_model(ModelId::new("some-other-model"))
         });
         let instance = launch(&world);
-        let err = instance.handle_request(0, &make_request(&world, 1)).unwrap_err();
+        let err = instance
+            .handle_request(0, &make_request(&world, 1))
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::ModelNotServedHere { .. }));
     }
 
@@ -739,7 +780,9 @@ mod tests {
         let instance = launch(&world);
         // Serve one request on each of the four workers.
         for worker in 0..4 {
-            instance.handle_request(worker, &make_request(&world, worker as u64)).unwrap();
+            instance
+                .handle_request(worker, &make_request(&world, worker as u64))
+                .unwrap();
         }
         let heap_with_four_workers = instance.enclave_heap_used();
         // One shared model + four runtime buffers; clearing a worker frees
@@ -753,9 +796,13 @@ mod tests {
     fn shutdown_prevents_further_requests() {
         let world = build_world(Framework::Tflm, ModelKind::MbNet, |c| c);
         let instance = launch(&world);
-        instance.handle_request(0, &make_request(&world, 1)).unwrap();
+        instance
+            .handle_request(0, &make_request(&world, 1))
+            .unwrap();
         instance.shutdown();
-        let err = instance.handle_request(0, &make_request(&world, 2)).unwrap_err();
+        let err = instance
+            .handle_request(0, &make_request(&world, 2))
+            .unwrap_err();
         assert!(matches!(err, RuntimeError::Enclave(_)));
     }
 
@@ -768,6 +815,9 @@ mod tests {
         assert_ne!(base.measurement(), more_threads.measurement());
         // The measurement is independent of the machine: two identically
         // configured instances have the same identity.
-        assert_eq!(base.measurement(), SemirtConfig::new(Framework::Tvm, 256 * MB, 4).measurement());
+        assert_eq!(
+            base.measurement(),
+            SemirtConfig::new(Framework::Tvm, 256 * MB, 4).measurement()
+        );
     }
 }

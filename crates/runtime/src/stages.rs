@@ -147,7 +147,10 @@ impl InvocationReport {
 
     /// Maps the performed stages onto durations using the provided pricing
     /// function and returns the total.
-    pub fn total_duration(&self, mut price: impl FnMut(ServingStage) -> SimDuration) -> SimDuration {
+    pub fn total_duration(
+        &self,
+        mut price: impl FnMut(ServingStage) -> SimDuration,
+    ) -> SimDuration {
         self.stages
             .iter()
             .fold(SimDuration::ZERO, |acc, stage| acc + price(*stage))

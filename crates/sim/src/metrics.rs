@@ -87,13 +87,21 @@ impl LatencyStats {
     /// Maximum latency, or zero if empty.
     #[must_use]
     pub fn max(&self) -> SimDuration {
-        self.samples.iter().copied().max().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .max()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Minimum latency, or zero if empty.
     #[must_use]
     pub fn min(&self) -> SimDuration {
-        self.samples.iter().copied().min().unwrap_or(SimDuration::ZERO)
+        self.samples
+            .iter()
+            .copied()
+            .min()
+            .unwrap_or(SimDuration::ZERO)
     }
 
     /// Merges another collector's samples into this one.

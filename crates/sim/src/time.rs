@@ -34,19 +34,25 @@ impl SimTime {
     /// Builds a time point from microseconds.
     #[must_use]
     pub const fn from_micros(micros: u64) -> Self {
-        SimTime { nanos: micros * 1_000 }
+        SimTime {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Builds a time point from milliseconds.
     #[must_use]
     pub const fn from_millis(millis: u64) -> Self {
-        SimTime { nanos: millis * 1_000_000 }
+        SimTime {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Builds a time point from whole seconds.
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        SimTime { nanos: secs * 1_000_000_000 }
+        SimTime {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Builds a time point from fractional seconds.
@@ -93,19 +99,25 @@ impl SimDuration {
     /// Builds a duration from microseconds.
     #[must_use]
     pub const fn from_micros(micros: u64) -> Self {
-        SimDuration { nanos: micros * 1_000 }
+        SimDuration {
+            nanos: micros * 1_000,
+        }
     }
 
     /// Builds a duration from milliseconds.
     #[must_use]
     pub const fn from_millis(millis: u64) -> Self {
-        SimDuration { nanos: millis * 1_000_000 }
+        SimDuration {
+            nanos: millis * 1_000_000,
+        }
     }
 
     /// Builds a duration from whole seconds.
     #[must_use]
     pub const fn from_secs(secs: u64) -> Self {
-        SimDuration { nanos: secs * 1_000_000_000 }
+        SimDuration {
+            nanos: secs * 1_000_000_000,
+        }
     }
 
     /// Builds a duration from fractional seconds.
@@ -114,7 +126,10 @@ impl SimDuration {
     /// Panics if `secs` is negative, NaN or infinite.
     #[must_use]
     pub fn from_secs_f64(secs: f64) -> Self {
-        assert!(secs >= 0.0 && secs.is_finite(), "duration must be non-negative");
+        assert!(
+            secs >= 0.0 && secs.is_finite(),
+            "duration must be non-negative"
+        );
         SimDuration {
             nanos: (secs * 1e9).round() as u64,
         }
@@ -161,7 +176,10 @@ impl SimDuration {
     /// Multiplies the duration by a non-negative float factor.
     #[must_use]
     pub fn mul_f64(self, factor: f64) -> SimDuration {
-        assert!(factor >= 0.0 && factor.is_finite(), "factor must be non-negative");
+        assert!(
+            factor >= 0.0 && factor.is_finite(),
+            "factor must be non-negative"
+        );
         SimDuration {
             nanos: (self.nanos as f64 * factor).round() as u64,
         }
@@ -284,8 +302,14 @@ mod tests {
         assert_eq!(SimDuration::from_millis(3), SimDuration::from_micros(3000));
         assert_eq!(SimDuration::from_micros(5), SimDuration::from_nanos(5000));
         assert_eq!(SimTime::from_secs(1), SimTime::from_millis(1000));
-        assert_eq!(SimDuration::from_secs_f64(0.25), SimDuration::from_millis(250));
-        assert_eq!(SimDuration::from_millis_f64(1.5), SimDuration::from_micros(1500));
+        assert_eq!(
+            SimDuration::from_secs_f64(0.25),
+            SimDuration::from_millis(250)
+        );
+        assert_eq!(
+            SimDuration::from_millis_f64(1.5),
+            SimDuration::from_micros(1500)
+        );
     }
 
     #[test]

@@ -174,7 +174,10 @@ mod tests {
         }
         let min = *windows.iter().min().unwrap() as f64 / 50.0;
         let max = *windows.iter().max().unwrap() as f64 / 50.0;
-        assert!(max - min > 8.0, "expected rate modulation, got {min}..{max}");
+        assert!(
+            max - min > 8.0,
+            "expected rate modulation, got {min}..{max}"
+        );
     }
 
     #[test]

@@ -11,7 +11,7 @@
 //!   **interactive sessions** that query a set of models one after another
 //!   (MLPerf-style, Tables III/IV).
 //!
-//! All generators are deterministic given a [`SimRng`] seed.
+//! All generators are deterministic given a [`SimRng`](sesemi_sim::SimRng) seed.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -42,7 +42,10 @@ fn main() {
     let ok = deployment
         .infer(&alice, &approved, &model, &features)
         .expect("authorized inference succeeds");
-    println!("[ok] alice on the approved enclave: path {:?}", ok.report.path);
+    println!(
+        "[ok] alice on the approved enclave: path {:?}",
+        ok.report.path
+    );
 
     // 1. Same code but different build-time settings => different MRENCLAVE.
     //    KeyService has no grant for it, so provisioning fails.
@@ -81,7 +84,9 @@ fn main() {
     owner
         .grant_access(&deployment, &second_model, &approved, alice.party())
         .unwrap();
-    alice.authorize(&deployment, &second_model, &approved).unwrap();
+    alice
+        .authorize(&deployment, &second_model, &approved)
+        .unwrap();
     let mut replayed = deployment
         .encrypt_request(&mut alice, &approved, &model, &features)
         .unwrap();
@@ -89,7 +94,9 @@ fn main() {
     let instance = deployment.instance(&approved).unwrap();
     match instance.handle_request(0, &replayed) {
         Err(RuntimeError::RequestDecryption) => {
-            println!("[blocked] ciphertext replayed for a different model: request decryption failed");
+            println!(
+                "[blocked] ciphertext replayed for a different model: request decryption failed"
+            );
         }
         other => panic!("expected decryption failure, got {other:?}"),
     }

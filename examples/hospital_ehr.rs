@@ -58,10 +58,14 @@ fn main() {
     // Mallory is granted nothing.
 
     alice.authorize(&deployment, &triage, &function).unwrap();
-    alice.authorize(&deployment, &cardiology, &function).unwrap();
+    alice
+        .authorize(&deployment, &cardiology, &function)
+        .unwrap();
     bob.authorize(&deployment, &triage, &function).unwrap();
     // Mallory registers a request key anyway, hoping to slip through.
-    mallory.authorize(&deployment, &oncology, &function).unwrap();
+    mallory
+        .authorize(&deployment, &oncology, &function)
+        .unwrap();
 
     // Alice's EHR-derived feature vectors are encrypted with her request key.
     let triage_dim = deployment.model_input_dim(&triage).unwrap();
@@ -105,5 +109,7 @@ fn main() {
         other => panic!("expected a key-provisioning rejection, got {other:?}"),
     }
 
-    println!("the cloud handled only encrypted models, encrypted requests and encrypted responses.");
+    println!(
+        "the cloud handled only encrypted models, encrypted requests and encrypted responses."
+    );
 }

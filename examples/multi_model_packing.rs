@@ -94,7 +94,11 @@ fn main() {
     }
 
     println!("\nexpected shape (paper Tables III/IV):");
-    println!("  * All-in-one inflates the popular models' latency (endpoints keep swapping models);");
-    println!("  * One-to-one keeps the popular models fast but cold-starts every rarely-used model;");
+    println!(
+        "  * All-in-one inflates the popular models' latency (endpoints keep swapping models);"
+    );
+    println!(
+        "  * One-to-one keeps the popular models fast but cold-starts every rarely-used model;"
+    );
     println!("  * FnPacker matches One-to-one on popular models and avoids the cold starts for rare ones.");
 }

@@ -89,7 +89,10 @@ fn sgx1_epc_pressure_hurts_tvm_more_than_tflm() {
         tvm > tflm,
         "TVM's EPC penalty ({tvm:.2}x) should exceed TFLM's ({tflm:.2}x)"
     );
-    assert!(tvm > 1.5, "TVM should overflow the 128 MB EPC at concurrency 8 ({tvm:.2}x)");
+    assert!(
+        tvm > 1.5,
+        "TVM should overflow the 128 MB EPC at concurrency 8 ({tvm:.2}x)"
+    );
     assert!(
         (tflm - 1.0).abs() < 0.3,
         "TFLM should still (almost) fit in the EPC at concurrency 8 ({tflm:.2}x)"

@@ -25,10 +25,15 @@ fn full_workflow_for_every_model_and_framework() {
 
             let dim = deployment.model_input_dim(&model).unwrap();
             let features: Vec<f32> = (0..dim).map(|i| (i as f32 * 0.03).cos()).collect();
-            let outcome = deployment.infer(&user, &function, &model, &features).unwrap();
+            let outcome = deployment
+                .infer(&user, &function, &model, &features)
+                .unwrap();
             assert_eq!(outcome.prediction.len(), kind.num_classes());
             let sum: f32 = outcome.prediction.iter().sum();
-            assert!((sum - 1.0).abs() < 1e-3, "{framework:?}/{kind:?}: sum {sum}");
+            assert!(
+                (sum - 1.0).abs() < 1e-3,
+                "{framework:?}/{kind:?}: sum {sum}"
+            );
         }
     }
 }
@@ -38,28 +43,38 @@ fn cold_warm_hot_progression_matches_the_paper() {
     let mut deployment = Deployment::builder().seed(101).build();
     let mut owner = deployment.register_owner("owner");
     let mut user = deployment.register_user("user");
-    let model = owner.publish_model(&deployment, ModelKind::MbNet, 0.01).unwrap();
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
     let function = deployment.deploy_function(Framework::Tvm, 2).unwrap();
-    owner.grant_access(&deployment, &model, &function, user.party()).unwrap();
+    owner
+        .grant_access(&deployment, &model, &function, user.party())
+        .unwrap();
     user.authorize(&deployment, &model, &function).unwrap();
 
     let dim = deployment.model_input_dim(&model).unwrap();
     let features = vec![0.1f32; dim];
 
     // First: cold (enclave init, key fetch, model load, runtime init).
-    let first = deployment.infer(&user, &function, &model, &features).unwrap();
+    let first = deployment
+        .infer(&user, &function, &model, &features)
+        .unwrap();
     assert_eq!(first.report.path, InvocationPath::Cold);
     assert!(first.report.performed(ServingStage::EnclaveInit));
     assert!(first.report.performed(ServingStage::KeyFetch));
 
     // Second request lands on the other worker: warm (runtime init only).
-    let second = deployment.infer(&user, &function, &model, &features).unwrap();
+    let second = deployment
+        .infer(&user, &function, &model, &features)
+        .unwrap();
     assert_eq!(second.report.path, InvocationPath::Warm);
     assert!(second.report.key_cache_hit);
     assert!(second.report.model_cache_hit);
 
     // Third wraps around to worker 0: hot.
-    let third = deployment.infer(&user, &function, &model, &features).unwrap();
+    let third = deployment
+        .infer(&user, &function, &model, &features)
+        .unwrap();
     assert_eq!(third.report.path, InvocationPath::Hot);
     assert_eq!(
         third.report.stages,
@@ -84,20 +99,31 @@ fn predictions_match_direct_model_evaluation() {
     let mut deployment = Deployment::builder().seed(102).build();
     let mut owner = deployment.register_owner("owner");
     let mut user = deployment.register_user("user");
-    let model = owner.publish_model(&deployment, ModelKind::DsNet, 0.01).unwrap();
+    let model = owner
+        .publish_model(&deployment, ModelKind::DsNet, 0.01)
+        .unwrap();
     let function = deployment.deploy_function(Framework::Tflm, 1).unwrap();
-    owner.grant_access(&deployment, &model, &function, user.party()).unwrap();
+    owner
+        .grant_access(&deployment, &model, &function, user.party())
+        .unwrap();
     user.authorize(&deployment, &model, &function).unwrap();
 
     let dim = deployment.model_input_dim(&model).unwrap();
-    let features: Vec<f32> = (0..dim).map(|i| ((i * 13 % 29) as f32 - 14.0) * 0.05).collect();
-    let through_enclave = deployment.infer(&user, &function, &model, &features).unwrap();
+    let features: Vec<f32> = (0..dim)
+        .map(|i| ((i * 13 % 29) as f32 - 14.0) * 0.05)
+        .collect();
+    let through_enclave = deployment
+        .infer(&user, &function, &model, &features)
+        .unwrap();
 
     // Recompute locally: the enclave's output was produced by the TFLM-style
     // interpreter; parse_output already validated the serialization, so here
     // we only check the distribution properties (the backend-equivalence test
     // in sesemi-inference covers exact numeric agreement).
-    assert_eq!(through_enclave.prediction.len(), ModelKind::DsNet.num_classes());
+    assert_eq!(
+        through_enclave.prediction.len(),
+        ModelKind::DsNet.num_classes()
+    );
     assert!(through_enclave
         .prediction
         .iter()
@@ -122,7 +148,9 @@ fn strong_isolation_function_requires_its_own_grant_and_stays_warm() {
     let mut deployment = Deployment::builder().seed(103).build();
     let mut owner = deployment.register_owner("owner");
     let mut user = deployment.register_user("user");
-    let model = owner.publish_model(&deployment, ModelKind::MbNet, 0.01).unwrap();
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
 
     let isolated = deployment
         .deploy_function_with_config(
@@ -136,12 +164,16 @@ fn strong_isolation_function_requires_its_own_grant_and_stays_warm() {
 
     let dim = deployment.model_input_dim(&model).unwrap();
     let features = vec![0.2f32; dim];
-    let first = deployment.infer(&user, &isolated, &model, &features).unwrap();
+    let first = deployment
+        .infer(&user, &isolated, &model, &features)
+        .unwrap();
     assert_eq!(first.report.path, InvocationPath::Cold);
     // Under strong isolation subsequent requests never become hot: keys and
     // the runtime are re-established every time (Table II's overhead).
     for _ in 0..3 {
-        let outcome = deployment.infer(&user, &isolated, &model, &features).unwrap();
+        let outcome = deployment
+            .infer(&user, &isolated, &model, &features)
+            .unwrap();
         assert_eq!(outcome.report.path, InvocationPath::Warm);
         assert!(outcome.report.performed(ServingStage::KeyFetch));
         assert!(outcome.report.performed(ServingStage::RuntimeInit));
@@ -153,7 +185,9 @@ fn strong_isolation_function_requires_its_own_grant_and_stays_warm() {
 fn many_users_share_one_function_with_per_user_keys() {
     let mut deployment = Deployment::builder().seed(104).build();
     let mut owner = deployment.register_owner("owner");
-    let model = owner.publish_model(&deployment, ModelKind::MbNet, 0.01).unwrap();
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
     let function = deployment.deploy_function(Framework::Tvm, 1).unwrap();
     let dim = deployment.model_input_dim(&model).unwrap();
 
@@ -194,7 +228,9 @@ fn error_types_are_preserved_through_the_stack() {
     let mut deployment = Deployment::builder().seed(105).build();
     let mut owner = deployment.register_owner("owner");
     let user = deployment.register_user("user");
-    let model = owner.publish_model(&deployment, ModelKind::MbNet, 0.01).unwrap();
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
     let function = deployment.deploy_function(Framework::Tvm, 1).unwrap();
     let dim = deployment.model_input_dim(&model).unwrap();
 

@@ -67,11 +67,17 @@ fn swapping_encrypted_models_in_storage_is_detected_inside_the_enclave() {
     let mut deployment = Deployment::builder().seed(501).build();
     let mut owner = deployment.register_owner("owner");
     let mut user = deployment.register_user("user");
-    let model_a = owner.publish_model(&deployment, ModelKind::MbNet, 0.01).unwrap();
-    let model_b = owner.publish_model(&deployment, ModelKind::DsNet, 0.01).unwrap();
+    let model_a = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
+    let model_b = owner
+        .publish_model(&deployment, ModelKind::DsNet, 0.01)
+        .unwrap();
     let function = deployment.deploy_function(Framework::Tvm, 1).unwrap();
     for model in [&model_a, &model_b] {
-        owner.grant_access(&deployment, model, &function, user.party()).unwrap();
+        owner
+            .grant_access(&deployment, model, &function, user.party())
+            .unwrap();
         user.authorize(&deployment, model, &function).unwrap();
     }
 
@@ -111,9 +117,13 @@ fn keyservice_rejects_forged_owner_payloads_and_unattested_provisioning() {
     let mut deployment = Deployment::builder().seed(502).build();
     let mut owner = deployment.register_owner("owner");
     let mut user = deployment.register_user("user");
-    let model = owner.publish_model(&deployment, ModelKind::MbNet, 0.01).unwrap();
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
     let function = deployment.deploy_function(Framework::Tvm, 1).unwrap();
-    owner.grant_access(&deployment, &model, &function, user.party()).unwrap();
+    owner
+        .grant_access(&deployment, &model, &function, user.party())
+        .unwrap();
     user.authorize(&deployment, &model, &function).unwrap();
 
     let keyservice = deployment.keyservice();
