@@ -2,13 +2,19 @@
 //! tables as Markdown.
 //!
 //! ```text
-//! cargo run -p sesemi_bench --bin experiments --release [-- --seed 42] [--json]
+//! cargo run -p sesemi_bench --bin experiments --release \
+//!     [-- --seed 42] [--json] [--only F13,F14]
 //! ```
+//!
+//! `--only` filters by report id (comma-separated, e.g. `F13,T3`); the CI
+//! determinism guard uses it to re-run a fixed-seed subset cheaply and
+//! compare the two outputs byte for byte.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut seed = 42u64;
     let mut json = false;
+    let mut only: Option<Vec<String>> = None;
     let mut iter = args.iter().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -19,8 +25,12 @@ fn main() {
                     .expect("--seed needs an integer value");
             }
             "--json" => json = true,
+            "--only" => {
+                let ids = iter.next().expect("--only needs a comma-separated id list");
+                only = Some(ids.split(',').map(|id| id.trim().to_uppercase()).collect());
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--seed N] [--json]");
+                println!("usage: experiments [--seed N] [--json] [--only IDS]");
                 return;
             }
             other => {
@@ -30,8 +40,21 @@ fn main() {
         }
     }
 
-    eprintln!("running all SeSeMI experiments (seed {seed}) ...");
-    let reports = sesemi_bench::run_all(seed);
+    match &only {
+        Some(ids) => eprintln!(
+            "running SeSeMI experiments {} (seed {seed}) ...",
+            ids.join(",")
+        ),
+        None => eprintln!("running all SeSeMI experiments (seed {seed}) ..."),
+    }
+    let reports = sesemi_bench::run_selected(seed, only.as_deref());
+    if reports.is_empty() {
+        eprintln!(
+            "--only {} matched no experiments",
+            only.unwrap_or_default().join(",")
+        );
+        std::process::exit(2);
+    }
     if json {
         let rendered: Vec<String> = reports.iter().map(|r| r.to_json()).collect();
         println!("[{}]", rendered.join(",\n"));

@@ -37,31 +37,73 @@ pub mod sims;
 
 pub use report::Report;
 
+/// The experiment registry: `(report id, runner)` in presentation order.
+/// The runners take the experiment seed (closed-form experiments ignore it).
+pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 16] = [
+    ("T1", |_| micro::table1_models()),
+    ("F8", |_| micro::fig8_stage_ratio()),
+    ("F9", |_| micro::fig9_invocation_paths()),
+    ("F10", |_| micro::fig10_memory_saving()),
+    ("F11", |_| micro::fig11_concurrency()),
+    ("F12", sims::fig12_throughput),
+    ("F13", sims::fig13_mmpp_latency),
+    ("F14", sims::fig14_mmpp_memory),
+    ("T2", |_| micro::table2_isolation()),
+    ("T3", sims::table3_fnpacker_poisson),
+    ("T4", sims::table4_fnpacker_sessions),
+    ("F15", |_| micro::fig15_enclave_init()),
+    ("F16", |_| micro::fig16_attestation()),
+    ("F17", |_| micro::fig17_breakdown_sgx()),
+    ("F18", |_| micro::fig18_breakdown_untrusted()),
+    ("T5", |_| micro::table5_config()),
+];
+
 /// Runs every experiment in order and returns the reports.
 #[must_use]
 pub fn run_all(seed: u64) -> Vec<Report> {
-    vec![
-        micro::table1_models(),
-        micro::fig8_stage_ratio(),
-        micro::fig9_invocation_paths(),
-        micro::fig10_memory_saving(),
-        micro::fig11_concurrency(),
-        sims::fig12_throughput(seed),
-        sims::fig13_mmpp_latency(seed),
-        sims::fig14_mmpp_memory(seed),
-        micro::table2_isolation(),
-        sims::table3_fnpacker_poisson(seed),
-        sims::table4_fnpacker_sessions(seed),
-        micro::fig15_enclave_init(),
-        micro::fig16_attestation(),
-        micro::fig17_breakdown_sgx(),
-        micro::fig18_breakdown_untrusted(),
-        micro::table5_config(),
-    ]
+    run_selected(seed, None)
+}
+
+/// Runs the experiments whose report ids appear in `only` (case-sensitive,
+/// e.g. `["F13", "T3"]`), or all of them when `only` is `None`.  Unselected
+/// experiments are never executed, which is what makes a `--only` subset run
+/// cheap.
+#[must_use]
+pub fn run_selected(seed: u64, only: Option<&[String]>) -> Vec<Report> {
+    EXPERIMENTS
+        .iter()
+        .filter(|(id, _)| only.map_or(true, |ids| ids.iter().any(|wanted| wanted == id)))
+        .map(|(_, run)| run(seed))
+        .collect()
 }
 
 #[cfg(test)]
 mod tests {
+    #[test]
+    fn run_selected_only_runs_the_requested_experiments() {
+        // Select two closed-form experiments: exactly those two reports come
+        // back, in registry order, without executing the slow simulations.
+        let only = vec!["T5".to_string(), "T1".to_string()];
+        let reports = super::run_selected(42, Some(&only));
+        let ids: Vec<&str> = reports.iter().map(|r| r.id.as_str()).collect();
+        assert_eq!(ids, vec!["T1", "T5"]);
+        // An unknown id selects nothing.
+        let none = super::run_selected(42, Some(&["ZZ".to_string()]));
+        assert!(none.is_empty());
+    }
+
+    #[test]
+    fn the_registry_ids_match_the_reports_they_produce() {
+        for (id, run) in super::EXPERIMENTS {
+            // Only exercise the cheap closed-form experiments here; the
+            // simulation ones are covered by their own tests and the binary.
+            if matches!(id, "F12" | "F13" | "F14" | "T3" | "T4") {
+                continue;
+            }
+            assert_eq!(run(42).id, id);
+        }
+    }
+
     #[test]
     fn every_cheap_experiment_produces_consistent_rows() {
         // The cluster-simulation experiments are exercised by their own unit

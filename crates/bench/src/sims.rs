@@ -4,23 +4,14 @@
 
 use crate::report::{secs, Report};
 use sesemi::baseline::ServingStrategy;
-use sesemi::cluster::{ClusterConfig, ClusterSimulation, SimulationResult};
+use sesemi::cluster::{ClusterConfig, SimulationResult};
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
-use sesemi_sim::{SimDuration, SimRng, SimTime};
-use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
+use sesemi_scenario::Scenario;
+use sesemi_sim::{SimDuration, SimTime};
+use sesemi_workload::ArrivalProcess;
 
 const GB: u64 = 1024 * 1024 * 1024;
-
-fn poisson_trace(
-    model: &ModelId,
-    user: usize,
-    rate: f64,
-    duration: SimDuration,
-    rng: &mut SimRng,
-) -> Vec<RequestArrival> {
-    ArrivalProcess::Poisson { rate_per_sec: rate }.generate(model, user, duration, rng)
-}
 
 fn run_single_node_rate(
     kind: ModelKind,
@@ -32,28 +23,37 @@ fn run_single_node_rate(
 ) -> SimulationResult {
     let profile = ModelProfile::paper(kind, framework);
     let model = kind.default_id();
-    let mut config = if sgx1 {
+    let config = if sgx1 {
         ClusterConfig::single_node_sgx1()
     } else {
         ClusterConfig::single_node_sgx2()
     };
-    config.strategy = strategy;
-    config.tcs_per_container = 1;
-    config.seed = seed;
+    Scenario::builder(format!(
+        "fig12/{}-{}/{}/{rate}rps",
+        framework.label(),
+        kind.label(),
+        strategy.label()
+    ))
+    .cluster(config)
+    .strategy(strategy)
+    .tcs_per_container(1)
+    .seed(seed)
     // Bound the node to four single-thread containers so the latency knee
     // appears inside the swept rate range, as in the paper's single-node
     // saturation study.
-    config.invoker_memory_bytes = sesemi_platform::PlatformConfig::round_memory_budget(
-        profile.enclave_bytes_for_concurrency(1),
-    ) * 4;
-    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+    .invoker_memory_bytes(
+        sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        ) * 4,
+    )
+    .model(model.clone(), profile)
     // The paper warms the sandboxes up before measuring, so there are no cold
     // invocations in the steady state.
-    sim.prewarm(&model, 0, 4);
-    let mut rng = SimRng::seed_from_u64(seed);
-    let duration = SimDuration::from_secs(60);
-    sim.add_arrivals(poisson_trace(&model, 0, rate, duration, &mut rng));
-    sim.run(duration)
+    .prewarm(model.clone(), 0, 4)
+    .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: rate })
+    .duration(SimDuration::from_secs(60))
+    .build()
+    .run()
 }
 
 /// Fig. 12: p95 latency versus request rate for hot serving on one node.
@@ -138,10 +138,6 @@ pub fn fig12_throughput(seed: u64) -> Report {
 fn run_mmpp(kind: ModelKind, strategy: ServingStrategy, tcs: usize, seed: u64) -> SimulationResult {
     let profile = ModelProfile::paper(kind, Framework::Tvm);
     let model = kind.default_id();
-    let mut config = ClusterConfig::multi_node_sgx2();
-    config.strategy = strategy;
-    config.tcs_per_container = tcs;
-    config.seed = seed;
     // §VI-C: the invoker memory bounds how many serverless instances a node
     // can host.  We provision memory for two single-thread containers of this
     // model per node (16 execution slots across the 8-node cluster) — sized
@@ -152,14 +148,22 @@ fn run_mmpp(kind: ModelKind, strategy: ServingStrategy, tcs: usize, seed: u64) -
     let single_thread_budget = sesemi_platform::PlatformConfig::round_memory_budget(
         profile.enclave_bytes_for_concurrency(1),
     );
-    config.invoker_memory_bytes = single_thread_budget * 2;
-    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
-    sim.prewarm(&model, 0, 8);
-    let duration = SimDuration::from_secs(800);
-    let mut rng = SimRng::seed_from_u64(seed);
-    let arrivals = ArrivalProcess::paper_mmpp().generate(&model, 0, duration, &mut rng);
-    sim.add_arrivals(arrivals);
-    sim.run(duration)
+    Scenario::builder(format!(
+        "fig13-14/TVM-{}/{}/tcs{tcs}",
+        kind.label(),
+        strategy.label()
+    ))
+    .cluster(ClusterConfig::multi_node_sgx2())
+    .strategy(strategy)
+    .tcs_per_container(tcs)
+    .seed(seed)
+    .invoker_memory_bytes(single_thread_budget * 2)
+    .model(model.clone(), profile)
+    .prewarm(model.clone(), 0, 8)
+    .traffic(model, 0, ArrivalProcess::paper_mmpp())
+    .duration(SimDuration::from_secs(800))
+    .build()
+    .run()
 }
 
 /// Fig. 13: average latency over time under the MMPP workload on 8 nodes.
@@ -247,26 +251,29 @@ fn fnpool_models() -> Vec<(ModelId, ModelProfile)> {
 
 fn run_multi_model(routing: RoutingStrategy, with_sessions: bool, seed: u64) -> SimulationResult {
     let models = fnpool_models();
-    let mut config = ClusterConfig::multi_node_sgx2();
-    config.routing = routing;
-    config.tcs_per_container = 1;
-    config.nodes = 8;
-    config.seed = seed;
-    let mut sim = ClusterSimulation::new(config, models.clone());
-    let duration = SimDuration::from_secs(480);
-    let mut rng = SimRng::seed_from_u64(seed);
-    // Background Poisson traffic on the two popular models, 2 rps each.
-    let mut arrivals = poisson_trace(&models[0].0, 0, 2.0, duration, &mut rng);
-    arrivals.extend(poisson_trace(&models[1].0, 1, 2.0, duration, &mut rng));
-    arrivals.sort_by_key(|a| a.at);
-    sim.add_arrivals(arrivals);
+    let mut scenario = Scenario::builder(format!("table3-4/{}", routing.label()))
+        .cluster(ClusterConfig::multi_node_sgx2())
+        .routing(routing)
+        .tcs_per_container(1)
+        .nodes(8)
+        .seed(seed)
+        .models(models.clone())
+        // Background Poisson traffic on the two popular models, 2 rps each.
+        .traffic(
+            models[0].0.clone(),
+            0,
+            ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+        )
+        .traffic(
+            models[1].0.clone(),
+            1,
+            ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+        )
+        .duration(SimDuration::from_secs(480));
     if with_sessions {
-        let ids: Vec<ModelId> = models.iter().map(|(m, _)| m.clone()).collect();
-        for session in InteractiveSession::paper_sessions(&ids) {
-            sim.add_session(session);
-        }
+        scenario = scenario.paper_sessions();
     }
-    sim.run(duration)
+    scenario.build().run()
 }
 
 /// Table III: average latency of the Poisson-traffic models under the three

@@ -5,11 +5,14 @@
 //!
 //! * the **platform controller** from `sesemi-platform` (memory-slot
 //!   scheduling, warm-container reuse, keep-alive eviction),
+//! * a pluggable **placement policy** from [`scheduler`] (least-loaded,
+//!   round-robin, or consistent-hash model affinity) that decides which node
+//!   hosts each new container,
 //! * the **serving strategies** from [`crate::baseline`] (SeSeMI, Iso-reuse,
 //!   Native, Untrusted) which decide which serving stages each invocation
 //!   must run given the sandbox's cached state,
 //! * the **routing strategies** from `sesemi-fnpacker` (One-to-one,
-//!   All-in-one, FnPacker),
+//!   All-in-one, FnPacker), consulted before placement,
 //! * the **calibrated stage costs** from `sesemi-inference`
 //!   ([`ModelProfile`]) plus the enclave cost model (concurrent-init and EPC
 //!   penalties) from `sesemi-enclave`,
@@ -18,18 +21,30 @@
 //! 8-node cluster (Fig. 13) replays in well under a second of wall time while
 //! exercising exactly the decision logic a real deployment would.
 
+pub mod scheduler;
+mod state;
+
+pub use scheduler::{
+    LeastLoadedScheduler, ModelAffinityScheduler, PlacementContext, RoundRobinScheduler, Scheduler,
+    SchedulerKind,
+};
+pub use state::SimulationResult;
+
 use crate::baseline::{SandboxWarmth, ServingStrategy};
 use sesemi_enclave::{EnclaveCostModel, SgxVersion};
 use sesemi_fnpacker::{FnPool, Router, RoutingStrategy};
 use sesemi_inference::{ModelId, ModelProfile};
 use sesemi_keyservice::PartyId;
 use sesemi_platform::{
-    metering::Metering, ActionName, ActionSpec, Controller, PlatformConfig, SandboxId,
+    metering::Metering, ActionName, ActionSpec, Controller, PlatformConfig, PlatformError,
+    SandboxId, ScheduleOutcome,
 };
 use sesemi_runtime::{InvocationPath, InvocationReport, ServingStage};
 use sesemi_sim::{EventQueue, LatencyStats, SimDuration, SimRng, SimTime, TimeSeries};
 use sesemi_workload::{InteractiveSession, RequestArrival};
-use std::collections::{HashMap, VecDeque};
+use state::{Event, SandboxSimState, SimRequest};
+use std::collections::HashMap;
+use std::collections::VecDeque;
 
 const MB: u64 = 1024 * 1024;
 
@@ -58,6 +73,8 @@ pub struct ClusterConfig {
     /// Multi-model routing strategy (One-to-one when every model has its own
     /// endpoint, which is also the right choice for single-model runs).
     pub routing: RoutingStrategy,
+    /// Node-placement policy for new containers.
+    pub scheduler: SchedulerKind,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -75,6 +92,7 @@ impl Default for ClusterConfig {
             keep_alive: SimDuration::from_secs(180),
             sandbox_cold_start: SimDuration::from_millis(650),
             routing: RoutingStrategy::OneToOne,
+            scheduler: SchedulerKind::LeastLoaded,
             seed: 42,
         }
     }
@@ -109,127 +127,13 @@ impl ClusterConfig {
     }
 }
 
-/// One simulated request.
-#[derive(Clone, Debug)]
-struct SimRequest {
-    model: ModelId,
-    user_index: usize,
-    submitted: SimTime,
-    session: Option<usize>,
-}
-
-#[derive(Debug)]
-enum Event {
-    Arrival(SimRequest),
-    SandboxReady(SandboxId),
-    InvocationDone {
-        sandbox: SandboxId,
-        slot: usize,
-        node: usize,
-        action: ActionName,
-        request: SimRequest,
-        path: InvocationPath,
-        enclave_was_initialized: bool,
-    },
-    EvictionTick,
-}
-
-/// Cached enclave state of one simulated sandbox.
-#[derive(Clone, Debug)]
-struct SandboxSimState {
-    node: usize,
-    ready: bool,
-    enclave_ready: bool,
-    cached_keys: Option<(PartyId, ModelId)>,
-    loaded_model: Option<ModelId>,
-    slot_models: Vec<Option<ModelId>>,
-    slot_busy: Vec<bool>,
-    waiting: VecDeque<SimRequest>,
-    enclave_bytes: u64,
-}
-
-impl SandboxSimState {
-    fn new(node: usize, slots: usize, enclave_bytes: u64) -> Self {
-        SandboxSimState {
-            node,
-            ready: false,
-            enclave_ready: false,
-            cached_keys: None,
-            loaded_model: None,
-            slot_models: vec![None; slots],
-            slot_busy: vec![false; slots],
-            waiting: VecDeque::new(),
-            enclave_bytes,
-        }
-    }
-
-    fn free_slot(&self) -> Option<usize> {
-        self.slot_busy.iter().position(|busy| !busy)
-    }
-}
-
-/// Aggregated results of one simulation run.
-#[derive(Debug)]
-pub struct SimulationResult {
-    /// End-to-end latency of every completed request.
-    pub latency: LatencyStats,
-    /// Latency per model.
-    pub per_model_latency: HashMap<ModelId, LatencyStats>,
-    /// `(completion time, latency in seconds)` series for latency-over-time
-    /// plots (Fig. 13).
-    pub latency_series: TimeSeries,
-    /// Requests served per invocation path.
-    pub path_counts: HashMap<InvocationPath, u64>,
-    /// Completed requests.
-    pub completed: u64,
-    /// Container cold starts.
-    pub cold_starts: u64,
-    /// Peak number of live sandboxes.
-    pub peak_sandboxes: usize,
-    /// Cluster memory integral in GB·seconds (Fig. 14's cost metric).
-    pub gb_seconds: f64,
-    /// Peak committed container memory in bytes.
-    pub peak_memory_bytes: u64,
-    /// Sandbox-count time series (total, serving).
-    pub sandbox_series: TimeSeries,
-    /// Committed-memory time series in GB.
-    pub memory_series: TimeSeries,
-    /// Latency of each interactive-session query: (session name, model) →
-    /// latency (Table IV).
-    pub session_latencies: Vec<(String, ModelId, SimDuration)>,
-}
-
-impl SimulationResult {
-    /// Mean latency over all completed requests.
-    #[must_use]
-    pub fn mean_latency(&self) -> SimDuration {
-        self.latency.mean()
-    }
-
-    /// p95 latency over all completed requests.
-    #[must_use]
-    pub fn p95_latency(&self) -> SimDuration {
-        self.latency.p95()
-    }
-
-    /// Fraction of requests served on the hot path.
-    #[must_use]
-    pub fn hot_fraction(&self) -> f64 {
-        let hot = *self.path_counts.get(&InvocationPath::Hot).unwrap_or(&0);
-        if self.completed == 0 {
-            0.0
-        } else {
-            hot as f64 / self.completed as f64
-        }
-    }
-}
-
 /// The cluster simulator.
 pub struct ClusterSimulation {
     config: ClusterConfig,
     cost_model: EnclaveCostModel,
     profiles: HashMap<ModelId, ModelProfile>,
     router: Box<dyn Router>,
+    scheduler: Box<dyn Scheduler>,
     controller: Controller,
     action_models: HashMap<ActionName, Vec<ModelId>>,
     sandbox_state: HashMap<SandboxId, SandboxSimState>,
@@ -313,10 +217,12 @@ impl ClusterSimulation {
 
         let rng = SimRng::seed_from_u64(config.seed);
         let nodes = config.nodes;
+        let scheduler = config.scheduler.build(nodes);
         ClusterSimulation {
             cost_model,
             profiles: models.into_iter().collect(),
             router,
+            scheduler,
             controller,
             action_models,
             sandbox_state: HashMap::new(),
@@ -389,13 +295,46 @@ impl ClusterSimulation {
         );
     }
 
+    /// Schedules one invocation of `action` for `model`: reuse a warm
+    /// container chosen by the placement policy, otherwise ask the policy to
+    /// place a new container on a node.
+    fn schedule_request(
+        &mut self,
+        action: &ActionName,
+        model: &ModelId,
+        now: SimTime,
+    ) -> Result<ScheduleOutcome, PlatformError> {
+        let candidates = self.controller.warm_candidates(action);
+        if let Some(candidate) = self.scheduler.select_warm(model, &candidates) {
+            return self.controller.assign_warm(candidate, now);
+        }
+        let memory_bytes = self.controller.action(action)?.memory_budget_bytes;
+        let snapshots = self.controller.node_snapshots(action);
+        let context = PlacementContext {
+            action,
+            model,
+            memory_bytes,
+            nodes: &snapshots,
+            node_enclave_bytes: &self.node_enclave_bytes,
+            epc_bytes: self.config.epc_bytes,
+            pending_for_model: self.router.pending_for(model),
+            now,
+        };
+        match self.scheduler.place(&context) {
+            Some(node) => self.controller.schedule_on(action, node, now),
+            None => Err(PlatformError::ClusterSaturated {
+                required_bytes: memory_bytes,
+            }),
+        }
+    }
+
     /// Pre-warms `count` hot sandboxes for `model` (used by the single-node
     /// throughput sweep, which warms up the system before measuring).
     pub fn prewarm(&mut self, model: &ModelId, user_index: usize, count: usize) {
         let user = self.user(user_index);
         let action = self.router.route(model, SimTime::ZERO);
         for _ in 0..count {
-            let outcome = match self.controller.schedule(&action, SimTime::ZERO) {
+            let outcome = match self.schedule_request(&action, model, SimTime::ZERO) {
                 Ok(outcome) => outcome,
                 Err(_) => break,
             };
@@ -557,7 +496,7 @@ impl ClusterSimulation {
                 .is_some_and(|models| models.contains(&request.model)),
             "router chose an endpoint that does not serve the model"
         );
-        match self.controller.schedule(&action, now) {
+        match self.schedule_request(&action, &request.model, now) {
             Ok(outcome) => {
                 let sandbox_id = outcome.sandbox();
                 let sandbox = self.controller.sandbox(sandbox_id).expect("scheduled");
@@ -599,6 +538,7 @@ impl ClusterSimulation {
         );
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn handle_done(
         &mut self,
         sandbox_id: SandboxId,
@@ -752,12 +692,6 @@ impl ClusterSimulation {
             memory_series: self.metering.memory_series().clone(),
             session_latencies: self.session_latencies,
         }
-    }
-}
-
-impl SimRequest {
-    fn at_or_before(&self, end: SimTime) -> bool {
-        self.submitted <= end
     }
 }
 
@@ -1020,5 +954,91 @@ mod tests {
                 kind.label()
             );
         }
+    }
+
+    #[test]
+    fn a_run_with_no_arrivals_yields_zeroed_but_total_metrics() {
+        // Degenerate experiment: nothing ever arrives.  Every summary query
+        // must stay total (no panics, no NaNs) and report zeros.
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let sim = ClusterSimulation::new(ClusterConfig::single_node_sgx2(), vec![(model, profile)]);
+        let result = sim.run(SimDuration::from_secs(10));
+        assert_eq!(result.completed, 0);
+        assert_eq!(result.mean_latency(), SimDuration::ZERO);
+        assert_eq!(result.p95_latency(), SimDuration::ZERO);
+        assert_eq!(result.p99_latency(), SimDuration::ZERO);
+        assert_eq!(result.hot_fraction(), 0.0);
+        assert_eq!(result.path_fraction(InvocationPath::Cold), 0.0);
+        assert!(result.latency.is_empty());
+        assert_eq!(result.cold_starts, 0);
+    }
+
+    #[test]
+    fn a_single_request_run_has_equal_percentiles() {
+        // One request: mean == p95 == p99 == max, and the lone invocation is
+        // a cold one.
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let mut sim = ClusterSimulation::new(
+            ClusterConfig::single_node_sgx2(),
+            vec![(model.clone(), profile)],
+        );
+        sim.add_arrivals(vec![sesemi_workload::RequestArrival {
+            at: SimTime::from_secs(1),
+            model,
+            user_index: 0,
+        }]);
+        let result = sim.run(SimDuration::from_secs(30));
+        assert_eq!(result.completed, 1);
+        assert!(result.mean_latency() > SimDuration::ZERO);
+        assert_eq!(result.p95_latency(), result.mean_latency());
+        assert_eq!(result.p99_latency(), result.mean_latency());
+        assert_eq!(result.p95_latency(), result.latency.max());
+        assert_eq!(result.path_fraction(InvocationPath::Cold), 1.0);
+    }
+
+    fn run_with_scheduler(kind: SchedulerKind, seed: u64) -> SimulationResult {
+        let (model, profile) = profile(ModelKind::DsNet, Framework::Tvm);
+        let config = ClusterConfig {
+            nodes: 4,
+            scheduler: kind,
+            tcs_per_container: 1,
+            seed,
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.add_arrivals(poisson_trace(&model, 6.0, 120, seed));
+        sim.run(SimDuration::from_secs(120))
+    }
+
+    #[test]
+    fn every_scheduler_kind_completes_the_same_workload() {
+        for kind in SchedulerKind::ALL {
+            let result = run_with_scheduler(kind, 21);
+            assert!(
+                result.completed > 500,
+                "{} completed {}",
+                kind.label(),
+                result.completed
+            );
+        }
+    }
+
+    #[test]
+    fn least_loaded_scheduler_is_deterministic_per_seed() {
+        // Determinism guard: the same seeded workload reproduces every
+        // summary metric exactly.  Equivalence with the controller's
+        // built-in `schedule()` policy is asserted separately by the
+        // platform crate's lockstep test
+        // (`decomposed_scheduling_api_is_equivalent_to_schedule`), since
+        // `LeastLoadedScheduler` delegates to the same `default_placement`
+        // the controller uses.
+        let a = run_with_scheduler(SchedulerKind::LeastLoaded, 33);
+        let b = run_with_scheduler(SchedulerKind::LeastLoaded, 33);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+        assert_eq!(a.p95_latency(), b.p95_latency());
+        assert_eq!(a.peak_sandboxes, b.peak_sandboxes);
+        assert!((a.gb_seconds - b.gb_seconds).abs() < 1e-12);
     }
 }

@@ -1,0 +1,145 @@
+//! Per-run state of the cluster simulator: in-flight requests, simulated
+//! sandbox caches and the aggregated [`SimulationResult`].
+
+use sesemi_inference::ModelId;
+use sesemi_keyservice::PartyId;
+use sesemi_platform::{ActionName, SandboxId};
+use sesemi_runtime::InvocationPath;
+use sesemi_sim::{LatencyStats, SimDuration, SimTime, TimeSeries};
+use std::collections::{HashMap, VecDeque};
+
+/// One simulated request.
+#[derive(Clone, Debug)]
+pub(super) struct SimRequest {
+    pub(super) model: ModelId,
+    pub(super) user_index: usize,
+    pub(super) submitted: SimTime,
+    pub(super) session: Option<usize>,
+}
+
+impl SimRequest {
+    pub(super) fn at_or_before(&self, end: SimTime) -> bool {
+        self.submitted <= end
+    }
+}
+
+#[derive(Debug)]
+pub(super) enum Event {
+    Arrival(SimRequest),
+    SandboxReady(SandboxId),
+    InvocationDone {
+        sandbox: SandboxId,
+        slot: usize,
+        node: usize,
+        action: ActionName,
+        request: SimRequest,
+        path: InvocationPath,
+        enclave_was_initialized: bool,
+    },
+    EvictionTick,
+}
+
+/// Cached enclave state of one simulated sandbox.
+#[derive(Clone, Debug)]
+pub(super) struct SandboxSimState {
+    pub(super) node: usize,
+    pub(super) ready: bool,
+    pub(super) enclave_ready: bool,
+    pub(super) cached_keys: Option<(PartyId, ModelId)>,
+    pub(super) loaded_model: Option<ModelId>,
+    pub(super) slot_models: Vec<Option<ModelId>>,
+    pub(super) slot_busy: Vec<bool>,
+    pub(super) waiting: VecDeque<SimRequest>,
+    pub(super) enclave_bytes: u64,
+}
+
+impl SandboxSimState {
+    pub(super) fn new(node: usize, slots: usize, enclave_bytes: u64) -> Self {
+        SandboxSimState {
+            node,
+            ready: false,
+            enclave_ready: false,
+            cached_keys: None,
+            loaded_model: None,
+            slot_models: vec![None; slots],
+            slot_busy: vec![false; slots],
+            waiting: VecDeque::new(),
+            enclave_bytes,
+        }
+    }
+
+    pub(super) fn free_slot(&self) -> Option<usize> {
+        self.slot_busy.iter().position(|busy| !busy)
+    }
+}
+
+/// Aggregated results of one simulation run.
+#[derive(Debug)]
+pub struct SimulationResult {
+    /// End-to-end latency of every completed request.
+    pub latency: LatencyStats,
+    /// Latency per model.
+    pub per_model_latency: HashMap<ModelId, LatencyStats>,
+    /// `(completion time, latency in seconds)` series for latency-over-time
+    /// plots (Fig. 13).
+    pub latency_series: TimeSeries,
+    /// Requests served per invocation path.
+    pub path_counts: HashMap<InvocationPath, u64>,
+    /// Completed requests.
+    pub completed: u64,
+    /// Container cold starts.
+    pub cold_starts: u64,
+    /// Peak number of live sandboxes.
+    pub peak_sandboxes: usize,
+    /// Cluster memory integral in GB·seconds (Fig. 14's cost metric).
+    pub gb_seconds: f64,
+    /// Peak committed container memory in bytes.
+    pub peak_memory_bytes: u64,
+    /// Sandbox-count time series (total, serving).
+    pub sandbox_series: TimeSeries,
+    /// Committed-memory time series in GB.
+    pub memory_series: TimeSeries,
+    /// Latency of each interactive-session query: (session name, model) →
+    /// latency (Table IV).
+    pub session_latencies: Vec<(String, ModelId, SimDuration)>,
+}
+
+impl SimulationResult {
+    /// Mean latency over all completed requests (zero for a run that
+    /// completed nothing).
+    #[must_use]
+    pub fn mean_latency(&self) -> SimDuration {
+        self.latency.mean()
+    }
+
+    /// p95 latency over all completed requests (zero for a run that
+    /// completed nothing).
+    #[must_use]
+    pub fn p95_latency(&self) -> SimDuration {
+        self.latency.p95()
+    }
+
+    /// p99 latency over all completed requests.
+    #[must_use]
+    pub fn p99_latency(&self) -> SimDuration {
+        self.latency.p99()
+    }
+
+    /// Fraction of requests served per invocation path (0.0 for an empty
+    /// run).
+    #[must_use]
+    pub fn path_fraction(&self, path: InvocationPath) -> f64 {
+        let count = *self.path_counts.get(&path).unwrap_or(&0);
+        if self.completed == 0 {
+            0.0
+        } else {
+            count as f64 / self.completed as f64
+        }
+    }
+
+    /// Fraction of requests served on the hot path.
+    #[must_use]
+    pub fn hot_fraction(&self) -> f64 {
+        self.path_fraction(InvocationPath::Hot)
+    }
+}

@@ -249,6 +249,26 @@ impl OwnerHandle {
             )
             .map_err(DeploymentError::from)
     }
+
+    /// Revokes a previously granted `(model, function, user)` authorization;
+    /// later key provisioning for the tuple is refused.
+    pub fn revoke_access(
+        &mut self,
+        deployment: &Deployment,
+        model: &ModelId,
+        function: &FunctionHandle,
+        user: PartyId,
+    ) -> Result<(), DeploymentError> {
+        self.client
+            .revoke_access(
+                &deployment.keyservice,
+                model,
+                function.measurement,
+                user,
+                &mut self.rng,
+            )
+            .map_err(DeploymentError::from)
+    }
 }
 
 /// A model user registered with the deployment.

@@ -30,6 +30,10 @@
 //! * [`cluster`] — a deterministic cluster simulator that replays the paper's
 //!   workloads against the real scheduling / caching / routing logic with
 //!   calibrated stage costs, regenerating Figs. 11–14 and Tables II–IV.
+//!   Node placement is a pluggable [`cluster::Scheduler`] policy
+//!   (least-loaded, round-robin, consistent-hash model affinity); the
+//!   `sesemi_scenario` crate composes workload × strategy × routing ×
+//!   scheduler × node count into named, seeded experiments.
 //!
 //! ## Quickstart
 //!

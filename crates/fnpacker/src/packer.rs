@@ -349,3 +349,153 @@ mod tests {
         packer.route(&ModelId::new("unknown"), SimTime::ZERO);
     }
 }
+
+#[cfg(test)]
+mod properties {
+    //! Property tests over arbitrary route/complete sequences: the §IV-C
+    //! scheduling rules as machine-checked invariants.
+
+    use super::*;
+    use proptest::prelude::*;
+    use sesemi_sim::SimDuration;
+    use std::collections::VecDeque;
+
+    const RELEASE: SimDuration = SimDuration::from_secs(30);
+
+    /// Drives a packer through a deterministic interpretation of `ops` and
+    /// calls `check` before/after bookkeeping at every routing step.
+    fn drive(
+        models: usize,
+        endpoints: usize,
+        ops: &[u64],
+        mut check: impl FnMut(&FnPacker, &ModelId, usize, SimTime),
+    ) {
+        let names: Vec<ModelId> = (0..models).map(|i| ModelId::new(format!("m{i}"))).collect();
+        let pool = FnPool::new("prop", names.clone(), 768 * 1024 * 1024, endpoints);
+        let mut packer = FnPacker::with_release_interval(pool, RELEASE);
+        let mut in_flight: VecDeque<(ModelId, usize)> = VecDeque::new();
+        let mut now = SimTime::ZERO;
+        for op in ops {
+            // Advance the clock by 0..=16 seconds so exclusivity sometimes
+            // lapses (release interval 30 s) and sometimes does not.
+            now += SimDuration::from_secs(op % 17);
+            if op % 4 == 3 {
+                // Complete the oldest pending request, if any.
+                if let Some((model, endpoint)) = in_flight.pop_front() {
+                    packer.complete(&model, endpoint, now, SimDuration::from_millis(500), "hot");
+                }
+            } else {
+                let model = &names[(op / 4) as usize % names.len()];
+                let endpoint = packer.route(model, now);
+                check(&packer, model, endpoint, now);
+                in_flight.push_back((model.clone(), endpoint));
+            }
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn pending_models_always_stick_to_their_endpoint(
+            ops in proptest::collection::vec(0u64..1_000, 1..200),
+        ) {
+            // Rule 1: a request for a model with responses pending elsewhere
+            // goes to that same endpoint — a shared endpoint never serves a
+            // model that has a pending response on a different endpoint.
+            let mut violations = Vec::new();
+            drive(3, 2, &ops, |packer, model, endpoint, _| {
+                let stats = packer.model_stats(model).expect("model registered");
+                // `check` runs after bookkeeping, so a model that had pending
+                // requests *before* this route now has pending >= 2.
+                if stats.pending >= 2 && stats.current_endpoint != Some(endpoint) {
+                    violations.push((model.clone(), endpoint));
+                }
+            });
+            prop_assert!(violations.is_empty(), "stickiness violated: {violations:?}");
+        }
+
+        #[test]
+        fn exclusive_endpoints_never_switch_models_while_alternatives_exist(
+            ops in proptest::collection::vec(0u64..1_000, 1..200),
+        ) {
+            // An endpoint that is exclusive to a model (and whose exclusivity
+            // has not lapsed) is never handed another model's request as long
+            // as any idle endpoint is available; only the all-busy fallback
+            // may override exclusivity.
+            let mut violations = Vec::new();
+            let mut before: Vec<EndpointSnapshot> = Vec::new();
+            drive(4, 3, &ops, |packer, model, endpoint, now| {
+                // Rule-1 routes (the model already had responses pending) are
+                // stickiness, not an idle-endpoint choice; rule 1 may keep a
+                // model on an endpoint the all-busy fallback once gave it.
+                if packer.model_stats(model).expect("registered").pending >= 2 {
+                    before = packer.endpoint_snapshots();
+                    return;
+                }
+                // Reconstruct the pre-route state: this route incremented the
+                // chosen endpoint's pending count by one.
+                let mut snapshots = packer.endpoint_snapshots();
+                snapshots[endpoint].pending -= 1;
+                let idle_available = snapshots.iter().any(|snapshot| {
+                    snapshot.pending == 0
+                        && match (&snapshot.exclusive_for, &snapshot.last_dispatch) {
+                            (None, _) => true,
+                            (Some(owner), _) if owner == model => true,
+                            (Some(_), Some(last)) => {
+                                now.duration_since(*last) >= RELEASE
+                            }
+                            (Some(_), None) => true,
+                        }
+                });
+                if idle_available {
+                    // The endpoint that was chosen must not have been busy
+                    // serving (exclusive to) a different, unlapsed model.
+                    if let Some(previous) = before.get(endpoint) {
+                        let unlapsed = previous
+                            .last_dispatch
+                            .is_some_and(|last| now.duration_since(last) < RELEASE);
+                        if previous
+                            .exclusive_for
+                            .as_ref()
+                            .is_some_and(|owner| owner != model)
+                            && unlapsed
+                        {
+                            violations.push((model.clone(), endpoint));
+                        }
+                    }
+                }
+                before = packer.endpoint_snapshots();
+            });
+            prop_assert!(violations.is_empty(), "exclusivity violated: {violations:?}");
+        }
+
+        #[test]
+        fn endpoint_usage_and_pending_counts_stay_consistent(
+            ops in proptest::collection::vec(0u64..1_000, 1..200),
+        ) {
+            let mut routes = 0usize;
+            let mut last_used = 0usize;
+            let mut ok = true;
+            drive(5, 3, &ops, |packer, _, _, _| {
+                routes += 1;
+                let used = packer.endpoints_used();
+                // Monotone, bounded by the pool size and by the routes made.
+                ok &= used >= last_used && used <= 3 && used <= routes;
+                last_used = used;
+                // Endpoint pending counts add up to the live request count.
+                let pending: usize = packer
+                    .endpoint_snapshots()
+                    .iter()
+                    .map(|snapshot| snapshot.pending)
+                    .sum();
+                let per_model: usize = (0..5)
+                    .filter_map(|i| packer.model_stats(&ModelId::new(format!("m{i}"))))
+                    .map(|stats| stats.pending)
+                    .sum();
+                ok &= pending == per_model;
+            });
+            prop_assert!(ok, "usage or pending bookkeeping diverged");
+        }
+    }
+}

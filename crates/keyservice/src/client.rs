@@ -168,6 +168,33 @@ impl OwnerClient {
         }
     }
 
+    /// `REVOKE_ACCESS`: withdraws a previously granted
+    /// `(model, enclave, user)` authorization.
+    pub fn revoke_access<R: RngCore>(
+        &mut self,
+        service: &KeyService,
+        model: &ModelId,
+        enclave: Measurement,
+        user: PartyId,
+        rng: &mut R,
+    ) -> Result<(), KeyServiceError> {
+        let owner = self.session.party()?;
+        let payload = OwnerRequest::RevokeAccess {
+            model: model.clone(),
+            enclave,
+            user,
+        }
+        .seal(&self.session.identity_key, rng);
+        match self
+            .session
+            .call(service, &Request::OwnerOp { owner, payload })?
+        {
+            Response::Ok => Ok(()),
+            Response::Error(err) => Err(err),
+            _ => Err(KeyServiceError::InvalidPayload),
+        }
+    }
+
     /// Closes the connection, releasing the KeyService-side TCS.
     pub fn disconnect(self, service: &KeyService) {
         service.close_connection(self.session.connection);

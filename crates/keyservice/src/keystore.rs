@@ -7,7 +7,7 @@
 use crate::error::KeyServiceError;
 use crate::messages::{OwnerRequest, UserRequest};
 use sesemi_crypto::aead::AeadKey;
-use sesemi_crypto::sha256::sha256;
+use sesemi_crypto::sha256::{sha256, Digest};
 use sesemi_enclave::Measurement;
 use sesemi_inference::ModelId;
 use std::collections::{HashMap, HashSet};
@@ -80,6 +80,13 @@ pub struct KeyStore {
     ks_r: HashMap<AccessTuple, AeadKey>,
     /// ⟨M_oid ∥ E_S ∥ uid⟩ — owner grants.
     acm: HashSet<AccessTuple>,
+    /// Digests of every accepted sealed owner/user payload, for replay
+    /// rejection: without this, an adversary who recorded a sealed
+    /// `GRANT_ACCESS` could replay it after the owner's `REVOKE_ACCESS` and
+    /// silently restore the grant.  Sealed payloads embed a random AEAD
+    /// nonce, so two independently sealed copies of the same request never
+    /// collide — only true byte-for-byte replays are refused.
+    seen_payloads: HashSet<(PartyId, Digest)>,
 }
 
 impl KeyStore {
@@ -107,6 +114,24 @@ impl KeyStore {
         self.ks_i.get(party).ok_or(KeyServiceError::UnknownParty)
     }
 
+    /// Rejects a sealed payload the store has already accepted from `party`
+    /// (anti-replay); records fresh payloads.  Called only after the payload
+    /// authenticated under the party's identity key, so the set tracks
+    /// genuine requests, not attacker-controlled garbage.
+    fn check_fresh(
+        &mut self,
+        party: PartyId,
+        sealed_payload: &[u8],
+    ) -> Result<(), KeyServiceError> {
+        let digest = sha256(sealed_payload);
+        if !self.seen_payloads.insert((party, digest)) {
+            return Err(KeyServiceError::Conflict(
+                "replayed owner/user request".to_string(),
+            ));
+        }
+        Ok(())
+    }
+
     /// Handles an owner request (`ADD_MODEL_KEY` or `GRANT_ACCESS`).  The
     /// payload is encrypted under the owner's long-term key, so only a holder
     /// of that key can have produced it (Algorithm 1 lines 9–16).
@@ -117,6 +142,7 @@ impl KeyStore {
     ) -> Result<(), KeyServiceError> {
         let key = self.identity_key(&owner)?.clone();
         let request = OwnerRequest::open(&key, sealed_payload)?;
+        self.check_fresh(owner, sealed_payload)?;
         match request {
             OwnerRequest::AddModelKey { model, model_key } => {
                 match self.ks_m.get(&model) {
@@ -150,6 +176,26 @@ impl KeyStore {
                     _ => Err(KeyServiceError::NotAuthorized),
                 }
             }
+            OwnerRequest::RevokeAccess {
+                model,
+                enclave,
+                user,
+            } => {
+                // Only the owner of the model may revoke access to it.
+                // Revoking a grant that does not exist is a no-op (revocation
+                // is idempotent).
+                match self.ks_m.get(&model) {
+                    Some((existing_owner, _)) if *existing_owner == owner => {
+                        self.acm.remove(&AccessTuple {
+                            model,
+                            enclave,
+                            user,
+                        });
+                        Ok(())
+                    }
+                    _ => Err(KeyServiceError::NotAuthorized),
+                }
+            }
         }
     }
 
@@ -161,6 +207,7 @@ impl KeyStore {
     ) -> Result<(), KeyServiceError> {
         let key = self.identity_key(&user)?.clone();
         let request = UserRequest::open(&key, sealed_payload)?;
+        self.check_fresh(user, sealed_payload)?;
         match request {
             UserRequest::AddRequestKey {
                 model,
@@ -509,6 +556,116 @@ mod tests {
             w.store.handle_owner_request(w.owner, &payload).unwrap();
         }
         assert_eq!(w.store.registered_models(), 1);
+    }
+
+    #[test]
+    fn revocation_removes_the_grant_and_is_owner_only() {
+        let mut w = world();
+        let enclave = enclave_id("semirt");
+        provision_setup(&mut w, "diagnosis", enclave);
+        let model_id = ModelId::new("diagnosis");
+        assert!(w.store.key_provisioning(w.user, &model_id, enclave).is_ok());
+
+        // A non-owner cannot revoke.
+        let revoke = OwnerRequest::RevokeAccess {
+            model: model_id.clone(),
+            enclave,
+            user: w.user,
+        };
+        let forged = revoke.clone().seal(&w.user_key, &mut w.rng);
+        assert_eq!(
+            w.store.handle_owner_request(w.user, &forged),
+            Err(KeyServiceError::NotAuthorized)
+        );
+        // The grant is still in place after the failed revocation.
+        assert!(w.store.key_provisioning(w.user, &model_id, enclave).is_ok());
+
+        // The owner revokes: provisioning is refused from then on.
+        let sealed = revoke.seal(&w.owner_key, &mut w.rng);
+        w.store.handle_owner_request(w.owner, &sealed).unwrap();
+        assert_eq!(w.store.grants(), 0);
+        assert_eq!(
+            w.store.key_provisioning(w.user, &model_id, enclave),
+            Err(KeyServiceError::NotAuthorized)
+        );
+
+        // Revocation is idempotent.
+        let again = OwnerRequest::RevokeAccess {
+            model: model_id,
+            enclave,
+            user: w.user,
+        }
+        .seal(&w.owner_key, &mut w.rng);
+        assert_eq!(w.store.handle_owner_request(w.owner, &again), Ok(()));
+    }
+
+    #[test]
+    fn replayed_grants_cannot_undo_a_revocation() {
+        // The untrusted host records the owner's sealed GRANT_ACCESS bytes.
+        // After the owner revokes, replaying the recorded ciphertext must not
+        // restore the grant: byte-identical payloads are refused.
+        let mut w = world();
+        let enclave = enclave_id("semirt");
+        let model_id = ModelId::new("diagnosis");
+        let add_model = OwnerRequest::AddModelKey {
+            model: model_id.clone(),
+            model_key: key(10),
+        }
+        .seal(&w.owner_key, &mut w.rng);
+        w.store.handle_owner_request(w.owner, &add_model).unwrap();
+
+        let recorded_grant = OwnerRequest::GrantAccess {
+            model: model_id.clone(),
+            enclave,
+            user: w.user,
+        }
+        .seal(&w.owner_key, &mut w.rng);
+        w.store
+            .handle_owner_request(w.owner, &recorded_grant)
+            .unwrap();
+
+        let revoke = OwnerRequest::RevokeAccess {
+            model: model_id.clone(),
+            enclave,
+            user: w.user,
+        }
+        .seal(&w.owner_key, &mut w.rng);
+        w.store.handle_owner_request(w.owner, &revoke).unwrap();
+        assert_eq!(w.store.grants(), 0);
+
+        // Replay of the recorded grant: refused, grant stays revoked.
+        assert!(matches!(
+            w.store.handle_owner_request(w.owner, &recorded_grant),
+            Err(KeyServiceError::Conflict(_))
+        ));
+        assert_eq!(w.store.grants(), 0);
+
+        // A *fresh* re-grant from the owner (new nonce) still works.
+        let regrant = OwnerRequest::GrantAccess {
+            model: model_id,
+            enclave,
+            user: w.user,
+        }
+        .seal(&w.owner_key, &mut w.rng);
+        w.store.handle_owner_request(w.owner, &regrant).unwrap();
+        assert_eq!(w.store.grants(), 1);
+    }
+
+    #[test]
+    fn replayed_user_requests_are_rejected() {
+        let mut w = world();
+        let enclave = enclave_id("semirt");
+        let add_req = UserRequest::AddRequestKey {
+            model: ModelId::new("m"),
+            enclave,
+            request_key: key(20),
+        }
+        .seal(&w.user_key, &mut w.rng);
+        w.store.handle_user_request(w.user, &add_req).unwrap();
+        assert!(matches!(
+            w.store.handle_user_request(w.user, &add_req),
+            Err(KeyServiceError::Conflict(_))
+        ));
     }
 
     #[test]

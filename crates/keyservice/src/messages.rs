@@ -41,6 +41,19 @@ pub enum OwnerRequest {
         /// The authorized user.
         user: PartyId,
     },
+    /// `REVOKE_ACCESS`: withdraw a previously granted
+    /// ⟨model, enclave, user⟩ authorization.  Subsequent `KEY_PROVISIONING`
+    /// for the tuple is refused; keys already provisioned to running enclaves
+    /// stay valid until those enclaves terminate (the paper's access control
+    /// is checked at provisioning time).
+    RevokeAccess {
+        /// Model id.
+        model: ModelId,
+        /// Enclave identity `E_S` whose authorization is withdrawn.
+        enclave: Measurement,
+        /// The user whose access is revoked.
+        user: PartyId,
+    },
 }
 
 /// Requests a model user can make.
@@ -132,6 +145,16 @@ impl OwnerRequest {
                 out.extend_from_slice(enclave.as_bytes());
                 out.extend_from_slice(user.as_bytes());
             }
+            OwnerRequest::RevokeAccess {
+                model,
+                enclave,
+                user,
+            } => {
+                out.push(2);
+                write_model_id(&mut out, model);
+                out.extend_from_slice(enclave.as_bytes());
+                out.extend_from_slice(user.as_bytes());
+            }
         }
         out
     }
@@ -151,16 +174,26 @@ impl OwnerRequest {
                     model_key: AeadKey::from_bytes(key),
                 })
             }
-            1 => {
+            1 | 2 => {
                 let model = read_model_id(bytes, &mut offset)?;
                 let enclave: [u8; 32] = read_array(bytes, &mut offset)?;
                 let user: [u8; 32] = read_array(bytes, &mut offset)?;
                 ensure_exhausted(bytes, offset)?;
-                Ok(OwnerRequest::GrantAccess {
-                    model,
-                    enclave: measurement_from_bytes(enclave),
-                    user: PartyId::from_bytes(user),
-                })
+                let enclave = measurement_from_bytes(enclave);
+                let user = PartyId::from_bytes(user);
+                if bytes[0] == 1 {
+                    Ok(OwnerRequest::GrantAccess {
+                        model,
+                        enclave,
+                        user,
+                    })
+                } else {
+                    Ok(OwnerRequest::RevokeAccess {
+                        model,
+                        enclave,
+                        user,
+                    })
+                }
             }
             _ => Err(KeyServiceError::InvalidPayload),
         }
@@ -261,6 +294,11 @@ mod tests {
                 model_key: AeadKey::from_bytes([7u8; 16]),
             },
             OwnerRequest::GrantAccess {
+                model: ModelId::new("hospital/diagnosis"),
+                enclave: enclave_id(),
+                user,
+            },
+            OwnerRequest::RevokeAccess {
                 model: ModelId::new("hospital/diagnosis"),
                 enclave: enclave_id(),
                 user,

@@ -32,6 +32,73 @@ struct InvokerNode {
     memory_used: u64,
 }
 
+/// A point-in-time load/memory view of one invoker node, exposed so external
+/// placement policies (the `Scheduler` implementations in the `sesemi` core
+/// crate) can decide where a new container should go without reaching into
+/// controller internals.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// The node this snapshot describes.
+    pub node: NodeId,
+    /// Total invoker memory on the node.
+    pub memory_capacity: u64,
+    /// Memory committed to containers on the node.
+    pub memory_used: u64,
+    /// Live sandboxes (any action, any state) hosted by the node.
+    pub total_sandboxes: usize,
+    /// Live sandboxes of the queried action hosted by the node.
+    pub action_sandboxes: usize,
+    /// Activations currently in flight on the node.
+    pub active_invocations: usize,
+}
+
+impl NodeSnapshot {
+    /// Free invoker memory on the node.
+    #[must_use]
+    pub fn free_memory(&self) -> u64 {
+        self.memory_capacity - self.memory_used
+    }
+
+    /// Whether a container of `memory_bytes` fits on the node.
+    #[must_use]
+    pub fn fits(&self, memory_bytes: u64) -> bool {
+        self.memory_used + memory_bytes <= self.memory_capacity
+    }
+}
+
+/// A warm container that could absorb one more invocation of an action.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct WarmCandidate {
+    /// The sandbox.
+    pub sandbox: SandboxId,
+    /// The node hosting it.
+    pub node: NodeId,
+    /// When it last served (or was assigned) an activation.
+    pub last_used: SimTime,
+    /// Whether the container is still cold-starting (an assigned invocation
+    /// must additionally wait for readiness).
+    pub still_starting: bool,
+}
+
+/// The controller's built-in placement policy, factored out so external
+/// schedulers can delegate to it: prefer nodes already hosting the action
+/// ("home-invoker affinity", lowest index first), then the node with the most
+/// free memory (ties resolved towards the highest index, matching
+/// `Iterator::max_by_key`).  Returns `None` when no node fits.
+#[must_use]
+pub fn default_placement(memory_bytes: u64, nodes: &[NodeSnapshot]) -> Option<NodeId> {
+    for snapshot in nodes {
+        if snapshot.action_sandboxes > 0 && snapshot.fits(memory_bytes) {
+            return Some(snapshot.node);
+        }
+    }
+    nodes
+        .iter()
+        .filter(|snapshot| snapshot.fits(memory_bytes))
+        .max_by_key(|snapshot| snapshot.free_memory())
+        .map(|snapshot| snapshot.node)
+}
+
 /// Result of scheduling one invocation.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum ScheduleOutcome {
@@ -131,7 +198,9 @@ impl Controller {
             .ok_or_else(|| PlatformError::UnknownAction(name.as_str().to_string()))
     }
 
-    /// Schedules one invocation of `action` at time `now`.
+    /// Schedules one invocation of `action` at time `now` using the built-in
+    /// policy: reuse the most-recently-used warm container, otherwise place a
+    /// new container via [`default_placement`].
     pub fn schedule(
         &mut self,
         action: &ActionName,
@@ -145,23 +214,114 @@ impl Controller {
         self.total_invocations += 1;
 
         // 1. Reuse the most-recently-used container with a free slot.
-        let candidate = self
-            .sandboxes
-            .values()
-            .filter(|s| s.action == spec.name && s.has_free_slot())
-            .max_by_key(|s| (s.last_used, s.id))
-            .map(|s| (s.id, s.state));
-        if let Some((id, state)) = candidate {
-            let sandbox = self.sandboxes.get_mut(&id).expect("candidate exists");
-            sandbox.assign(now);
-            return Ok(ScheduleOutcome::Reused {
-                sandbox: id,
-                still_starting: state == SandboxState::Starting,
-            });
+        if let Some(candidate) = self.warm_candidate(action) {
+            return Ok(self.assign_warm_inner(candidate, now));
         }
 
         // 2. Start a new container.
-        let node = self.pick_node(&spec)?;
+        let node = default_placement(spec.memory_budget_bytes, &self.node_snapshots(action))
+            .ok_or(PlatformError::ClusterSaturated {
+                required_bytes: spec.memory_budget_bytes,
+            })?;
+        Ok(self.cold_start_inner(&spec, node, now))
+    }
+
+    /// The most-recently-used warm container of `action` with a free
+    /// concurrency slot, if any (read-only; the caller decides whether to
+    /// assign to it via [`Controller::assign_warm`]).
+    #[must_use]
+    pub fn warm_candidate(&self, action: &ActionName) -> Option<WarmCandidate> {
+        self.warm_candidates(action)
+            .into_iter()
+            .max_by_key(|candidate| (candidate.last_used, candidate.sandbox))
+    }
+
+    /// Every warm container of `action` with a free concurrency slot, in
+    /// sandbox-id order (for policies that want to pick among them).
+    #[must_use]
+    pub fn warm_candidates(&self, action: &ActionName) -> Vec<WarmCandidate> {
+        let mut candidates: Vec<WarmCandidate> = self
+            .sandboxes
+            .values()
+            .filter(|s| &s.action == action && s.has_free_slot())
+            .map(|s| WarmCandidate {
+                sandbox: s.id,
+                node: s.node,
+                last_used: s.last_used,
+                still_starting: s.state == SandboxState::Starting,
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|candidate| candidate.sandbox);
+        candidates
+    }
+
+    /// Assigns one invocation to a previously inspected warm candidate.
+    pub fn assign_warm(
+        &mut self,
+        candidate: WarmCandidate,
+        now: SimTime,
+    ) -> Result<ScheduleOutcome, PlatformError> {
+        let sandbox = self
+            .sandboxes
+            .get(&candidate.sandbox)
+            .ok_or(PlatformError::UnknownSandbox(candidate.sandbox.0))?;
+        if !sandbox.has_free_slot() {
+            return Err(PlatformError::InvalidSandboxState {
+                sandbox: candidate.sandbox.0,
+                reason: "no free concurrency slot".to_string(),
+            });
+        }
+        self.total_invocations += 1;
+        Ok(self.assign_warm_inner(candidate, now))
+    }
+
+    fn assign_warm_inner(&mut self, candidate: WarmCandidate, now: SimTime) -> ScheduleOutcome {
+        let sandbox = self
+            .sandboxes
+            .get_mut(&candidate.sandbox)
+            .expect("candidate exists");
+        let still_starting = sandbox.state == SandboxState::Starting;
+        sandbox.assign(now);
+        ScheduleOutcome::Reused {
+            sandbox: candidate.sandbox,
+            still_starting,
+        }
+    }
+
+    /// Cold-starts a new container of `action` on an explicitly chosen node
+    /// (the entry point for pluggable placement policies).  Refuses the
+    /// placement if the node is out of range or lacks the memory.
+    pub fn schedule_on(
+        &mut self,
+        action: &ActionName,
+        node: NodeId,
+        now: SimTime,
+    ) -> Result<ScheduleOutcome, PlatformError> {
+        let spec = self
+            .actions
+            .get(action)
+            .ok_or_else(|| PlatformError::UnknownAction(action.as_str().to_string()))?
+            .clone();
+        let fits = self
+            .nodes
+            .get(node)
+            .is_some_and(|n| n.memory_used + spec.memory_budget_bytes <= n.memory_capacity);
+        if !fits {
+            return Err(PlatformError::InvalidPlacement {
+                node,
+                required_bytes: spec.memory_budget_bytes,
+            });
+        }
+        self.total_invocations += 1;
+        Ok(self.cold_start_inner(&spec, node, now))
+    }
+
+    fn cold_start_inner(
+        &mut self,
+        spec: &ActionSpec,
+        node: NodeId,
+        now: SimTime,
+    ) -> ScheduleOutcome {
         let id = SandboxId(self.next_sandbox_id);
         self.next_sandbox_id += 1;
         self.nodes[node].memory_used += spec.memory_budget_bytes;
@@ -176,37 +336,35 @@ impl Controller {
         sandbox.assign(now);
         self.sandboxes.insert(id, sandbox);
         self.total_cold_starts += 1;
-        Ok(ScheduleOutcome::ColdStart { sandbox: id, node })
+        ScheduleOutcome::ColdStart { sandbox: id, node }
     }
 
-    fn pick_node(&self, spec: &ActionSpec) -> Result<NodeId, PlatformError> {
-        let fits = |node: &InvokerNode| {
-            node.memory_used + spec.memory_budget_bytes <= node.memory_capacity
-        };
-        // Prefer nodes already hosting this action (home-invoker affinity).
-        let mut home_nodes: Vec<NodeId> = self
-            .sandboxes
-            .values()
-            .filter(|s| s.action == spec.name)
-            .map(|s| s.node)
-            .collect();
-        home_nodes.sort_unstable();
-        home_nodes.dedup();
-        for node in home_nodes {
-            if fits(&self.nodes[node]) {
-                return Ok(node);
-            }
-        }
-        // Otherwise the node with the most free memory.
-        self.nodes
+    /// Per-node load/memory snapshots with `action`-specific occupancy, in
+    /// node order.  This is the view pluggable schedulers place against.
+    #[must_use]
+    pub fn node_snapshots(&self, action: &ActionName) -> Vec<NodeSnapshot> {
+        let mut snapshots: Vec<NodeSnapshot> = self
+            .nodes
             .iter()
             .enumerate()
-            .filter(|(_, node)| fits(node))
-            .max_by_key(|(_, node)| node.memory_capacity - node.memory_used)
-            .map(|(idx, _)| idx)
-            .ok_or(PlatformError::ClusterSaturated {
-                required_bytes: spec.memory_budget_bytes,
+            .map(|(node, n)| NodeSnapshot {
+                node,
+                memory_capacity: n.memory_capacity,
+                memory_used: n.memory_used,
+                total_sandboxes: 0,
+                action_sandboxes: 0,
+                active_invocations: 0,
             })
+            .collect();
+        for sandbox in self.sandboxes.values() {
+            let snapshot = &mut snapshots[sandbox.node];
+            snapshot.total_sandboxes += 1;
+            snapshot.active_invocations += sandbox.active;
+            if &sandbox.action == action {
+                snapshot.action_sandboxes += 1;
+            }
+        }
+        snapshots
     }
 
     /// Marks a cold-started sandbox as ready to execute.
@@ -497,5 +655,202 @@ mod tests {
     #[should_panic(expected = "at least one invoker")]
     fn zero_nodes_rejected() {
         let _ = Controller::new(PlatformConfig::default(), 0);
+    }
+
+    #[test]
+    fn decomposed_scheduling_api_is_equivalent_to_schedule() {
+        // Drive two controllers in lockstep over a deterministic
+        // pseudo-random mix of schedules, completions and evictions: one
+        // through the built-in `schedule()`, the other through the
+        // decomposed warm_candidate/assign_warm/default_placement/
+        // schedule_on path the pluggable schedulers use.  Every outcome must
+        // match — this is the real equivalence guarantee behind the
+        // "behaviour-preserving default scheduler" claim.
+        let mut built_in = controller(3, 1024);
+        let mut decomposed = controller(3, 1024);
+        for c in [&mut built_in, &mut decomposed] {
+            c.register_action(spec("a", 256, 2)).unwrap();
+            c.register_action(spec("b", 128, 1)).unwrap();
+        }
+        let mut in_flight: Vec<SandboxId> = Vec::new();
+        let mut state = 0x1234_5678_u64;
+        for step in 0..400u64 {
+            state = state
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let roll = state >> 33;
+            let now = SimTime::from_secs(step);
+            match roll % 5 {
+                0 | 1 | 2 => {
+                    let action: ActionName = if roll % 2 == 0 {
+                        "a".into()
+                    } else {
+                        "b".into()
+                    };
+                    let expected = built_in.schedule(&action, now);
+                    let actual = match decomposed.warm_candidate(&action) {
+                        Some(candidate) => decomposed.assign_warm(candidate, now),
+                        None => {
+                            let bytes = decomposed.action(&action).unwrap().memory_budget_bytes;
+                            match default_placement(bytes, &decomposed.node_snapshots(&action)) {
+                                Some(node) => decomposed.schedule_on(&action, node, now),
+                                None => Err(PlatformError::ClusterSaturated {
+                                    required_bytes: bytes,
+                                }),
+                            }
+                        }
+                    };
+                    match (&expected, &actual) {
+                        (Ok(e), Ok(a)) => {
+                            assert_eq!(e, a, "step {step}");
+                            let id = e.sandbox();
+                            if e.is_cold_start() {
+                                built_in.sandbox_ready(id).unwrap();
+                                decomposed.sandbox_ready(id).unwrap();
+                            }
+                            in_flight.push(id);
+                        }
+                        (Err(_), Err(_)) => {}
+                        other => panic!("step {step}: outcomes diverged: {other:?}"),
+                    }
+                }
+                3 => {
+                    if !in_flight.is_empty() {
+                        let id = in_flight.remove((roll as usize / 7) % in_flight.len());
+                        built_in.invocation_finished(id, now).unwrap();
+                        decomposed.invocation_finished(id, now).unwrap();
+                    }
+                }
+                _ => {
+                    // HashMap iteration order differs per instance; compare
+                    // the eviction sets, not their order.
+                    let mut e = built_in.evict_idle(now);
+                    let mut a = decomposed.evict_idle(now);
+                    e.sort_unstable();
+                    a.sort_unstable();
+                    assert_eq!(e, a, "step {step}");
+                }
+            }
+        }
+        assert_eq!(built_in.sandbox_count(), decomposed.sandbox_count());
+        assert_eq!(built_in.cold_start_count(), decomposed.cold_start_count());
+        assert_eq!(
+            built_in.committed_memory_bytes(),
+            decomposed.committed_memory_bytes()
+        );
+        assert!(
+            built_in.cold_start_count() > 0,
+            "workload never cold-started"
+        );
+    }
+
+    #[test]
+    fn node_snapshots_track_memory_and_action_occupancy() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("a", 256, 2)).unwrap();
+        c.register_action(spec("b", 256, 1)).unwrap();
+        let a = c.schedule(&"a".into(), SimTime::from_secs(1)).unwrap();
+        let ScheduleOutcome::ColdStart { node: a_node, .. } = a else {
+            panic!("expected cold start")
+        };
+        let snapshots = c.node_snapshots(&"a".into());
+        assert_eq!(snapshots.len(), 2);
+        assert_eq!(snapshots[a_node].action_sandboxes, 1);
+        assert_eq!(snapshots[a_node].total_sandboxes, 1);
+        assert_eq!(snapshots[a_node].active_invocations, 1);
+        assert_eq!(snapshots[a_node].memory_used, 256 * MB);
+        assert_eq!(snapshots[a_node].free_memory(), 768 * MB);
+        assert!(snapshots[a_node].fits(768 * MB));
+        assert!(!snapshots[a_node].fits(769 * MB));
+        // The other node is empty, and `b` has no sandboxes anywhere.
+        let other = 1 - a_node;
+        assert_eq!(snapshots[other].total_sandboxes, 0);
+        assert!(c
+            .node_snapshots(&"b".into())
+            .iter()
+            .all(|s| s.action_sandboxes == 0));
+    }
+
+    #[test]
+    fn default_placement_prefers_home_nodes_then_most_free_memory() {
+        let snapshot = |node, used, action_sandboxes| NodeSnapshot {
+            node,
+            memory_capacity: 1024 * MB,
+            memory_used: used,
+            total_sandboxes: 0,
+            action_sandboxes,
+            active_invocations: 0,
+        };
+        // Home node wins even when another node has more free memory.
+        let nodes = vec![snapshot(0, 0, 0), snapshot(1, 512 * MB, 1)];
+        assert_eq!(default_placement(256 * MB, &nodes), Some(1));
+        // A full home node falls back to the most free memory.
+        let nodes = vec![snapshot(0, 128 * MB, 0), snapshot(1, 1024 * MB, 1)];
+        assert_eq!(default_placement(256 * MB, &nodes), Some(0));
+        // Nothing fits.
+        let nodes = vec![snapshot(0, 1024 * MB, 0)];
+        assert_eq!(default_placement(1, &nodes), None);
+    }
+
+    #[test]
+    fn warm_candidates_and_explicit_assignment() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 128, 1)).unwrap();
+        assert!(c.warm_candidate(&"f".into()).is_none());
+        let first = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        c.sandbox_ready(first.sandbox()).unwrap();
+        c.invocation_finished(first.sandbox(), SimTime::from_secs(2))
+            .unwrap();
+
+        let candidate = c.warm_candidate(&"f".into()).expect("warm container");
+        assert_eq!(candidate.sandbox, first.sandbox());
+        assert!(!candidate.still_starting);
+        let outcome = c.assign_warm(candidate, SimTime::from_secs(3)).unwrap();
+        assert_eq!(
+            outcome,
+            ScheduleOutcome::Reused {
+                sandbox: first.sandbox(),
+                still_starting: false
+            }
+        );
+        assert_eq!(c.invocation_count(), 2);
+        // The slot is now taken; a stale candidate is refused.
+        assert!(matches!(
+            c.assign_warm(candidate, SimTime::from_secs(4)),
+            Err(PlatformError::InvalidSandboxState { .. })
+        ));
+    }
+
+    #[test]
+    fn schedule_on_places_exactly_where_told_and_refuses_bad_nodes() {
+        let mut c = controller(3, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        let outcome = c
+            .schedule_on(&"f".into(), 2, SimTime::from_secs(1))
+            .unwrap();
+        let ScheduleOutcome::ColdStart { node, .. } = outcome else {
+            panic!("expected cold start")
+        };
+        assert_eq!(node, 2);
+        assert_eq!(c.node_snapshots(&"f".into())[2].memory_used, 256 * MB);
+        // Out-of-range node.
+        assert!(matches!(
+            c.schedule_on(&"f".into(), 9, SimTime::from_secs(1)),
+            Err(PlatformError::InvalidPlacement { node: 9, .. })
+        ));
+        // A node without enough memory (1024 MB holds four 256 MB containers).
+        for _ in 0..4 {
+            c.schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+                .unwrap();
+        }
+        assert!(matches!(
+            c.schedule_on(&"f".into(), 0, SimTime::from_secs(1)),
+            Err(PlatformError::InvalidPlacement { node: 0, .. })
+        ));
+        // Unknown actions are still reported as such.
+        assert!(matches!(
+            c.schedule_on(&"ghost".into(), 0, SimTime::ZERO),
+            Err(PlatformError::UnknownAction(_))
+        ));
     }
 }

@@ -27,6 +27,15 @@ pub enum PlatformError {
         /// Description of the violated expectation.
         reason: String,
     },
+    /// An external scheduler placed a container on a node that cannot host it
+    /// (out of range or without enough free memory) — a policy bug the
+    /// controller refuses rather than silently re-placing.
+    InvalidPlacement {
+        /// The node the scheduler chose.
+        node: usize,
+        /// Memory the container would have needed, in bytes.
+        required_bytes: u64,
+    },
 }
 
 impl fmt::Display for PlatformError {
@@ -45,6 +54,13 @@ impl fmt::Display for PlatformError {
             PlatformError::InvalidSandboxState { sandbox, reason } => {
                 write!(f, "invalid state for sandbox {sandbox}: {reason}")
             }
+            PlatformError::InvalidPlacement {
+                node,
+                required_bytes,
+            } => write!(
+                f,
+                "invalid placement: node {node} cannot host a {required_bytes}-byte container"
+            ),
         }
     }
 }

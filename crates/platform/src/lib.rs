@@ -37,7 +37,9 @@ pub mod storage;
 
 pub use action::{ActionName, ActionSpec, ActivationId, ActivationRecord};
 pub use config::PlatformConfig;
-pub use controller::{Controller, NodeId, ScheduleOutcome};
+pub use controller::{
+    default_placement, Controller, NodeId, NodeSnapshot, ScheduleOutcome, WarmCandidate,
+};
 pub use error::PlatformError;
 pub use sandbox::{Sandbox, SandboxId, SandboxState};
 pub use storage::{CloudStorage, StorageClass};

@@ -1,0 +1,451 @@
+//! # sesemi-scenario
+//!
+//! A small declarative layer over [`sesemi::cluster`]: a [`Scenario`]
+//! composes a workload (fixed-rate / Poisson / MMPP traffic plus closed-loop
+//! interactive sessions), a serving strategy, a routing strategy, a placement
+//! scheduler and a node count into a *named, seeded* experiment that returns
+//! a [`SimulationResult`].
+//!
+//! Every experiment the harness runs — the paper reproductions in
+//! `sesemi_bench` and the integration tests in `tests/cluster_experiments.rs`
+//! — goes through this builder, so "add a scheduling idea" is a ~50-line
+//! policy impl plus a scenario entry, not a simulator refactor.  Scenarios
+//! are deterministic: the same name/seed/composition reproduces the same
+//! [`SimulationResult`] bit for bit (guarded by the CI smoke job).
+//!
+//! ```
+//! use sesemi_scenario::Scenario;
+//! use sesemi_inference::{Framework, ModelKind, ModelProfile};
+//! use sesemi_sim::SimDuration;
+//! use sesemi_workload::ArrivalProcess;
+//!
+//! let model = ModelKind::MbNet.default_id();
+//! let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+//! let result = Scenario::builder("quick-poisson")
+//!     .seed(7)
+//!     .nodes(2)
+//!     .model(model.clone(), profile)
+//!     .prewarm(model.clone(), 0, 2)
+//!     .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 5.0 })
+//!     .duration(SimDuration::from_secs(30))
+//!     .build()
+//!     .run();
+//! assert!(result.completed > 0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use sesemi::baseline::ServingStrategy;
+use sesemi::cluster::{ClusterConfig, ClusterSimulation, SchedulerKind, SimulationResult};
+use sesemi_enclave::SgxVersion;
+use sesemi_fnpacker::RoutingStrategy;
+use sesemi_inference::{ModelId, ModelProfile};
+use sesemi_sim::{SimDuration, SimRng};
+use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
+
+/// One open-loop traffic stream of a scenario.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TrafficSpec {
+    /// The model the stream targets.
+    pub model: ModelId,
+    /// The user issuing the stream's requests.
+    pub user_index: usize,
+    /// The arrival process generating the stream.
+    pub process: ArrivalProcess,
+}
+
+/// A named, seeded, fully declarative cluster experiment.
+///
+/// Build one with [`Scenario::builder`]; [`Scenario::run`] replays it on a
+/// fresh [`ClusterSimulation`].  Running the same scenario twice produces
+/// identical results.
+#[derive(Clone, Debug)]
+pub struct Scenario {
+    name: String,
+    config: ClusterConfig,
+    models: Vec<(ModelId, ModelProfile)>,
+    prewarms: Vec<(ModelId, usize, usize)>,
+    traffic: Vec<TrafficSpec>,
+    sessions: Vec<InteractiveSession>,
+    duration: SimDuration,
+}
+
+impl Scenario {
+    /// Starts building a scenario with the single-node SGX2 defaults.
+    #[must_use]
+    pub fn builder(name: impl Into<String>) -> ScenarioBuilder {
+        ScenarioBuilder {
+            name: name.into(),
+            config: ClusterConfig::default(),
+            models: Vec::new(),
+            prewarms: Vec::new(),
+            traffic: Vec::new(),
+            sessions: Vec::new(),
+            duration: SimDuration::from_secs(60),
+        }
+    }
+
+    /// The scenario's name (used in reports and logs).
+    #[must_use]
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The cluster configuration the scenario runs against.
+    #[must_use]
+    pub fn config(&self) -> &ClusterConfig {
+        &self.config
+    }
+
+    /// The workload horizon.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// Replays the scenario and returns the aggregated results.
+    ///
+    /// The replay order is fixed — simulator construction, prewarms, traffic
+    /// generation (one shared RNG seeded from the scenario seed, streams in
+    /// declaration order, merged by arrival time), sessions, then the event
+    /// loop — so a scenario is reproducible bit for bit.
+    #[must_use]
+    pub fn run(&self) -> SimulationResult {
+        let mut sim = ClusterSimulation::new(self.config.clone(), self.models.clone());
+        for (model, user_index, count) in &self.prewarms {
+            sim.prewarm(model, *user_index, *count);
+        }
+        let mut rng = SimRng::seed_from_u64(self.config.seed);
+        let streams: Vec<Vec<RequestArrival>> = self
+            .traffic
+            .iter()
+            .map(|spec| {
+                spec.process
+                    .generate(&spec.model, spec.user_index, self.duration, &mut rng)
+            })
+            .collect();
+        sim.add_arrivals(ArrivalProcess::merge(streams));
+        for session in &self.sessions {
+            sim.add_session(session.clone());
+        }
+        sim.run(self.duration)
+    }
+}
+
+/// Builder for [`Scenario`] — every knob of the experiment grid as a chained
+/// setter.
+#[derive(Clone, Debug)]
+pub struct ScenarioBuilder {
+    name: String,
+    config: ClusterConfig,
+    models: Vec<(ModelId, ModelProfile)>,
+    prewarms: Vec<(ModelId, usize, usize)>,
+    traffic: Vec<TrafficSpec>,
+    sessions: Vec<InteractiveSession>,
+    duration: SimDuration,
+}
+
+impl ScenarioBuilder {
+    /// Replaces the whole cluster configuration (escape hatch for presets
+    /// such as [`ClusterConfig::single_node_sgx1`]); individual setters may
+    /// still override fields afterwards.
+    #[must_use]
+    pub fn cluster(mut self, config: ClusterConfig) -> Self {
+        self.config = config;
+        self
+    }
+
+    /// Experiment seed (drives workload generation and the simulator).
+    #[must_use]
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.config.seed = seed;
+        self
+    }
+
+    /// Number of invoker nodes.
+    #[must_use]
+    pub fn nodes(mut self, nodes: usize) -> Self {
+        self.config.nodes = nodes;
+        self
+    }
+
+    /// SGX generation of the nodes (also resets the EPC size to the
+    /// generation's default).
+    #[must_use]
+    pub fn sgx(mut self, sgx: SgxVersion) -> Self {
+        self.config.sgx = sgx;
+        self.config.epc_bytes = sgx.default_epc_bytes();
+        self
+    }
+
+    /// EPC size per node.
+    #[must_use]
+    pub fn epc_bytes(mut self, bytes: u64) -> Self {
+        self.config.epc_bytes = bytes;
+        self
+    }
+
+    /// Invoker memory available for containers on each node.
+    #[must_use]
+    pub fn invoker_memory_bytes(mut self, bytes: u64) -> Self {
+        self.config.invoker_memory_bytes = bytes;
+        self
+    }
+
+    /// The serving strategy under test.
+    #[must_use]
+    pub fn strategy(mut self, strategy: ServingStrategy) -> Self {
+        self.config.strategy = strategy;
+        self
+    }
+
+    /// The multi-model routing strategy.
+    #[must_use]
+    pub fn routing(mut self, routing: RoutingStrategy) -> Self {
+        self.config.routing = routing;
+        self
+    }
+
+    /// The node-placement policy.
+    #[must_use]
+    pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
+        self.config.scheduler = scheduler;
+        self
+    }
+
+    /// TCS count / per-container concurrency.
+    #[must_use]
+    pub fn tcs_per_container(mut self, tcs: usize) -> Self {
+        self.config.tcs_per_container = tcs;
+        self
+    }
+
+    /// Idle-container keep-alive window.
+    #[must_use]
+    pub fn keep_alive(mut self, keep_alive: SimDuration) -> Self {
+        self.config.keep_alive = keep_alive;
+        self
+    }
+
+    /// Registers a model with its calibrated profile.
+    #[must_use]
+    pub fn model(mut self, model: ModelId, profile: ModelProfile) -> Self {
+        self.models.push((model, profile));
+        self
+    }
+
+    /// Registers several models at once.
+    #[must_use]
+    pub fn models(mut self, models: impl IntoIterator<Item = (ModelId, ModelProfile)>) -> Self {
+        self.models.extend(models);
+        self
+    }
+
+    /// Pre-warms `count` hot sandboxes for `model` on behalf of a user
+    /// before the workload starts.
+    #[must_use]
+    pub fn prewarm(mut self, model: ModelId, user_index: usize, count: usize) -> Self {
+        self.prewarms.push((model, user_index, count));
+        self
+    }
+
+    /// Adds an open-loop traffic stream for `model` issued by `user_index`.
+    /// Streams are generated in declaration order from the scenario's seed.
+    #[must_use]
+    pub fn traffic(mut self, model: ModelId, user_index: usize, process: ArrivalProcess) -> Self {
+        self.traffic.push(TrafficSpec {
+            model,
+            user_index,
+            process,
+        });
+        self
+    }
+
+    /// Adds a closed-loop interactive session.
+    #[must_use]
+    pub fn session(mut self, session: InteractiveSession) -> Self {
+        self.sessions.push(session);
+        self
+    }
+
+    /// Adds the paper's two Table IV sessions over the scenario's models.
+    #[must_use]
+    pub fn paper_sessions(mut self) -> Self {
+        let ids: Vec<ModelId> = self.models.iter().map(|(m, _)| m.clone()).collect();
+        self.sessions
+            .extend(InteractiveSession::paper_sessions(&ids));
+        self
+    }
+
+    /// The workload horizon (default 60 s).
+    #[must_use]
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.duration = duration;
+        self
+    }
+
+    /// Finalizes the scenario.
+    ///
+    /// # Panics
+    /// Panics if no model was registered, or if a prewarm, traffic stream or
+    /// session references an unregistered model — catching composition
+    /// mistakes at build time instead of deep inside the simulator.
+    #[must_use]
+    pub fn build(self) -> Scenario {
+        assert!(
+            !self.models.is_empty(),
+            "scenario {:?} registers no models",
+            self.name
+        );
+        let registered = |model: &ModelId| self.models.iter().any(|(m, _)| m == model);
+        for (model, _, _) in &self.prewarms {
+            assert!(
+                registered(model),
+                "scenario {:?} prewarms unregistered model {model}",
+                self.name
+            );
+        }
+        for spec in &self.traffic {
+            assert!(
+                registered(&spec.model),
+                "scenario {:?} sends traffic to unregistered model {}",
+                self.name,
+                spec.model
+            );
+        }
+        for session in &self.sessions {
+            for model in &session.models {
+                assert!(
+                    registered(model),
+                    "scenario {:?} session {:?} queries unregistered model {model}",
+                    self.name,
+                    session.name
+                );
+            }
+        }
+        Scenario {
+            name: self.name,
+            config: self.config,
+            models: self.models,
+            prewarms: self.prewarms,
+            traffic: self.traffic,
+            sessions: self.sessions,
+            duration: self.duration,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sesemi_inference::{Framework, ModelKind};
+
+    fn mbnet() -> (ModelId, ModelProfile) {
+        (
+            ModelKind::MbNet.default_id(),
+            ModelProfile::paper(ModelKind::MbNet, Framework::Tvm),
+        )
+    }
+
+    fn quick_scenario(seed: u64) -> Scenario {
+        let (model, profile) = mbnet();
+        Scenario::builder("quick")
+            .seed(seed)
+            .nodes(2)
+            .tcs_per_container(2)
+            .model(model.clone(), profile)
+            .prewarm(model.clone(), 0, 2)
+            .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 8.0 })
+            .duration(SimDuration::from_secs(30))
+            .build()
+    }
+
+    #[test]
+    fn scenarios_expose_their_composition() {
+        let scenario = quick_scenario(5);
+        assert_eq!(scenario.name(), "quick");
+        assert_eq!(scenario.config().nodes, 2);
+        assert_eq!(scenario.config().seed, 5);
+        assert_eq!(scenario.duration(), SimDuration::from_secs(30));
+    }
+
+    #[test]
+    fn the_same_scenario_reproduces_identical_results() {
+        let a = quick_scenario(9).run();
+        let b = quick_scenario(9).run();
+        assert!(a.completed > 100);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+        assert_eq!(a.p95_latency(), b.p95_latency());
+        assert_eq!(a.hot_fraction(), b.hot_fraction());
+        assert!((a.gb_seconds - b.gb_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn different_seeds_produce_different_workloads() {
+        let a = quick_scenario(1).run();
+        let b = quick_scenario(2).run();
+        assert_ne!(a.completed, b.completed);
+    }
+
+    #[test]
+    fn multi_stream_scenarios_interleave_traffic_and_sessions() {
+        let models: Vec<(ModelId, ModelProfile)> = (0..3)
+            .map(|i| {
+                (
+                    ModelId::new(format!("m{i}")),
+                    ModelProfile::paper(ModelKind::DsNet, Framework::Tvm),
+                )
+            })
+            .collect();
+        let ids: Vec<ModelId> = models.iter().map(|(m, _)| m.clone()).collect();
+        let result = Scenario::builder("multi")
+            .seed(11)
+            .nodes(4)
+            .routing(RoutingStrategy::FnPacker)
+            .models(models)
+            .traffic(
+                ids[0].clone(),
+                0,
+                ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+            )
+            .traffic(
+                ids[1].clone(),
+                1,
+                ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+            )
+            .session(InteractiveSession::new(
+                "Session 1",
+                sesemi_sim::SimTime::from_secs(60),
+                ids,
+                9,
+            ))
+            .duration(SimDuration::from_secs(120))
+            .build()
+            .run();
+        assert!(result.completed > 200);
+        assert_eq!(result.session_latencies.len(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "registers no models")]
+    fn scenarios_without_models_are_rejected() {
+        let _ = Scenario::builder("empty").build();
+    }
+
+    #[test]
+    #[should_panic(expected = "unregistered model")]
+    fn traffic_to_unregistered_models_is_rejected() {
+        let (model, profile) = mbnet();
+        let _ = Scenario::builder("bad")
+            .model(model, profile)
+            .traffic(
+                ModelId::new("ghost"),
+                0,
+                ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+            )
+            .build();
+    }
+}

@@ -43,17 +43,29 @@ impl LatencyStats {
     }
 
     /// Arithmetic mean, or zero if empty.
+    ///
+    /// The accumulator is 128-bit: a saturated multi-hour run can hold
+    /// millions of samples whose queueing latencies reach thousands of
+    /// seconds, and summing those nanosecond counts overflows `u64` (a panic
+    /// in debug builds, silent nonsense in release).
     #[must_use]
     pub fn mean(&self) -> SimDuration {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        let total: u64 = self.samples.iter().map(|d| d.as_nanos()).sum();
-        SimDuration::from_nanos(total / self.samples.len() as u64)
+        let total: u128 = self.samples.iter().map(|d| u128::from(d.as_nanos())).sum();
+        let mean = total / self.samples.len() as u128;
+        SimDuration::from_nanos(u64::try_from(mean).unwrap_or(u64::MAX))
     }
 
-    /// The `q`-quantile (0.0 ..= 1.0) using nearest-rank interpolation, or
-    /// zero if empty.
+    /// The `q`-quantile (0.0 ..= 1.0) using nearest-rank interpolation.
+    /// Total on degenerate inputs: an empty collector returns zero for every
+    /// quantile, a single sample is every quantile, and `q = 1.0` equals
+    /// [`LatencyStats::max`].
+    ///
+    /// # Panics
+    /// Panics if `q` is outside `[0, 1]` (including NaN) — a caller bug, not
+    /// a data-dependent condition.
     #[must_use]
     pub fn percentile(&self, q: f64) -> SimDuration {
         assert!((0.0..=1.0).contains(&q), "quantile must be in [0,1]");
@@ -311,6 +323,67 @@ mod tests {
         assert_eq!(stats.mean(), SimDuration::ZERO);
         assert_eq!(stats.p95(), SimDuration::ZERO);
         assert_eq!(stats.max(), SimDuration::ZERO);
+    }
+
+    #[test]
+    fn a_single_sample_is_every_percentile() {
+        let mut stats = LatencyStats::new();
+        stats.record(SimDuration::from_millis(42));
+        for q in [0.0, 0.5, 0.95, 0.99, 1.0] {
+            assert_eq!(
+                stats.percentile(q),
+                SimDuration::from_millis(42),
+                "quantile {q}"
+            );
+        }
+        assert_eq!(stats.mean(), SimDuration::from_millis(42));
+        assert_eq!(stats.min(), stats.max());
+    }
+
+    #[test]
+    fn identical_samples_make_p95_equal_p100() {
+        let mut stats = LatencyStats::new();
+        for _ in 0..100 {
+            stats.record(SimDuration::from_millis(7));
+        }
+        assert_eq!(stats.p95(), stats.percentile(1.0));
+        assert_eq!(stats.percentile(1.0), stats.max());
+        assert_eq!(stats.p50(), stats.p99());
+    }
+
+    #[test]
+    fn extreme_quantiles_hit_min_and_max() {
+        let mut stats = LatencyStats::new();
+        for ms in [5u64, 1, 9, 3] {
+            stats.record(SimDuration::from_millis(ms));
+        }
+        assert_eq!(stats.percentile(0.0), stats.min());
+        assert_eq!(stats.percentile(1.0), stats.max());
+    }
+
+    #[test]
+    fn mean_does_not_overflow_on_huge_latency_sums() {
+        // Three samples of ~292 years each: the nanosecond sum exceeds u64.
+        let mut stats = LatencyStats::new();
+        for _ in 0..3 {
+            stats.record(SimDuration::from_nanos(u64::MAX / 2));
+        }
+        assert_eq!(stats.mean(), SimDuration::from_nanos(u64::MAX / 2));
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn out_of_range_quantiles_are_rejected() {
+        let mut stats = LatencyStats::new();
+        stats.record(SimDuration::from_millis(1));
+        let _ = stats.percentile(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "quantile must be in [0,1]")]
+    fn nan_quantiles_are_rejected() {
+        let stats = LatencyStats::new();
+        let _ = stats.percentile(f64::NAN);
     }
 
     #[test]

@@ -1,22 +1,18 @@
-//! Integration tests for the cluster simulator: sanity-check the qualitative
-//! claims of the paper's evaluation sections at small scale so `cargo test`
-//! stays fast, leaving full-scale runs to the bench harness.
+//! Integration tests for the cluster simulator, driven through the
+//! `sesemi_scenario` builder: sanity-check the qualitative claims of the
+//! paper's evaluation sections at small scale so `cargo test` stays fast,
+//! leaving full-scale runs to the bench harness.
 
 use sesemi::baseline::ServingStrategy;
-use sesemi::cluster::{ClusterConfig, ClusterSimulation};
+use sesemi::cluster::{ClusterConfig, SchedulerKind, SimulationResult};
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
-use sesemi_sim::{SimDuration, SimRng};
-use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
+use sesemi_scenario::Scenario;
+use sesemi_sim::{SimDuration, SimTime};
+use sesemi_workload::{ArrivalProcess, InteractiveSession};
 
-fn trace(model: &ModelId, rate: f64, secs: u64, seed: u64) -> Vec<RequestArrival> {
-    let mut rng = SimRng::seed_from_u64(seed);
-    ArrivalProcess::Poisson { rate_per_sec: rate }.generate(
-        model,
-        0,
-        SimDuration::from_secs(secs),
-        &mut rng,
-    )
+fn poisson(rate: f64) -> ArrivalProcess {
+    ArrivalProcess::Poisson { rate_per_sec: rate }
 }
 
 #[test]
@@ -26,12 +22,15 @@ fn hot_path_latency_tracks_the_calibrated_profile() {
     // number.
     let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
     let model = ModelKind::MbNet.default_id();
-    let mut config = ClusterConfig::single_node_sgx2();
-    config.tcs_per_container = 4;
-    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
-    sim.prewarm(&model, 0, 2);
-    sim.add_arrivals(trace(&model, 5.0, 30, 1));
-    let result = sim.run(SimDuration::from_secs(30));
+    let result = Scenario::builder("hot-path-tracks-profile")
+        .seed(1)
+        .tcs_per_container(4)
+        .model(model.clone(), profile)
+        .prewarm(model.clone(), 0, 2)
+        .traffic(model, 0, poisson(5.0))
+        .duration(SimDuration::from_secs(30))
+        .build()
+        .run();
 
     let hot = profile.sgx2.hot_total().as_secs_f64();
     let mean = result.mean_latency().as_secs_f64();
@@ -49,13 +48,16 @@ fn native_baseline_is_dramatically_slower_than_sesemi() {
     let model = ModelKind::DsNet.default_id();
     let mut latencies = Vec::new();
     for strategy in [ServingStrategy::Sesemi, ServingStrategy::Native] {
-        let mut config = ClusterConfig::single_node_sgx2();
-        config.strategy = strategy;
-        config.tcs_per_container = 2;
-        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
-        sim.prewarm(&model, 0, 2);
-        sim.add_arrivals(trace(&model, 2.0, 60, 2));
-        let result = sim.run(SimDuration::from_secs(60));
+        let result = Scenario::builder(format!("native-vs-sesemi/{}", strategy.label()))
+            .seed(2)
+            .strategy(strategy)
+            .tcs_per_container(2)
+            .model(model.clone(), profile)
+            .prewarm(model.clone(), 0, 2)
+            .traffic(model.clone(), 0, poisson(2.0))
+            .duration(SimDuration::from_secs(60))
+            .build()
+            .run();
         assert!(result.completed > 60);
         latencies.push(result.mean_latency().as_secs_f64());
     }
@@ -115,25 +117,28 @@ fn fnpacker_avoids_cold_starts_for_interactive_sessions() {
 
     let mut cold_starts = Vec::new();
     for routing in [RoutingStrategy::OneToOne, RoutingStrategy::FnPacker] {
-        let mut config = ClusterConfig::multi_node_sgx2();
-        config.nodes = 4;
-        config.routing = routing;
-        let mut sim = ClusterSimulation::new(config, models.clone());
-        // Continuous traffic only on m0; the sessions then touch m1..m3.
-        sim.add_arrivals(trace(&ids[0], 1.0, 240, 4));
-        sim.add_session(InteractiveSession::new(
-            "Session 1",
-            sesemi_sim::SimTime::from_secs(60),
-            ids.clone(),
-            9,
-        ));
-        sim.add_session(InteractiveSession::new(
-            "Session 2",
-            sesemi_sim::SimTime::from_secs(150),
-            ids.clone(),
-            10,
-        ));
-        let result = sim.run(SimDuration::from_secs(240));
+        let result = Scenario::builder(format!("session-cold-starts/{}", routing.label()))
+            .seed(4)
+            .nodes(4)
+            .routing(routing)
+            .models(models.clone())
+            // Continuous traffic only on m0; the sessions then touch m1..m3.
+            .traffic(ids[0].clone(), 0, poisson(1.0))
+            .session(InteractiveSession::new(
+                "Session 1",
+                SimTime::from_secs(60),
+                ids.clone(),
+                9,
+            ))
+            .session(InteractiveSession::new(
+                "Session 2",
+                SimTime::from_secs(150),
+                ids.clone(),
+                10,
+            ))
+            .duration(SimDuration::from_secs(240))
+            .build()
+            .run();
         assert_eq!(result.session_latencies.len(), 8);
         cold_starts.push(result.cold_starts);
     }
@@ -153,12 +158,15 @@ fn gb_second_cost_shrinks_with_enclave_concurrency() {
     let model = ModelKind::DsNet.default_id();
     let mut costs = Vec::new();
     for tcs in [1usize, 4] {
-        let mut config = ClusterConfig::multi_node_sgx2();
-        config.nodes = 4;
-        config.tcs_per_container = tcs;
-        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
-        sim.add_arrivals(trace(&model, 8.0, 120, 5));
-        let result = sim.run(SimDuration::from_secs(120));
+        let result = Scenario::builder(format!("gbs-vs-concurrency/tcs{tcs}"))
+            .seed(5)
+            .nodes(4)
+            .tcs_per_container(tcs)
+            .model(model.clone(), profile)
+            .traffic(model.clone(), 0, poisson(8.0))
+            .duration(SimDuration::from_secs(120))
+            .build()
+            .run();
         assert!(result.completed > 500);
         costs.push(result.gb_seconds);
     }
@@ -175,11 +183,13 @@ fn simulation_is_deterministic_for_a_fixed_seed() {
     let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
     let model = ModelKind::MbNet.default_id();
     let run = || {
-        let mut config = ClusterConfig::single_node_sgx2();
-        config.seed = 77;
-        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
-        sim.add_arrivals(trace(&model, 10.0, 30, 77));
-        let result = sim.run(SimDuration::from_secs(30));
+        let result = Scenario::builder("determinism")
+            .seed(77)
+            .model(model.clone(), profile)
+            .traffic(model.clone(), 0, poisson(10.0))
+            .duration(SimDuration::from_secs(30))
+            .build()
+            .run();
         (
             result.completed,
             result.cold_starts,
@@ -188,4 +198,71 @@ fn simulation_is_deterministic_for_a_fixed_seed() {
         )
     };
     assert_eq!(run(), run());
+}
+
+/// A multi-model MMPP scenario behind shared (All-in-one) endpoints: four
+/// models with out-of-phase bursts share one pool of containers, so which
+/// warm container each request lands on decides whether it runs hot or pays
+/// a model switch.
+fn shared_endpoint_mmpp_scenario(scheduler: SchedulerKind, seed: u64) -> SimulationResult {
+    let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+    let models: Vec<(ModelId, ModelProfile)> = (0..4)
+        .map(|i| (ModelId::new(format!("dsnet-{i}")), profile))
+        .collect();
+    let mut builder = Scenario::builder(format!("shared-endpoint-mmpp/{}", scheduler.label()))
+        .cluster(ClusterConfig::multi_node_sgx2())
+        .seed(seed)
+        .nodes(4)
+        .scheduler(scheduler)
+        .routing(RoutingStrategy::AllInOne)
+        .tcs_per_container(1)
+        .models(models.clone());
+    for (index, (model, _)) in models.iter().enumerate() {
+        builder = builder.traffic(
+            model.clone(),
+            index,
+            ArrivalProcess::Mmpp {
+                rates_per_sec: if index % 2 == 0 {
+                    vec![2.0, 0.5]
+                } else {
+                    vec![0.5, 2.0]
+                },
+                mean_dwell: SimDuration::from_secs(60),
+            },
+        );
+    }
+    builder.duration(SimDuration::from_secs(400)).build().run()
+}
+
+#[test]
+fn model_affinity_beats_round_robin_on_hot_fraction_under_mmpp() {
+    // The model-affinity scheduler keeps each model's traffic sticky to a
+    // node subset (placement *and* warm-container selection follow the same
+    // ring), so requests keep landing on containers that already hold the
+    // model's runtime state.  Round-robin uses the default MRU reuse, which
+    // bounces the four models across the shared containers and turns hot
+    // invocations into model-switching warm ones.
+    let affinity = shared_endpoint_mmpp_scenario(SchedulerKind::ModelAffinity, 31);
+    let round_robin = shared_endpoint_mmpp_scenario(SchedulerKind::RoundRobin, 31);
+    assert!(affinity.completed > 500 && round_robin.completed > 500);
+    assert!(
+        affinity.hot_fraction() > round_robin.hot_fraction(),
+        "model-affinity hot fraction {:.3} should exceed round-robin's {:.3}",
+        affinity.hot_fraction(),
+        round_robin.hot_fraction()
+    );
+}
+
+#[test]
+fn every_scheduler_completes_the_shared_endpoint_workload() {
+    for scheduler in SchedulerKind::ALL {
+        let result = shared_endpoint_mmpp_scenario(scheduler, 12);
+        assert!(
+            result.completed > 500,
+            "{} completed only {}",
+            scheduler.label(),
+            result.completed
+        );
+        assert!(result.hot_fraction() > 0.0);
+    }
 }

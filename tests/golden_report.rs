@@ -1,0 +1,123 @@
+//! Golden-file regression test for `bench::report`'s hand-written JSON
+//! serializer.
+//!
+//! The environment cannot fetch serde, so `Report::to_json` implements the
+//! escaping, float formatting and pretty layout by hand — exactly the kind of
+//! code that silently drifts.  This test pins the serializer's output for a
+//! report that exercises every tricky case (quote/backslash escaping, control
+//! characters, tabs/newlines, unicode pass-through, empty rows versus empty
+//! cells, stable field order) against a golden file checked into
+//! `tests/golden/`.
+//!
+//! To regenerate after an *intentional* format change, run with
+//! `UPDATE_GOLDEN=1` and commit the diff:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sesemi_bench --test golden_report
+//! ```
+
+use sesemi_bench::report::{pct, secs, Report};
+use sesemi_sim::SimDuration;
+
+fn tricky_report() -> Report {
+    let mut report = Report::new(
+        "G1",
+        "Escaping & formatting \"golden\" \\ table",
+        &["label", "value (s)", "pct"],
+    );
+    report.push_row(vec![
+        "plain".to_string(),
+        secs(SimDuration::from_millis(1234)),
+        pct(0.259),
+    ]);
+    report.push_row(vec![
+        "quote \" backslash \\ slash /".to_string(),
+        secs(SimDuration::ZERO),
+        pct(0.0),
+    ]);
+    report.push_row(vec![
+        "newline\nand\ttab\rand control \u{1}".to_string(),
+        secs(SimDuration::from_secs(65)),
+        pct(1.0),
+    ]);
+    report.push_row(vec![
+        "unicode: λ ≈ 0.8 — ↔ rps".to_string(),
+        secs(SimDuration::from_nanos(1)),
+        pct(-0.051),
+    ]);
+    report.push_note("note with \"quotes\" and a\nline break");
+    report.push_note("paper: 59% for DSNET");
+    report
+}
+
+fn empty_report() -> Report {
+    Report::new("G0", "", &["only-column"])
+}
+
+fn rendered() -> String {
+    format!(
+        "[{},\n{}]\n",
+        tricky_report().to_json(),
+        empty_report().to_json()
+    )
+}
+
+#[test]
+fn report_json_matches_the_golden_file() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/report.json"
+    );
+    let actual = rendered();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path)
+        .expect("golden file tests/golden/report.json is checked in");
+    assert_eq!(
+        actual, expected,
+        "Report::to_json output drifted from tests/golden/report.json; \
+         if the change is intentional, regenerate with UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn golden_json_parses_as_json() {
+    // A minimal structural check that the pinned output is actually valid
+    // JSON: balanced braces/brackets outside strings and correctly escaped
+    // strings.  (No serde in this environment, so walk the bytes by hand.)
+    let text = rendered();
+    let mut depth: i64 = 0;
+    let mut in_string = false;
+    let mut escaped = false;
+    for c in text.chars() {
+        if in_string {
+            if escaped {
+                escaped = false;
+            } else if c == '\\' {
+                escaped = true;
+            } else if c == '"' {
+                in_string = false;
+            } else {
+                assert!(
+                    (c as u32) >= 0x20,
+                    "unescaped control character {:#x} inside a JSON string",
+                    c as u32
+                );
+            }
+        } else {
+            match c {
+                '"' => in_string = true,
+                '[' | '{' => depth += 1,
+                ']' | '}' => {
+                    depth -= 1;
+                    assert!(depth >= 0, "unbalanced bracket");
+                }
+                _ => {}
+            }
+        }
+    }
+    assert_eq!(depth, 0, "unbalanced brackets at end of document");
+    assert!(!in_string, "unterminated string at end of document");
+}

@@ -172,6 +172,165 @@ fn keyservice_rejects_forged_owner_payloads_and_unattested_provisioning() {
 }
 
 #[test]
+fn key_provisioning_refuses_the_wrong_enclave_measurement() {
+    // The owner granted (model, E_A, user); an enclave with a *different*
+    // attested measurement (e.g. a tampered or reconfigured SeMIRT build)
+    // asks for the keys over a mutually attested channel.  Provisioning must
+    // refuse with exactly `NotAuthorized` — not an attestation error, since
+    // the channel itself is fine; the identity simply holds no grant.
+    let (mut deployment, function, model, user) = setup();
+    let other_function = deployment.deploy_function(Framework::Tflm, 1).unwrap();
+    assert_ne!(function.measurement, other_function.measurement);
+
+    let keyservice = deployment.keyservice();
+    let response = keyservice.handle_request(
+        Request::Provision {
+            user: user.party(),
+            model: model.clone(),
+        },
+        Some(other_function.measurement),
+    );
+    assert_eq!(response, Response::Error(KeyServiceError::NotAuthorized));
+
+    // The granted measurement still provisions fine.
+    let response = keyservice.handle_request(
+        Request::Provision {
+            user: user.party(),
+            model,
+        },
+        Some(function.measurement),
+    );
+    assert!(matches!(response, Response::Keys { .. }));
+}
+
+#[test]
+fn key_provisioning_refuses_absent_and_revoked_grants() {
+    let mut deployment = Deployment::builder().seed(503).build();
+    let mut owner = deployment.register_owner("owner");
+    let mut user = deployment.register_user("user");
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
+    let function = deployment.deploy_function(Framework::Tvm, 1).unwrap();
+    user.authorize(&deployment, &model, &function).unwrap();
+    let keyservice = deployment.keyservice();
+    let provision = Request::Provision {
+        user: user.party(),
+        model: model.clone(),
+    };
+
+    // 1. The user bound a request key but the owner never granted access:
+    //    the ACM lookup fails with exactly `NotAuthorized`.
+    let response = keyservice.handle_request(provision.clone(), Some(function.measurement));
+    assert_eq!(response, Response::Error(KeyServiceError::NotAuthorized));
+
+    // 2. After a grant, provisioning succeeds ...
+    owner
+        .grant_access(&deployment, &model, &function, user.party())
+        .unwrap();
+    let response = keyservice.handle_request(provision.clone(), Some(function.measurement));
+    assert!(matches!(response, Response::Keys { .. }));
+
+    // 3. ... and after the owner revokes it, the same request is refused
+    //    again with exactly `NotAuthorized`.
+    owner
+        .revoke_access(&deployment, &model, &function, user.party())
+        .unwrap();
+    let response = keyservice.handle_request(provision, Some(function.measurement));
+    assert_eq!(response, Response::Error(KeyServiceError::NotAuthorized));
+}
+
+#[test]
+fn key_provisioning_refuses_a_request_key_bound_to_a_different_user() {
+    // The owner granted user A; user B registered the only request key for
+    // the (model, enclave) pair.  Provisioning for A must refuse with exactly
+    // `NotAuthorized`: the grant exists but KS_R holds no key under A's
+    // identity (a request key bound to a different user never serves A).
+    let mut deployment = Deployment::builder().seed(504).build();
+    let mut owner = deployment.register_owner("owner");
+    let user_a = deployment.register_user("user-a");
+    let mut user_b = deployment.register_user("user-b");
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
+    let function = deployment.deploy_function(Framework::Tvm, 1).unwrap();
+    owner
+        .grant_access(&deployment, &model, &function, user_a.party())
+        .unwrap();
+    user_b.authorize(&deployment, &model, &function).unwrap();
+
+    let keyservice = deployment.keyservice();
+    let response = keyservice.handle_request(
+        Request::Provision {
+            user: user_a.party(),
+            model: model.clone(),
+        },
+        Some(function.measurement),
+    );
+    assert_eq!(response, Response::Error(KeyServiceError::NotAuthorized));
+
+    // B's key does not help B either: B holds a request key but no grant.
+    let response = keyservice.handle_request(
+        Request::Provision {
+            user: user_b.party(),
+            model,
+        },
+        Some(function.measurement),
+    );
+    assert_eq!(response, Response::Error(KeyServiceError::NotAuthorized));
+}
+
+#[test]
+fn revocation_stops_new_enclaves_but_not_already_provisioned_ones() {
+    // Access control is enforced at provisioning time (§IV-D): a revocation
+    // prevents any enclave that has not yet fetched the keys from serving the
+    // user, while a worker that already cached them keeps serving until it
+    // terminates.
+    let mut deployment = Deployment::builder().seed(505).build();
+    let mut owner = deployment.register_owner("owner");
+    let mut user = deployment.register_user("user");
+    let model = owner
+        .publish_model(&deployment, ModelKind::MbNet, 0.01)
+        .unwrap();
+    let function = deployment.deploy_function(Framework::Tvm, 2).unwrap();
+    owner
+        .grant_access(&deployment, &model, &function, user.party())
+        .unwrap();
+    user.authorize(&deployment, &model, &function).unwrap();
+
+    let dim = deployment.model_input_dim(&model).unwrap();
+    let features = vec![0.5f32; dim];
+    // The first function's enclave provisions its keys and serves.
+    assert!(deployment
+        .infer(&user, &function, &model, &features)
+        .is_ok());
+
+    owner
+        .revoke_access(&deployment, &model, &function, user.party())
+        .unwrap();
+
+    // A freshly launched enclave with the *same* measurement (so the user's
+    // request key and the withdrawn grant both name it) has no cached keys;
+    // its provisioning attempt is refused.
+    let fresh = deployment.deploy_function(Framework::Tvm, 2).unwrap();
+    assert_eq!(fresh.measurement, function.measurement);
+    let err = deployment
+        .infer(&user, &fresh, &model, &features)
+        .unwrap_err();
+    assert!(matches!(
+        err,
+        DeploymentError::Runtime(RuntimeError::KeyProvisioning(
+            KeyServiceError::NotAuthorized
+        ))
+    ));
+    // The original enclave still holds the previously provisioned keys and
+    // keeps serving until it terminates.
+    assert!(deployment
+        .infer(&user, &function, &model, &features)
+        .is_ok());
+}
+
+#[test]
 fn enclave_identity_pins_the_exact_configuration() {
     // Two SeMIRT builds that differ only in their concurrency level have
     // different measurements, so a grant for one does not authorize the
