@@ -19,6 +19,7 @@
 //! | F12 | [`sims::fig12_throughput`] | Fig. 12 — p95 latency vs request rate |
 //! | F13 | [`sims::fig13_mmpp_latency`] | Fig. 13 — MMPP latency over time |
 //! | F14 | [`sims::fig14_mmpp_memory`] | Fig. 14 — sandboxes / memory / GB·s |
+//! | E1  | [`sims::elasticity_cost`] | Fig. 14 follow-on — fixed vs autoscaled pool cost |
 //! | T2  | [`micro::table2_isolation`] | Table II — strong isolation overhead |
 //! | T3  | [`sims::table3_fnpacker_poisson`] | Table III — Poisson multi-model latency |
 //! | T4  | [`sims::table4_fnpacker_sessions`] | Table IV — interactive session latency |
@@ -39,7 +40,7 @@ pub use report::Report;
 
 /// The experiment registry: `(report id, runner)` in presentation order.
 /// The runners take the experiment seed (closed-form experiments ignore it).
-pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 16] = [
+pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 17] = [
     ("T1", |_| micro::table1_models()),
     ("F8", |_| micro::fig8_stage_ratio()),
     ("F9", |_| micro::fig9_invocation_paths()),
@@ -48,6 +49,7 @@ pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 16] = [
     ("F12", sims::fig12_throughput),
     ("F13", sims::fig13_mmpp_latency),
     ("F14", sims::fig14_mmpp_memory),
+    ("E1", sims::elasticity_cost),
     ("T2", |_| micro::table2_isolation()),
     ("T3", sims::table3_fnpacker_poisson),
     ("T4", sims::table4_fnpacker_sessions),
@@ -97,7 +99,7 @@ mod tests {
         for (id, run) in super::EXPERIMENTS {
             // Only exercise the cheap closed-form experiments here; the
             // simulation ones are covered by their own tests and the binary.
-            if matches!(id, "F12" | "F13" | "F14" | "T3" | "T4") {
+            if matches!(id, "F12" | "F13" | "F14" | "E1" | "T3" | "T4") {
                 continue;
             }
             assert_eq!(run(42).id, id);

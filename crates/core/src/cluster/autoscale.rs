@@ -1,0 +1,357 @@
+//! Elastic node-pool autoscaling.
+//!
+//! The paper's §VI-C cost results (Fig. 14) hinge on the platform holding
+//! only as much warm capacity as the workload needs.  A fixed-size node pool
+//! cannot show that trade-off: it pays for every node for the whole run.
+//! This module is the policy half of runtime elasticity — a deterministic
+//! [`Autoscaler`] that watches [`ClusterSignals`] sampled by the simulator on
+//! a periodic tick and decides when to provision a node (scale-out) or drain
+//! one (scale-in).  The mechanism half lives in the platform controller
+//! (`add_node` / `drain_node` / `remove_node`).
+//!
+//! Signals and policy:
+//!
+//! * **Scale-out** fires after the `saturated` request queue has been
+//!   non-empty (or the active-execution / execution-slot ratio above
+//!   [`AutoscaleConfig::scale_out_utilization`]) for
+//!   [`AutoscaleConfig::sustain_ticks`] consecutive ticks — sustained
+//!   saturation, not a one-tick blip.  A provisioning node counts against
+//!   [`AutoscaleConfig::max_nodes`] so a long provision delay cannot
+//!   over-shoot the pool size.
+//! * **Scale-in** fires after an idle window: the queue empty and the
+//!   active-execution ratio at or below
+//!   [`AutoscaleConfig::scale_in_utilization`] for
+//!   [`AutoscaleConfig::idle_ticks`] consecutive ticks.  Only one node drains
+//!   at a time, and never below [`AutoscaleConfig::min_nodes`].
+//!
+//! Utilization is measured on *in-flight executions*, not committed
+//! container memory: keep-alive deliberately holds warm containers long
+//! after the load drops, so committed memory reads near-full even on an
+//! idle cluster and would never let the pool shrink.  Execution slots are
+//! what the workload actually occupies.
+
+use sesemi_sim::SimDuration;
+
+/// Configuration of the elastic node pool.
+#[derive(Clone, Debug, PartialEq)]
+pub struct AutoscaleConfig {
+    /// The pool never shrinks below this many schedulable nodes.
+    pub min_nodes: usize,
+    /// The pool never grows beyond this many provisioned nodes (schedulable
+    /// plus still-provisioning).
+    pub max_nodes: usize,
+    /// How often the autoscaler samples the cluster.
+    pub tick: SimDuration,
+    /// Queue length at which a tick counts as saturated.
+    pub scale_out_queue: usize,
+    /// Active-execution / execution-slot ratio at which a tick counts as
+    /// saturated even with an empty queue.
+    pub scale_out_utilization: f64,
+    /// Consecutive saturated ticks before a scale-out.
+    pub sustain_ticks: u32,
+    /// Active-execution / execution-slot ratio at or below which a tick
+    /// counts as idle (requires an empty queue too).
+    pub scale_in_utilization: f64,
+    /// Consecutive idle ticks before a scale-in.
+    pub idle_ticks: u32,
+    /// Time between the scale-out decision and the node becoming
+    /// schedulable (machine boot + invoker registration).
+    pub node_provision_delay: SimDuration,
+}
+
+impl AutoscaleConfig {
+    /// A conservative default policy for a pool bounded by
+    /// `min_nodes..=max_nodes`: 5 s ticks, scale-out after 10 s of queueing
+    /// or ≥ 90 % busy execution slots, scale-in after 60 s at ≤ 60 % busy
+    /// slots, 10 s provisioning delay.
+    ///
+    /// # Panics
+    /// Panics if `min_nodes` is zero or exceeds `max_nodes`.
+    #[must_use]
+    pub fn new(min_nodes: usize, max_nodes: usize) -> Self {
+        assert!(min_nodes >= 1, "the pool needs at least one node");
+        assert!(
+            min_nodes <= max_nodes,
+            "min_nodes {min_nodes} must not exceed max_nodes {max_nodes}"
+        );
+        AutoscaleConfig {
+            min_nodes,
+            max_nodes,
+            tick: SimDuration::from_secs(5),
+            scale_out_queue: 1,
+            scale_out_utilization: 0.9,
+            sustain_ticks: 2,
+            scale_in_utilization: 0.6,
+            idle_ticks: 12,
+            node_provision_delay: SimDuration::from_secs(10),
+        }
+    }
+}
+
+/// A point-in-time view of the signals the autoscaler decides on, sampled by
+/// the simulator at every autoscale tick.
+#[derive(Clone, Copy, Debug)]
+pub struct ClusterSignals {
+    /// Requests waiting in the cluster-saturated queue.
+    pub queued: usize,
+    /// Mean number of concurrently executing invocations since the previous
+    /// tick (busy-time integral over the tick window, including work on
+    /// draining nodes).  A time average, not a point sample: Poisson
+    /// workloads make instantaneous occupancy far too noisy to hold an idle
+    /// streak together.
+    pub mean_active_executions: f64,
+    /// Execution slots of the provisioned (active + draining) nodes: how
+    /// many invocations the pool could run concurrently given its memory
+    /// and per-container concurrency.
+    pub execution_slots: usize,
+    /// Schedulable (active) nodes.
+    pub schedulable_nodes: usize,
+    /// Nodes currently draining.
+    pub draining_nodes: usize,
+}
+
+impl ClusterSignals {
+    /// Mean-active-execution / execution-slot ratio (1.0 when there are no
+    /// slots at all, which always reads as saturated).
+    #[must_use]
+    pub fn utilization(&self) -> f64 {
+        if self.execution_slots == 0 {
+            1.0
+        } else {
+            self.mean_active_executions / self.execution_slots as f64
+        }
+    }
+}
+
+/// What the autoscaler wants done after observing one tick.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ScaleDecision {
+    /// No membership change.
+    Hold,
+    /// Provision one more node.
+    ScaleOut,
+    /// Drain one node.
+    ScaleIn,
+}
+
+/// The scaling policy: pure, deterministic state over consecutive-tick
+/// streaks.  The simulator owns the mechanism (provisioning events, drain
+/// victim selection, scheduler notification).
+#[derive(Clone, Debug)]
+pub struct Autoscaler {
+    config: AutoscaleConfig,
+    hot_streak: u32,
+    idle_streak: u32,
+    pending_nodes: usize,
+}
+
+impl Autoscaler {
+    /// Creates the policy.
+    #[must_use]
+    pub fn new(config: AutoscaleConfig) -> Self {
+        Autoscaler {
+            config,
+            hot_streak: 0,
+            idle_streak: 0,
+            pending_nodes: 0,
+        }
+    }
+
+    /// The policy's configuration.
+    #[must_use]
+    pub fn config(&self) -> &AutoscaleConfig {
+        &self.config
+    }
+
+    /// Nodes requested via [`ScaleDecision::ScaleOut`] whose provisioning
+    /// has not been confirmed yet.
+    #[must_use]
+    pub fn pending_nodes(&self) -> usize {
+        self.pending_nodes
+    }
+
+    /// Tells the policy a previously requested node has been provisioned.
+    pub fn node_provisioned(&mut self) {
+        self.pending_nodes = self.pending_nodes.saturating_sub(1);
+    }
+
+    /// Observes one tick's signals and decides.  A `ScaleOut` decision
+    /// registers a pending node (confirm it later with
+    /// [`Autoscaler::node_provisioned`]); streaks reset after any decision
+    /// so back-to-back membership changes each require a fresh window.
+    pub fn observe(&mut self, signals: &ClusterSignals) -> ScaleDecision {
+        let utilization = signals.utilization();
+        let saturated = signals.queued >= self.config.scale_out_queue
+            || utilization >= self.config.scale_out_utilization;
+        // Idle windows only accumulate while the membership is stable: a
+        // running drain or an outstanding provision restarts the window, so
+        // every scale-in is justified by a fresh idle period on the pool it
+        // actually shrinks.
+        let idle = signals.queued == 0
+            && utilization <= self.config.scale_in_utilization
+            && signals.draining_nodes == 0
+            && self.pending_nodes == 0;
+        if saturated {
+            self.hot_streak += 1;
+            self.idle_streak = 0;
+        } else if idle {
+            self.idle_streak += 1;
+            self.hot_streak = 0;
+        } else {
+            self.hot_streak = 0;
+            self.idle_streak = 0;
+        }
+
+        let provisioned = signals.schedulable_nodes + signals.draining_nodes + self.pending_nodes;
+        if self.hot_streak >= self.config.sustain_ticks && provisioned < self.config.max_nodes {
+            self.hot_streak = 0;
+            self.pending_nodes += 1;
+            return ScaleDecision::ScaleOut;
+        }
+        if self.idle_streak >= self.config.idle_ticks
+            && signals.draining_nodes == 0
+            && self.pending_nodes == 0
+            && signals.schedulable_nodes > self.config.min_nodes
+        {
+            self.idle_streak = 0;
+            return ScaleDecision::ScaleIn;
+        }
+        ScaleDecision::Hold
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn config() -> AutoscaleConfig {
+        AutoscaleConfig {
+            sustain_ticks: 3,
+            idle_ticks: 4,
+            ..AutoscaleConfig::new(1, 4)
+        }
+    }
+
+    /// `nodes` schedulable nodes with 10 execution slots each.
+    fn signals(queued: usize, active: f64, nodes: usize) -> ClusterSignals {
+        ClusterSignals {
+            queued,
+            mean_active_executions: active,
+            execution_slots: nodes * 10,
+            schedulable_nodes: nodes,
+            draining_nodes: 0,
+        }
+    }
+
+    #[test]
+    fn sustained_saturation_scales_out_but_blips_do_not() {
+        let mut scaler = Autoscaler::new(config());
+        // Two saturated ticks, then a calm one: streak resets, no decision.
+        assert_eq!(scaler.observe(&signals(5, 20.0, 2)), ScaleDecision::Hold);
+        assert_eq!(scaler.observe(&signals(5, 20.0, 2)), ScaleDecision::Hold);
+        assert_eq!(scaler.observe(&signals(0, 8.0, 2)), ScaleDecision::Hold);
+        // Three consecutive saturated ticks fire.
+        assert_eq!(scaler.observe(&signals(5, 20.0, 2)), ScaleDecision::Hold);
+        assert_eq!(scaler.observe(&signals(5, 20.0, 2)), ScaleDecision::Hold);
+        assert_eq!(
+            scaler.observe(&signals(5, 20.0, 2)),
+            ScaleDecision::ScaleOut
+        );
+        assert_eq!(scaler.pending_nodes(), 1);
+        // The next scale-out needs a fresh sustained window.
+        assert_eq!(scaler.observe(&signals(5, 20.0, 2)), ScaleDecision::Hold);
+    }
+
+    #[test]
+    fn execution_pressure_alone_counts_as_saturation() {
+        // 9 of 10 slots busy (≥ the 0.9 threshold) with an empty queue.
+        let mut scaler = Autoscaler::new(config());
+        for _ in 0..2 {
+            assert_eq!(scaler.observe(&signals(0, 9.0, 1)), ScaleDecision::Hold);
+        }
+        assert_eq!(scaler.observe(&signals(0, 9.0, 1)), ScaleDecision::ScaleOut);
+    }
+
+    #[test]
+    fn scale_out_respects_the_max_including_pending_nodes() {
+        let mut scaler = Autoscaler::new(config());
+        let mut grown = 0;
+        for _ in 0..40 {
+            if scaler.observe(&signals(9, 20.0, 2)) == ScaleDecision::ScaleOut {
+                grown += 1;
+            }
+        }
+        // 2 schedulable + 2 pending reach max_nodes = 4; further saturation
+        // is ignored while the requests are outstanding.
+        assert_eq!(grown, 2);
+        assert_eq!(scaler.pending_nodes(), 2);
+        // Once both nodes are provisioned and the pool reports 4 schedulable
+        // nodes, the cap still holds.
+        scaler.node_provisioned();
+        scaler.node_provisioned();
+        for _ in 0..40 {
+            assert_eq!(scaler.observe(&signals(9, 40.0, 4)), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn idle_windows_scale_in_down_to_the_minimum() {
+        let mut scaler = Autoscaler::new(config());
+        for _ in 0..3 {
+            assert_eq!(scaler.observe(&signals(0, 10.0, 3)), ScaleDecision::Hold);
+        }
+        assert_eq!(scaler.observe(&signals(0, 10.0, 3)), ScaleDecision::ScaleIn);
+        // At min_nodes = 1 the pool never shrinks further.
+        for _ in 0..20 {
+            assert_eq!(scaler.observe(&signals(0, 0.0, 1)), ScaleDecision::Hold);
+        }
+    }
+
+    #[test]
+    fn scale_in_waits_for_running_drains_and_busy_ticks_reset_the_window() {
+        let mut scaler = Autoscaler::new(config());
+        // A drain in progress blocks further scale-in even after the window.
+        for _ in 0..10 {
+            let s = ClusterSignals {
+                draining_nodes: 1,
+                ..signals(0, 10.0, 3)
+            };
+            assert_eq!(scaler.observe(&s), ScaleDecision::Hold);
+        }
+        // A mid-window busy tick (neither idle nor saturated: 21 of 30
+        // slots busy sits between the 60 % idle and 90 % saturation marks)
+        // resets it.
+        for _ in 0..3 {
+            assert_eq!(scaler.observe(&signals(0, 10.0, 3)), ScaleDecision::Hold);
+        }
+        assert_eq!(scaler.observe(&signals(0, 21.0, 3)), ScaleDecision::Hold);
+        for _ in 0..3 {
+            assert_eq!(scaler.observe(&signals(0, 10.0, 3)), ScaleDecision::Hold);
+        }
+        assert_eq!(scaler.observe(&signals(0, 10.0, 3)), ScaleDecision::ScaleIn);
+    }
+
+    #[test]
+    fn zero_capacity_reads_as_saturated() {
+        let s = ClusterSignals {
+            queued: 0,
+            mean_active_executions: 0.0,
+            execution_slots: 0,
+            schedulable_nodes: 0,
+            draining_nodes: 0,
+        };
+        assert_eq!(s.utilization(), 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn zero_min_nodes_is_rejected() {
+        let _ = AutoscaleConfig::new(0, 4);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not exceed")]
+    fn inverted_bounds_are_rejected() {
+        let _ = AutoscaleConfig::new(5, 4);
+    }
+}

@@ -16,14 +16,24 @@
 //! * the **calibrated stage costs** from `sesemi-inference`
 //!   ([`ModelProfile`]) plus the enclave cost model (concurrent-init and EPC
 //!   penalties) from `sesemi-enclave`,
+//! * an optional **elastic node pool** from [`autoscale`]: a periodic tick
+//!   samples queue pressure and committed memory, provisions nodes under
+//!   sustained saturation and drains them after idle windows, with the
+//!   provisioned-capacity GB·s metered so fixed and autoscaled pools are
+//!   cost-comparable (the elasticity half of Fig. 14),
 //!
 //! and runs them in virtual time, so an 800-second MMPP experiment on an
 //! 8-node cluster (Fig. 13) replays in well under a second of wall time while
 //! exercising exactly the decision logic a real deployment would.
+//!
+//! Every run conserves requests: `admitted == completed + dropped` (the
+//! scenario layer asserts it), so saturation can never silently lose work.
 
+pub mod autoscale;
 pub mod scheduler;
 mod state;
 
+pub use autoscale::{AutoscaleConfig, Autoscaler, ClusterSignals, ScaleDecision};
 pub use scheduler::{
     LeastLoadedScheduler, ModelAffinityScheduler, PlacementContext, RoundRobinScheduler, Scheduler,
     SchedulerKind,
@@ -36,8 +46,8 @@ use sesemi_fnpacker::{FnPool, Router, RoutingStrategy};
 use sesemi_inference::{ModelId, ModelProfile};
 use sesemi_keyservice::PartyId;
 use sesemi_platform::{
-    metering::Metering, ActionName, ActionSpec, Controller, PlatformConfig, PlatformError,
-    SandboxId, ScheduleOutcome,
+    metering::Metering, ActionName, ActionSpec, ActivationId, ActivationRecord, Controller,
+    PlatformConfig, PlatformError, SandboxId, ScheduleOutcome,
 };
 use sesemi_runtime::{InvocationPath, InvocationReport, ServingStage};
 use sesemi_sim::{EventQueue, LatencyStats, SimDuration, SimRng, SimTime, TimeSeries};
@@ -75,6 +85,10 @@ pub struct ClusterConfig {
     pub routing: RoutingStrategy,
     /// Node-placement policy for new containers.
     pub scheduler: SchedulerKind,
+    /// Elastic node-pool autoscaling.  `None` (the default) keeps the pool
+    /// fixed at `nodes`; `Some` starts the pool at `nodes` and lets the
+    /// [`Autoscaler`] grow/shrink it within the configured bounds.
+    pub autoscale: Option<AutoscaleConfig>,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -93,6 +107,7 @@ impl Default for ClusterConfig {
             sandbox_cold_start: SimDuration::from_millis(650),
             routing: RoutingStrategy::OneToOne,
             scheduler: SchedulerKind::LeastLoaded,
+            autoscale: None,
             seed: 42,
         }
     }
@@ -138,20 +153,41 @@ pub struct ClusterSimulation {
     action_models: HashMap<ActionName, Vec<ModelId>>,
     sandbox_state: HashMap<SandboxId, SandboxSimState>,
     queue: EventQueue<Event>,
-    saturated: VecDeque<SimRequest>,
+    /// Requests admitted but waiting for cluster capacity, with the action
+    /// the router bound them to at admission.
+    saturated: VecDeque<(ActionName, SimRequest)>,
     sessions: Vec<InteractiveSession>,
     users: Vec<PartyId>,
     node_active_exec: Vec<usize>,
     node_enclave_bytes: Vec<u64>,
     node_enclave_inits: Vec<usize>,
+    /// Execution slots per node (largest-action containers that fit ×
+    /// per-container concurrency) — the autoscaler's capacity yardstick.
+    slots_per_node: usize,
+    /// Busy-time integral ∫ (cluster-wide active executions) dt, advanced
+    /// just before every change to `node_active_exec`.  The autoscaler reads
+    /// its per-tick mean: Poisson workloads make instantaneous occupancy far
+    /// too noisy to hold a scale-in idle streak together.
+    busy_exec_integral: f64,
+    busy_accrued_at: SimTime,
+    busy_integral_at_tick: f64,
+    last_autoscale_tick: SimTime,
+    autoscaler: Option<Autoscaler>,
     // results
     latency: LatencyStats,
     per_model_latency: HashMap<ModelId, LatencyStats>,
     latency_series: TimeSeries,
     path_counts: HashMap<InvocationPath, u64>,
+    admitted: u64,
     completed: u64,
+    dropped: u64,
+    rejected: u64,
+    scale_out_events: u64,
+    scale_in_events: u64,
+    next_activation: u64,
     metering: Metering,
     peak_sandboxes: usize,
+    peak_nodes: usize,
     session_latencies: Vec<(String, ModelId, SimDuration)>,
     _rng: SimRng,
 }
@@ -218,6 +254,36 @@ impl ClusterSimulation {
         let rng = SimRng::seed_from_u64(config.seed);
         let nodes = config.nodes;
         let scheduler = config.scheduler.build(nodes);
+        // Execution slots one node contributes: how many containers of the
+        // largest registered action fit in its invoker memory, times the
+        // per-container concurrency.  The autoscaler's utilization signal is
+        // measured against this (in-flight work over slots), because
+        // committed memory is dominated by keep-alive warm pools and says
+        // nothing about load.  Only autoscaled runs read it.
+        let slots_per_node = if config.autoscale.is_some() {
+            let max_action_budget = action_models
+                .keys()
+                .map(|action| {
+                    controller
+                        .action(action)
+                        .expect("registered above")
+                        .memory_budget_bytes
+                })
+                .max()
+                .expect("at least one action");
+            (config.invoker_memory_bytes / max_action_budget) as usize * config.tcs_per_container
+        } else {
+            0
+        };
+        let autoscaler = config.autoscale.clone().map(|autoscale| {
+            assert!(
+                autoscale.min_nodes <= nodes && nodes <= autoscale.max_nodes,
+                "the initial pool of {nodes} nodes must sit within the autoscale bounds {}..={}",
+                autoscale.min_nodes,
+                autoscale.max_nodes
+            );
+            Autoscaler::new(autoscale)
+        });
         ClusterSimulation {
             cost_model,
             profiles: models.into_iter().collect(),
@@ -233,13 +299,26 @@ impl ClusterSimulation {
             node_active_exec: vec![0; nodes],
             node_enclave_bytes: vec![0; nodes],
             node_enclave_inits: vec![0; nodes],
+            slots_per_node,
+            busy_exec_integral: 0.0,
+            busy_accrued_at: SimTime::ZERO,
+            busy_integral_at_tick: 0.0,
+            last_autoscale_tick: SimTime::ZERO,
+            autoscaler,
             latency: LatencyStats::new(),
             per_model_latency: HashMap::new(),
             latency_series: TimeSeries::new(),
             path_counts: HashMap::new(),
+            admitted: 0,
             completed: 0,
+            dropped: 0,
+            rejected: 0,
+            scale_out_events: 0,
+            scale_in_events: 0,
+            next_activation: 0,
             metering: Metering::new(),
             peak_sandboxes: 0,
+            peak_nodes: nodes,
             session_latencies: Vec::new(),
             _rng: rng,
             config,
@@ -269,6 +348,7 @@ impl ClusterSimulation {
                     user_index: arrival.user_index,
                     submitted: arrival.at,
                     session: None,
+                    cold_start: false,
                 }),
             );
         }
@@ -291,6 +371,7 @@ impl ClusterSimulation {
                 user_index,
                 submitted: start,
                 session: Some(index),
+                cold_start: false,
             }),
         );
     }
@@ -353,7 +434,12 @@ impl ClusterSimulation {
             self.controller
                 .invocation_finished(sandbox_id, SimTime::ZERO)
                 .expect("assigned at schedule time");
-            let mut state = SandboxSimState::new(node, self.config.tcs_per_container, spec_memory);
+            let mut state = SandboxSimState::new(
+                node,
+                action.clone(),
+                self.config.tcs_per_container,
+                spec_memory,
+            );
             state.ready = true;
             state.enclave_ready = self.config.strategy.reuses_enclave()
                 || self.config.strategy == ServingStrategy::Untrusted;
@@ -417,6 +503,16 @@ impl ClusterSimulation {
         }
     }
 
+    /// Advances the busy-time integral to `now`.  Must run before any change
+    /// to the `node_active_exec` counters so the integral charges the old
+    /// occupancy level for the elapsed interval.
+    fn accrue_busy_time(&mut self, now: SimTime) {
+        let active: usize = self.node_active_exec.iter().sum();
+        self.busy_exec_integral +=
+            active as f64 * now.duration_since(self.busy_accrued_at).as_secs_f64();
+        self.busy_accrued_at = now;
+    }
+
     fn start_invocation(&mut self, sandbox_id: SandboxId, request: SimRequest, now: SimTime) {
         let profile = *self
             .profiles
@@ -465,6 +561,7 @@ impl ClusterSimulation {
         };
 
         // Node-level counters used by the pricing model.
+        self.accrue_busy_time(now);
         self.node_active_exec[node] += 1;
         if enclave_was_initialized {
             self.node_enclave_inits[node] += 1;
@@ -484,11 +581,46 @@ impl ClusterSimulation {
                 request,
                 path,
                 enclave_was_initialized,
+                started: now,
             },
         );
     }
 
+    /// Hands a successfully scheduled request to its sandbox: cold starts
+    /// and still-starting containers park it in the sandbox's waiting queue,
+    /// ready containers start executing immediately.
+    fn dispatch(&mut self, outcome: &ScheduleOutcome, mut request: SimRequest, now: SimTime) {
+        let sandbox_id = outcome.sandbox();
+        let sandbox = self.controller.sandbox(sandbox_id).expect("scheduled");
+        let node = sandbox.node;
+        let action = sandbox.action.clone();
+        let memory = sandbox.memory_bytes;
+        let is_cold = outcome.is_cold_start();
+        request.cold_start = is_cold;
+        let entry = self.sandbox_state.entry(sandbox_id).or_insert_with(|| {
+            SandboxSimState::new(node, action, self.config.tcs_per_container, memory)
+        });
+        if is_cold {
+            self.node_enclave_bytes[node] += entry.enclave_bytes;
+            entry.waiting.push_back(request);
+            self.queue.push(
+                now + self.config.sandbox_cold_start,
+                Event::SandboxReady(sandbox_id),
+            );
+        } else if !entry.ready {
+            // Assigned to a container that is still starting.
+            entry.waiting.push_back(request);
+        } else {
+            self.start_invocation(sandbox_id, request, now);
+        }
+    }
+
     fn handle_arrival(&mut self, request: SimRequest, now: SimTime) {
+        // Route exactly once, at admission.  Routers are stateful (FnPacker
+        // counts one pending response per routed request, balanced by the
+        // one `complete()` a finished request fires), so a queued request
+        // must carry its routed action through retries instead of being
+        // routed again.
         let action = self.router.route(&request.model, now);
         debug_assert!(
             self.action_models
@@ -496,36 +628,58 @@ impl ClusterSimulation {
                 .is_some_and(|models| models.contains(&request.model)),
             "router chose an endpoint that does not serve the model"
         );
+        self.admitted += 1;
         match self.schedule_request(&action, &request.model, now) {
-            Ok(outcome) => {
-                let sandbox_id = outcome.sandbox();
-                let sandbox = self.controller.sandbox(sandbox_id).expect("scheduled");
-                let node = sandbox.node;
-                let memory = sandbox.memory_bytes;
-                let is_cold = outcome.is_cold_start();
-                let entry = self.sandbox_state.entry(sandbox_id).or_insert_with(|| {
-                    SandboxSimState::new(node, self.config.tcs_per_container, memory)
-                });
-                if is_cold {
-                    self.node_enclave_bytes[node] += entry.enclave_bytes;
-                    entry.waiting.push_back(request);
-                    self.queue.push(
-                        now + self.config.sandbox_cold_start,
-                        Event::SandboxReady(sandbox_id),
-                    );
-                } else if !entry.ready {
-                    // Assigned to a container that is still starting.
-                    entry.waiting.push_back(request);
-                } else {
-                    self.start_invocation(sandbox_id, request, now);
-                }
-            }
+            Ok(outcome) => self.dispatch(&outcome, request, now),
             Err(_) => {
                 // Cluster saturated: queue and retry when capacity frees up.
-                self.saturated.push_back(request);
+                self.saturated.push_back((action, request));
             }
         }
         self.record_cluster_state(now);
+    }
+
+    /// Drains the cluster-saturated queue into whatever capacity is free
+    /// right now — called after *every* event that can free capacity
+    /// (invocation completions, keep-alive evictions, drain reclaims, node
+    /// provisioning).  One pass tries each queued request once, oldest
+    /// first: requests that fit are dispatched, the rest keep their arrival
+    /// order, so an unschedulable head (say, a model whose action cannot
+    /// fit while another action's idle containers hold the memory) never
+    /// blocks requests behind it and service under saturation stays FIFO.
+    /// Requests keep the action they were routed to at admission — see
+    /// [`ClusterSimulation::handle_arrival`].  For the shipped schedulers a
+    /// placement failure depends only on the action's memory budget, so
+    /// actions that already failed in this pass are skipped instead of
+    /// re-tried, and the pass short-circuits once everything still pending
+    /// targets a failed action — without that exit, a sustained burst
+    /// would walk the whole (possibly thousands deep) queue on every
+    /// single completion just to rediscover that nothing fits.
+    fn retry_saturated(&mut self, now: SimTime) {
+        let mut failed_actions: Vec<ActionName> = Vec::new();
+        let mut pending = std::mem::take(&mut self.saturated);
+        let mut kept: VecDeque<(ActionName, SimRequest)> = VecDeque::new();
+        while let Some((action, request)) = pending.pop_front() {
+            if failed_actions.contains(&action) {
+                kept.push_back((action, request));
+                continue;
+            }
+            match self.schedule_request(&action, &request.model, now) {
+                Ok(outcome) => self.dispatch(&outcome, request, now),
+                Err(_) => {
+                    failed_actions.push(action.clone());
+                    kept.push_back((action, request));
+                    // Only a failure can extend the unplaceable set, so the
+                    // short-circuit check is needed (and paid) only here:
+                    // at most once per distinct action per pass.
+                    if pending.iter().all(|(a, _)| failed_actions.contains(a)) {
+                        kept.append(&mut pending);
+                        break;
+                    }
+                }
+            }
+        }
+        self.saturated = kept;
     }
 
     fn record_cluster_state(&mut self, now: SimTime) {
@@ -548,11 +702,31 @@ impl ClusterSimulation {
         request: SimRequest,
         path: InvocationPath,
         enclave_was_initialized: bool,
+        started: SimTime,
         now: SimTime,
     ) {
+        let memory_budget_bytes = self
+            .controller
+            .sandbox(sandbox_id)
+            .expect("invocation was started")
+            .memory_bytes;
         self.controller
             .invocation_finished(sandbox_id, now)
             .expect("invocation was started");
+        // Bill the activation: execution time × memory budget, the
+        // per-action GB·s split of Fig. 14.
+        let record = ActivationRecord {
+            id: ActivationId(self.next_activation),
+            action: action.clone(),
+            submitted_at: request.submitted,
+            started_at: started,
+            completed_at: now,
+            cold_start: request.cold_start,
+            memory_budget_bytes,
+        };
+        self.next_activation += 1;
+        self.metering.record_activation(&record);
+        self.accrue_busy_time(now);
         self.node_active_exec[node] = self.node_active_exec[node].saturating_sub(1);
         if enclave_was_initialized {
             self.node_enclave_inits[node] = self.node_enclave_inits[node].saturating_sub(1);
@@ -599,14 +773,22 @@ impl ClusterSimulation {
                         user_index,
                         submitted: now,
                         session: Some(session_index),
+                        cold_start: false,
                     }),
                 );
             }
         }
 
-        // Retry requests that were blocked on cluster capacity.
-        if let Some(queued) = self.saturated.pop_front() {
-            self.queue.push(now, Event::Arrival(queued));
+        // Retry requests that were blocked on cluster capacity.  This must
+        // drain as many as now fit — not just one — because this completion
+        // may be the last one: any request still queued afterwards would
+        // otherwise wait for a retry signal that never comes.
+        self.retry_saturated(now);
+        // A completion on a draining node may have been the node's last
+        // in-flight work: run an eviction pass so the now-idle container is
+        // reclaimed immediately and the node can retire.
+        if self.controller.node_state(node) == Some(sesemi_platform::NodeState::Draining) {
+            self.handle_eviction(now);
         }
         self.record_cluster_state(now);
     }
@@ -624,13 +806,162 @@ impl ClusterSimulation {
         }
     }
 
-    fn handle_eviction(&mut self, now: SimTime) {
-        for evicted in self.controller.evict_idle(now) {
-            if let Some(state) = self.sandbox_state.remove(&evicted) {
+    /// Drops the simulator-side state of evicted sandboxes.
+    ///
+    /// The waiting-queue re-queue below is *defensive*: with today's
+    /// eviction paths it never runs, because every parked request holds a
+    /// controller slot (assigned at schedule time), so a sandbox with
+    /// waiting requests is never idle and both `evict_idle` and
+    /// `drain_node` reclaim only idle sandboxes.  It exists so that a
+    /// future eviction path that reclaims non-idle sandboxes (forced kill,
+    /// failure injection) degrades to re-queued requests instead of
+    /// silently breaking the conservation invariant.
+    fn cleanup_evicted(&mut self, evicted: Vec<SandboxId>) {
+        for id in evicted {
+            if let Some(mut state) = self.sandbox_state.remove(&id) {
                 self.node_enclave_bytes[state.node] =
                     self.node_enclave_bytes[state.node].saturating_sub(state.enclave_bytes);
+                debug_assert!(
+                    state.waiting.is_empty(),
+                    "an idle-only eviction reclaimed a sandbox with parked requests"
+                );
+                while let Some(request) = state.waiting.pop_front() {
+                    self.saturated.push_back((state.action.clone(), request));
+                }
             }
         }
+    }
+
+    /// Records the current provisioned membership (capacity bytes + node
+    /// count) with the meter.  The single place the billing view of a
+    /// membership change is defined — every add/retire goes through here.
+    fn record_node_membership(&mut self, now: SimTime) {
+        self.metering.record_node_capacity(
+            now,
+            self.controller.provisioned_memory_bytes(),
+            self.controller.provisioned_node_count(),
+        );
+    }
+
+    /// Retires draining nodes that have finished emptying and tells the
+    /// scheduler when the membership changed.
+    fn retire_drained_nodes(&mut self, now: SimTime) {
+        let drained = self.controller.drained_empty_nodes();
+        if drained.is_empty() {
+            return;
+        }
+        for node in drained {
+            self.controller
+                .remove_node(node)
+                .expect("drained empty node is removable");
+        }
+        self.record_node_membership(now);
+    }
+
+    fn handle_eviction(&mut self, now: SimTime) {
+        let evicted = self.controller.evict_idle(now);
+        let freed = !evicted.is_empty();
+        self.cleanup_evicted(evicted);
+        if self.autoscaler.is_some() {
+            self.retire_drained_nodes(now);
+        }
+        if freed {
+            // Capacity freed by eviction must retry the saturated queue just
+            // like capacity freed by completion: a scale-in (or plain
+            // keep-alive expiry) may be the only thing that ever frees
+            // memory for requests queued behind a full cluster.
+            self.retry_saturated(now);
+        }
+        self.record_cluster_state(now);
+    }
+
+    /// One autoscaler sampling tick: observe the cluster, apply the
+    /// decision.
+    fn handle_autoscale_tick(&mut self, now: SimTime) {
+        let Some(mut scaler) = self.autoscaler.take() else {
+            return;
+        };
+        // Mean concurrent executions since the previous tick, from the
+        // busy-time integral (a zero-length window can only happen on a
+        // duplicate tick and degenerates to the instantaneous count).
+        self.accrue_busy_time(now);
+        let window = now.duration_since(self.last_autoscale_tick).as_secs_f64();
+        let mean_active_executions = if window > 0.0 {
+            (self.busy_exec_integral - self.busy_integral_at_tick) / window
+        } else {
+            self.node_active_exec.iter().sum::<usize>() as f64
+        };
+        self.busy_integral_at_tick = self.busy_exec_integral;
+        self.last_autoscale_tick = now;
+        let schedulable_nodes = self.controller.active_node_count();
+        let draining_nodes = self.controller.draining_node_count();
+        let signals = ClusterSignals {
+            queued: self.saturated.len(),
+            mean_active_executions,
+            execution_slots: (schedulable_nodes + draining_nodes) * self.slots_per_node,
+            schedulable_nodes,
+            draining_nodes,
+        };
+        match scaler.observe(&signals) {
+            ScaleDecision::Hold => {}
+            ScaleDecision::ScaleOut => {
+                self.scale_out_events += 1;
+                self.queue.push(
+                    now + scaler.config().node_provision_delay,
+                    Event::NodeProvisioned,
+                );
+            }
+            ScaleDecision::ScaleIn => {
+                self.scale_in_events += 1;
+                self.drain_least_loaded_node();
+            }
+        }
+        self.autoscaler = Some(scaler);
+        self.retire_drained_nodes(now);
+        self.record_cluster_state(now);
+    }
+
+    /// Scale-in victim selection: the active node with the least in-flight
+    /// work, then the fewest sandboxes, ties resolved towards the highest
+    /// node id (so the long-lived low-id nodes keep their warm pools).  The
+    /// drained node's provisioned capacity stays billed until it retires.
+    fn drain_least_loaded_node(&mut self) {
+        let victim = self
+            .controller
+            .active_node_loads()
+            .into_iter()
+            .min_by_key(|(node, sandboxes, active)| (*active, *sandboxes, std::cmp::Reverse(*node)))
+            .map(|(node, _, _)| node)
+            .expect("scale-in only fires with nodes above the minimum");
+        let evicted = self
+            .controller
+            .drain_node(victim)
+            .expect("victim is active");
+        self.cleanup_evicted(evicted);
+        self.scheduler
+            .on_membership_change(&self.controller.active_nodes());
+    }
+
+    /// A node requested by the autoscaler joins the pool.
+    fn handle_node_provisioned(&mut self, now: SimTime) {
+        let node = self.controller.add_node();
+        if let Some(scaler) = self.autoscaler.as_mut() {
+            scaler.node_provisioned();
+        }
+        // Grow the per-node bookkeeping to cover the new id.
+        while self.node_active_exec.len() <= node {
+            self.node_active_exec.push(0);
+            self.node_enclave_bytes.push(0);
+            self.node_enclave_inits.push(0);
+        }
+        self.scheduler
+            .on_membership_change(&self.controller.active_nodes());
+        self.peak_nodes = self
+            .peak_nodes
+            .max(self.controller.provisioned_node_count());
+        self.record_node_membership(now);
+        // Fresh capacity: admit whatever was queued behind the full pool.
+        self.retry_saturated(now);
         self.record_cluster_state(now);
     }
 
@@ -646,12 +977,29 @@ impl ClusterSimulation {
             self.queue.push(tick, Event::EvictionTick);
             tick += SimDuration::from_secs(10);
         }
+        // Periodic autoscaler sampling.
+        if let Some(scaler) = &self.autoscaler {
+            let period = scaler.config().tick;
+            let mut tick = SimTime::ZERO + period;
+            while tick < end {
+                self.queue.push(tick, Event::AutoscaleTick);
+                tick += period;
+            }
+        }
+        // Start the provisioned-capacity meter at the initial pool size, so
+        // `node_gb_seconds` is meaningful for fixed pools too.
+        self.record_node_membership(SimTime::ZERO);
 
         while let Some((now, event)) = self.queue.pop() {
             match event {
                 Event::Arrival(request) => {
                     if request.at_or_before(end) {
                         self.handle_arrival(request, now);
+                    } else {
+                        // Issued past the measurement horizon (closed-loop
+                        // session follow-ups): refused at admission, traced
+                        // instead of silently discarded.
+                        self.rejected += 1;
                     }
                 }
                 Event::SandboxReady(sandbox) => self.handle_sandbox_ready(sandbox, now),
@@ -663,6 +1011,7 @@ impl ClusterSimulation {
                     request,
                     path,
                     enclave_was_initialized,
+                    started,
                 } => self.handle_done(
                     sandbox,
                     slot,
@@ -671,25 +1020,71 @@ impl ClusterSimulation {
                     request,
                     path,
                     enclave_was_initialized,
+                    started,
                     now,
                 ),
                 Event::EvictionTick => self.handle_eviction(now),
+                Event::AutoscaleTick => self.handle_autoscale_tick(now),
+                Event::NodeProvisioned => {
+                    if now <= end {
+                        self.handle_node_provisioned(now);
+                    } else {
+                        // Provisioning finished past the measurement
+                        // horizon: no new work can arrive, so the machine
+                        // never joins — acknowledge it to the policy but
+                        // keep it out of peak_nodes and the capacity bill.
+                        if let Some(scaler) = self.autoscaler.as_mut() {
+                            scaler.node_provisioned();
+                        }
+                    }
+                }
             }
         }
 
+        // Conservation accounting: whatever the cluster admitted but never
+        // served is *dropped*, not silently forgotten — requests still in
+        // the saturated queue plus any parked in a sandbox's waiting queue.
+        self.dropped += self.saturated.len() as u64;
+        self.dropped += self
+            .sandbox_state
+            .values()
+            .map(|state| state.waiting.len() as u64)
+            .sum::<u64>();
+        debug_assert_eq!(
+            self.admitted,
+            self.completed + self.dropped,
+            "request conservation violated: admitted != completed + dropped"
+        );
+
         let final_time = self.queue.now().max(end);
+        let mut per_action_gb_seconds: Vec<(String, f64)> = self
+            .metering
+            .per_action_gb_seconds()
+            .iter()
+            .map(|(action, gbs)| (action.as_str().to_string(), *gbs))
+            .collect();
+        per_action_gb_seconds.sort_by(|a, b| a.0.cmp(&b.0));
         SimulationResult {
             latency: self.latency,
             per_model_latency: self.per_model_latency,
             latency_series: self.latency_series,
             path_counts: self.path_counts,
+            admitted: self.admitted,
             completed: self.completed,
+            dropped: self.dropped,
+            rejected: self.rejected,
             cold_starts: self.controller.cold_start_count(),
             peak_sandboxes: self.peak_sandboxes,
             gb_seconds: self.metering.cluster_gb_seconds(final_time),
+            node_gb_seconds: self.metering.node_gb_seconds(final_time),
+            per_action_gb_seconds,
             peak_memory_bytes: self.metering.peak_memory_bytes(),
+            peak_nodes: self.peak_nodes,
+            scale_out_events: self.scale_out_events,
+            scale_in_events: self.scale_in_events,
             sandbox_series: self.metering.sandbox_series().clone(),
             memory_series: self.metering.memory_series().clone(),
+            node_series: self.metering.node_series().clone(),
             session_latencies: self.session_latencies,
         }
     }
@@ -994,6 +1389,210 @@ mod tests {
         assert_eq!(result.p99_latency(), result.mean_latency());
         assert_eq!(result.p95_latency(), result.latency.max());
         assert_eq!(result.path_fraction(InvocationPath::Cold), 1.0);
+    }
+
+    /// Regression for the eviction-path request-loss bug: a two-model
+    /// cluster whose memory holds exactly one container.  An MMPP burst far
+    /// above capacity on model A starves a lone model-B request (B's action
+    /// can never fit while A's container holds the memory), then an idle
+    /// window lets keep-alive eviction free the node, then a trailing
+    /// trickle of A requests arrives.  Pre-fix, capacity freed by eviction
+    /// never retried the saturated queue and completions retried only one
+    /// request, so B (and every A queued behind a failed retry) was lost
+    /// silently; post-fix every admitted request completes.
+    #[test]
+    fn eviction_freed_capacity_retries_the_saturated_queue() {
+        let (model_a, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let model_b = ModelId::new("victim");
+        let one_container = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let config = ClusterConfig {
+            nodes: 1,
+            tcs_per_container: 1,
+            invoker_memory_bytes: one_container,
+            keep_alive: SimDuration::from_secs(30),
+            ..ClusterConfig::single_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(
+            config,
+            vec![(model_a.clone(), profile), (model_b.clone(), profile)],
+        );
+        // Burst far above the one-slot capacity for the first 30 s.
+        let mut rng = SimRng::seed_from_u64(9);
+        let mut arrivals = ArrivalProcess::Mmpp {
+            rates_per_sec: vec![40.0, 25.0],
+            mean_dwell: SimDuration::from_secs(10),
+        }
+        .generate(&model_a, 0, SimDuration::from_secs(30), &mut rng);
+        // The victim arrives mid-burst and queues behind a full cluster.
+        arrivals.push(RequestArrival {
+            at: SimTime::from_secs(5),
+            model: model_b.clone(),
+            user_index: 1,
+        });
+        // Trailing trickle after an idle window longer than the keep-alive.
+        for at in [150u64, 160, 170] {
+            arrivals.push(RequestArrival {
+                at: SimTime::from_secs(at),
+                model: model_a.clone(),
+                user_index: 0,
+            });
+        }
+        arrivals.sort_by_key(|a| a.at);
+        let admitted_expected = arrivals.len() as u64;
+        sim.add_arrivals(arrivals);
+        let result = sim.run(SimDuration::from_secs(400));
+
+        assert_eq!(result.admitted, admitted_expected);
+        assert_eq!(
+            result.dropped, 0,
+            "every admitted request must complete: {} of {} completed",
+            result.completed, result.admitted
+        );
+        assert_eq!(result.completed, result.admitted);
+        assert!(result.conserves_requests());
+        // The victim itself was served, not just the trailing trickle.
+        assert_eq!(
+            result
+                .per_model_latency
+                .get(&model_b)
+                .map(sesemi_sim::LatencyStats::count),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn activation_metering_records_real_per_action_costs() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig::single_node_sgx2();
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.add_arrivals(poisson_trace(&model, 5.0, 30, 17));
+        let result = sim.run(SimDuration::from_secs(30));
+        assert!(result.completed > 50);
+        // One action (One-to-one routing), with a real GB·s figure.
+        assert_eq!(result.per_action_gb_seconds.len(), 1);
+        let (action, gbs) = &result.per_action_gb_seconds[0];
+        assert_eq!(action, &format!("pool-{model}"));
+        assert!(*gbs > 0.0);
+        assert!((result.activation_gb_seconds() - gbs).abs() < 1e-12);
+        // Per-activation billing (execution only) is bounded by the cluster
+        // footprint integral (which also pays for idle keep-alive).
+        assert!(result.activation_gb_seconds() < result.gb_seconds);
+    }
+
+    fn autoscaled_config(min: usize, max: usize, initial: usize) -> ClusterConfig {
+        ClusterConfig {
+            nodes: initial,
+            tcs_per_container: 1,
+            keep_alive: SimDuration::from_secs(45),
+            autoscale: Some(AutoscaleConfig {
+                idle_ticks: 6,
+                ..AutoscaleConfig::new(min, max)
+            }),
+            ..ClusterConfig::multi_node_sgx2()
+        }
+    }
+
+    #[test]
+    fn autoscaling_grows_under_load_and_shrinks_after_idle_without_losing_requests() {
+        let (model, profile) = profile(ModelKind::DsNet, Framework::Tvm);
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let mut config = autoscaled_config(1, 4, 1);
+        // Two single-thread containers per node, as in the Fig. 13 setup.
+        config.invoker_memory_bytes = budget * 2;
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // 120 s of heavy traffic, then a long quiet tail: the pool must grow
+        // to absorb the burst and give the capacity back afterwards.
+        let mut rng = SimRng::seed_from_u64(3);
+        let arrivals = ArrivalProcess::Poisson { rate_per_sec: 12.0 }.generate(
+            &model,
+            0,
+            SimDuration::from_secs(120),
+            &mut rng,
+        );
+        let admitted_expected = arrivals.len() as u64;
+        sim.add_arrivals(arrivals);
+        let result = sim.run(SimDuration::from_secs(500));
+
+        assert!(result.scale_out_events >= 1, "the pool never grew");
+        assert!(result.scale_in_events >= 1, "the pool never shrank");
+        assert!(result.peak_nodes > 1 && result.peak_nodes <= 4);
+        // Drain-path conservation: requests in flight on drained nodes (and
+        // queued during saturation) all complete.
+        assert_eq!(result.admitted, admitted_expected);
+        assert_eq!(result.dropped, 0);
+        assert!(result.conserves_requests());
+        // Elasticity pays less for nodes than a fixed pool of the peak size
+        // would have.
+        let fixed_peak_cost = result.peak_nodes as f64 * (budget * 2) as f64 / 1e9 * 500.0;
+        assert!(
+            result.node_gb_seconds < fixed_peak_cost,
+            "elastic {:.1} GB·s should undercut the fixed peak-size pool {:.1} GB·s",
+            result.node_gb_seconds,
+            fixed_peak_cost
+        );
+        assert!(!result.node_series.is_empty());
+    }
+
+    #[test]
+    fn requests_in_flight_on_a_draining_node_are_never_lost() {
+        // Force a scale-in while every node still executes work: a policy
+        // that reads any sub-saturated tick as idle (scale_in_utilization =
+        // 1.0, one-tick window) drains a busy node almost immediately.  The
+        // request assigned to the drained node must finish on it, and only
+        // then may the node retire.
+        let (model, profile) = profile(ModelKind::RsNet, Framework::Tvm);
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let config = ClusterConfig {
+            nodes: 2,
+            tcs_per_container: 1,
+            invoker_memory_bytes: budget,
+            autoscale: Some(AutoscaleConfig {
+                tick: SimDuration::from_secs(1),
+                idle_ticks: 1,
+                scale_in_utilization: 1.0,
+                scale_out_queue: usize::MAX,
+                scale_out_utilization: 2.0,
+                ..AutoscaleConfig::new(1, 2)
+            }),
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // Two cold requests, one per node; RSNET's cold path runs for
+        // several seconds, so the drain decision lands mid-execution.
+        sim.add_arrivals(vec![
+            RequestArrival {
+                at: SimTime::from_millis(100),
+                model: model.clone(),
+                user_index: 0,
+            },
+            RequestArrival {
+                at: SimTime::from_millis(200),
+                model: model.clone(),
+                user_index: 0,
+            },
+        ]);
+        let result = sim.run(SimDuration::from_secs(120));
+        assert!(result.scale_in_events >= 1, "no drain ever happened");
+        assert_eq!(result.admitted, 2);
+        assert_eq!(
+            result.completed, 2,
+            "a request assigned to the draining node was lost"
+        );
+        assert_eq!(result.dropped, 0);
+        assert!(result.conserves_requests());
+        // The pool really gave the node back after its work finished.
+        let (_, final_nodes) = result
+            .node_series
+            .points()
+            .last()
+            .expect("membership series");
+        assert_eq!(*final_nodes, 1.0);
     }
 
     fn run_with_scheduler(kind: SchedulerKind, seed: u64) -> SimulationResult {

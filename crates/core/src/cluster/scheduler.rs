@@ -71,6 +71,15 @@ pub trait Scheduler {
             .copied()
             .max_by_key(|candidate| (candidate.last_used, candidate.sandbox))
     }
+
+    /// Notifies the policy that the schedulable node set changed (a node was
+    /// added, started draining or was removed).  `active_nodes` is the new
+    /// set, in id order.  Policies with membership-derived state (the
+    /// consistent-hash ring) rebuild here; stateless policies ignore it —
+    /// they only ever see schedulable nodes through `fits()` anyway.
+    fn on_membership_change(&mut self, active_nodes: &[NodeId]) {
+        let _ = active_nodes;
+    }
 }
 
 /// Which placement policy a simulation uses.
@@ -191,12 +200,20 @@ fn fnv1a64(bytes: &[u8]) -> u64 {
 /// rest of the ring order, so a model's EPC working set stays local instead
 /// of being smeared across the whole cluster.  Adding or removing a node
 /// remaps only the ring arcs adjacent to its virtual nodes, as in classic
-/// consistent hashing.
+/// consistent hashing — the scheduler rebuilds its ring on
+/// [`Scheduler::on_membership_change`], and because each node's virtual
+/// positions depend only on its own id, the relative order of the surviving
+/// nodes in every model's preference list is preserved across membership
+/// changes.
 #[derive(Clone, Debug)]
 pub struct ModelAffinityScheduler {
     /// `(ring position, physical node)`, sorted by position.
     ring: Vec<(u64, NodeId)>,
-    node_count: usize,
+    /// The schedulable node set the ring was built from, in id order.
+    nodes: Vec<NodeId>,
+    virtual_nodes: usize,
+    /// Configured sticky-subset size (clamped to the live node count when
+    /// used).
     subset_size: usize,
 }
 
@@ -228,38 +245,52 @@ impl ModelAffinityScheduler {
         assert!(nodes > 0, "a cluster needs at least one node");
         assert!(virtual_nodes > 0, "need at least one virtual node per node");
         assert!(subset_size > 0, "the sticky subset needs at least one node");
-        let mut ring = Vec::with_capacity(nodes * virtual_nodes);
-        for node in 0..nodes {
-            for replica in 0..virtual_nodes {
-                ring.push((
+        let mut scheduler = ModelAffinityScheduler {
+            ring: Vec::new(),
+            nodes: Vec::new(),
+            virtual_nodes,
+            subset_size,
+        };
+        scheduler.rebuild(&(0..nodes).collect::<Vec<_>>());
+        scheduler
+    }
+
+    /// Rebuilds the ring for a new schedulable node set.  Each node's
+    /// virtual positions are a pure function of its id, so nodes keep their
+    /// arcs across membership changes and only the arcs of joining/leaving
+    /// nodes are remapped.
+    pub fn rebuild(&mut self, active_nodes: &[NodeId]) {
+        self.nodes = active_nodes.to_vec();
+        self.ring.clear();
+        self.ring.reserve(self.nodes.len() * self.virtual_nodes);
+        for &node in &self.nodes {
+            for replica in 0..self.virtual_nodes {
+                self.ring.push((
                     fnv1a64(format!("node-{node}/vn-{replica}").as_bytes()),
                     node,
                 ));
             }
         }
-        ring.sort_unstable();
-        ModelAffinityScheduler {
-            ring,
-            node_count: nodes,
-            subset_size: subset_size.min(nodes),
-        }
+        self.ring.sort_unstable();
     }
 
     /// The full node order the ring induces for `model`: the sticky subset is
     /// the first [`ModelAffinityScheduler::subset_size`] entries, the rest is
-    /// the spill-over order.
+    /// the spill-over order.  Empty when the membership is empty.
     #[must_use]
     pub fn preferred_nodes(&self, model: &ModelId) -> Vec<NodeId> {
+        if self.ring.is_empty() {
+            return Vec::new();
+        }
         let key = fnv1a64(model.as_str().as_bytes());
         let start = self.ring.partition_point(|(position, _)| *position < key);
-        let mut order = Vec::with_capacity(self.node_count);
-        let mut seen = vec![false; self.node_count];
+        let node_count = self.nodes.len();
+        let mut order = Vec::with_capacity(node_count);
         for index in 0..self.ring.len() {
             let (_, node) = self.ring[(start + index) % self.ring.len()];
-            if !seen[node] {
-                seen[node] = true;
+            if !order.contains(&node) {
                 order.push(node);
-                if order.len() == self.node_count {
+                if order.len() == node_count {
                     break;
                 }
             }
@@ -267,10 +298,10 @@ impl ModelAffinityScheduler {
         order
     }
 
-    /// The sticky subset size.
+    /// The sticky subset size (clamped to the live node count).
     #[must_use]
     pub fn subset_size(&self) -> usize {
-        self.subset_size
+        self.subset_size.min(self.nodes.len())
     }
 }
 
@@ -281,7 +312,8 @@ impl Scheduler for ModelAffinityScheduler {
 
     fn place(&mut self, ctx: &PlacementContext<'_>) -> Option<NodeId> {
         let order = self.preferred_nodes(ctx.model);
-        let subset = &order[..self.subset_size.min(order.len())];
+        let spill = self.subset_size.min(order.len());
+        let subset = &order[..spill];
         // Least committed enclave memory within the sticky subset, ties
         // resolved towards the earlier ring position for determinism.
         if let Some(node) = subset
@@ -294,10 +326,14 @@ impl Scheduler for ModelAffinityScheduler {
             return Some(node);
         }
         // Spill over along the ring order only when the subset is full.
-        order[self.subset_size.min(order.len())..]
+        order[spill..]
             .iter()
             .copied()
             .find(|node| ctx.nodes[*node].fits(ctx.memory_bytes))
+    }
+
+    fn on_membership_change(&mut self, active_nodes: &[NodeId]) {
+        self.rebuild(active_nodes);
     }
 
     /// Warm reuse is affinity-aware too: prefer warm containers on the
@@ -311,12 +347,7 @@ impl Scheduler for ModelAffinityScheduler {
         candidates: &[WarmCandidate],
     ) -> Option<WarmCandidate> {
         let order = self.preferred_nodes(model);
-        let rank = |node: NodeId| {
-            order
-                .iter()
-                .position(|n| *n == node)
-                .unwrap_or(self.node_count)
-        };
+        let rank = |node: NodeId| order.iter().position(|n| *n == node).unwrap_or(order.len());
         candidates
             .iter()
             .copied()
@@ -336,6 +367,7 @@ mod tests {
             total_sandboxes: 0,
             action_sandboxes: 0,
             active_invocations: 0,
+            schedulable: true,
         }
     }
 
@@ -467,6 +499,67 @@ mod tests {
         let scheduler = ModelAffinityScheduler::new(1);
         assert_eq!(scheduler.subset_size(), 1);
         assert_eq!(scheduler.preferred_nodes(&ModelId::new("m")), vec![0]);
+    }
+
+    #[test]
+    fn membership_changes_remap_only_the_affected_arcs() {
+        // Classic consistent-hashing property: removing one node from the
+        // ring deletes it from every model's preference order without
+        // permuting the surviving nodes, and adding it back restores the
+        // original order exactly.
+        let mut scheduler = ModelAffinityScheduler::new(8);
+        let models: Vec<ModelId> = (0..50)
+            .map(|i| ModelId::new(format!("model-{i}")))
+            .collect();
+        let before: Vec<Vec<NodeId>> = models
+            .iter()
+            .map(|m| scheduler.preferred_nodes(m))
+            .collect();
+
+        // Drop node 3 (as a drain would).
+        let remaining: Vec<NodeId> = (0..8).filter(|n| *n != 3).collect();
+        scheduler.on_membership_change(&remaining);
+        for (model, original) in models.iter().zip(&before) {
+            let shrunk = scheduler.preferred_nodes(model);
+            let expected: Vec<NodeId> = original.iter().copied().filter(|n| *n != 3).collect();
+            assert_eq!(shrunk, expected, "{model}: surviving order must be stable");
+        }
+
+        // Add it back (plus a brand-new node 8): the original 8-node prefix
+        // order is restored for the original nodes.
+        let grown: Vec<NodeId> = (0..9).collect();
+        scheduler.on_membership_change(&grown);
+        for (model, original) in models.iter().zip(&before) {
+            let order = scheduler.preferred_nodes(model);
+            let without_new: Vec<NodeId> = order.iter().copied().filter(|n| *n != 8).collect();
+            assert_eq!(&without_new, original, "{model}: old arcs must be kept");
+            assert!(order.contains(&8), "{model}: the new node must appear");
+        }
+    }
+
+    #[test]
+    fn placement_follows_the_ring_after_a_membership_change() {
+        let action = ActionName::new("a");
+        let model = ModelId::new("m");
+        let mut scheduler = ModelAffinityScheduler::with_params(4, 31, 2);
+        // Shrink to nodes {0, 2}: snapshots still cover all four slots (ids
+        // are stable), but only the members' slots are schedulable.
+        scheduler.on_membership_change(&[0, 2]);
+        let mut nodes: Vec<NodeSnapshot> = (0..4).map(|n| snapshot(n, 1000, 0)).collect();
+        nodes[1].schedulable = false;
+        nodes[3].schedulable = false;
+        let enclave = vec![0u64; 4];
+        for _ in 0..8 {
+            let chosen = scheduler
+                .place(&ctx(&action, &model, 100, &nodes, &enclave))
+                .unwrap();
+            assert!(
+                chosen == 0 || chosen == 2,
+                "placement {chosen} must stay within the membership"
+            );
+        }
+        assert_eq!(scheduler.subset_size(), 2);
+        assert_eq!(scheduler.preferred_nodes(&model).len(), 2);
     }
 
     #[test]

@@ -15,6 +15,9 @@ pub(super) struct SimRequest {
     pub(super) user_index: usize,
     pub(super) submitted: SimTime,
     pub(super) session: Option<usize>,
+    /// Whether admitting this request cold-started a container (set at
+    /// assignment time; feeds the activation record's cold-start flag).
+    pub(super) cold_start: bool,
 }
 
 impl SimRequest {
@@ -35,14 +38,26 @@ pub(super) enum Event {
         request: SimRequest,
         path: InvocationPath,
         enclave_was_initialized: bool,
+        started: SimTime,
     },
     EvictionTick,
+    /// Periodic autoscaler sampling (only scheduled when autoscaling is
+    /// configured).
+    AutoscaleTick,
+    /// A node requested by the autoscaler finishes provisioning and joins
+    /// the pool.
+    NodeProvisioned,
 }
 
 /// Cached enclave state of one simulated sandbox.
 #[derive(Clone, Debug)]
 pub(super) struct SandboxSimState {
     pub(super) node: usize,
+    /// The action this sandbox serves — kept here (not just in the
+    /// controller) so requests parked in `waiting` can be re-queued under
+    /// their admission-time action after the controller has already
+    /// reclaimed the sandbox.
+    pub(super) action: ActionName,
     pub(super) ready: bool,
     pub(super) enclave_ready: bool,
     pub(super) cached_keys: Option<(PartyId, ModelId)>,
@@ -54,9 +69,10 @@ pub(super) struct SandboxSimState {
 }
 
 impl SandboxSimState {
-    pub(super) fn new(node: usize, slots: usize, enclave_bytes: u64) -> Self {
+    pub(super) fn new(node: usize, action: ActionName, slots: usize, enclave_bytes: u64) -> Self {
         SandboxSimState {
             node,
+            action,
             ready: false,
             enclave_ready: false,
             cached_keys: None,
@@ -85,20 +101,49 @@ pub struct SimulationResult {
     pub latency_series: TimeSeries,
     /// Requests served per invocation path.
     pub path_counts: HashMap<InvocationPath, u64>,
+    /// Requests admitted into the cluster (scheduled immediately or queued
+    /// for retry).  Conservation invariant: `admitted == completed +
+    /// dropped` at the end of every run.
+    pub admitted: u64,
     /// Completed requests.
     pub completed: u64,
+    /// Admitted requests that were still queued (cluster-saturated queue or
+    /// an evicted sandbox's waiting queue) when the run drained — work the
+    /// cluster accepted but never served.
+    pub dropped: u64,
+    /// Requests refused at admission (currently only arrivals past the
+    /// measurement horizon, e.g. closed-loop session follow-ups issued after
+    /// the run's end; admission-control schedulers may add more).  Not part
+    /// of `admitted`.
+    pub rejected: u64,
     /// Container cold starts.
     pub cold_starts: u64,
     /// Peak number of live sandboxes.
     pub peak_sandboxes: usize,
     /// Cluster memory integral in GB·seconds (Fig. 14's cost metric).
     pub gb_seconds: f64,
+    /// Provisioned node-capacity integral in GB·seconds — what the cluster
+    /// operator pays for keeping the (possibly autoscaled) node pool up.
+    /// For a fixed pool this is `nodes × invoker memory × run length`.
+    pub node_gb_seconds: f64,
+    /// Per-activation billed GB·seconds per action (execution time × memory
+    /// budget, the serverless pricing model of §VI-C), sorted by action name.
+    pub per_action_gb_seconds: Vec<(String, f64)>,
     /// Peak committed container memory in bytes.
     pub peak_memory_bytes: u64,
+    /// Peak number of provisioned nodes.
+    pub peak_nodes: usize,
+    /// Scale-out decisions taken by the autoscaler (0 for fixed pools).
+    pub scale_out_events: u64,
+    /// Scale-in (drain) decisions taken by the autoscaler (0 for fixed
+    /// pools).
+    pub scale_in_events: u64,
     /// Sandbox-count time series (total, serving).
     pub sandbox_series: TimeSeries,
     /// Committed-memory time series in GB.
     pub memory_series: TimeSeries,
+    /// Provisioned node-count time series (one point per membership change).
+    pub node_series: TimeSeries,
     /// Latency of each interactive-session query: (session name, model) →
     /// latency (Table IV).
     pub session_latencies: Vec<(String, ModelId, SimDuration)>,
@@ -141,5 +186,19 @@ impl SimulationResult {
     #[must_use]
     pub fn hot_fraction(&self) -> f64 {
         self.path_fraction(InvocationPath::Hot)
+    }
+
+    /// Whether the run conserved requests: everything admitted either
+    /// completed or is accounted for as dropped.  `sesemi_scenario` asserts
+    /// this on every run.
+    #[must_use]
+    pub fn conserves_requests(&self) -> bool {
+        self.admitted == self.completed + self.dropped
+    }
+
+    /// Total per-activation billed GB·seconds across all actions.
+    #[must_use]
+    pub fn activation_gb_seconds(&self) -> f64 {
+        self.per_action_gb_seconds.iter().map(|(_, gbs)| gbs).sum()
     }
 }

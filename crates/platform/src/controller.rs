@@ -23,13 +23,33 @@ use sesemi_sim::SimTime;
 use std::collections::HashMap;
 
 /// Identifier of an invoker node (index into the cluster's node list).
+///
+/// Node ids are stable for the lifetime of a controller: removing a node
+/// retires its slot instead of shifting the indices of its neighbours, so
+/// external bookkeeping (per-node counters, consistent-hash rings) keyed by
+/// `NodeId` stays valid across membership changes.
 pub type NodeId = usize;
+
+/// Lifecycle state of an invoker node.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum NodeState {
+    /// The node accepts new container placements and warm reuse.
+    Active,
+    /// The node refuses new placements; in-flight work finishes and idle
+    /// containers are reclaimed immediately (ignoring keep-alive), after
+    /// which the node can be removed.
+    Draining,
+    /// The node has been removed from the pool.  Its slot (and id) remain so
+    /// node indices stay stable, but it hosts nothing and costs nothing.
+    Retired,
+}
 
 /// One invoker node's bookkeeping.
 #[derive(Clone, Debug)]
 struct InvokerNode {
     memory_capacity: u64,
     memory_used: u64,
+    state: NodeState,
 }
 
 /// A point-in-time load/memory view of one invoker node, exposed so external
@@ -50,6 +70,10 @@ pub struct NodeSnapshot {
     pub action_sandboxes: usize,
     /// Activations currently in flight on the node.
     pub active_invocations: usize,
+    /// Whether the node accepts new placements (false for draining and
+    /// retired nodes; [`NodeSnapshot::fits`] is always false for those, so
+    /// `fits`-respecting policies need no special casing).
+    pub schedulable: bool,
 }
 
 impl NodeSnapshot {
@@ -59,10 +83,11 @@ impl NodeSnapshot {
         self.memory_capacity - self.memory_used
     }
 
-    /// Whether a container of `memory_bytes` fits on the node.
+    /// Whether a container of `memory_bytes` fits on the node (always false
+    /// on a node that is draining or retired).
     #[must_use]
     pub fn fits(&self, memory_bytes: u64) -> bool {
-        self.memory_used + memory_bytes <= self.memory_capacity
+        self.schedulable && self.memory_used + memory_bytes <= self.memory_capacity
     }
 }
 
@@ -158,6 +183,7 @@ impl Controller {
             .map(|_| InvokerNode {
                 memory_capacity: config.invoker_memory_bytes,
                 memory_used: 0,
+                state: NodeState::Active,
             })
             .collect();
         Controller {
@@ -238,12 +264,18 @@ impl Controller {
 
     /// Every warm container of `action` with a free concurrency slot, in
     /// sandbox-id order (for policies that want to pick among them).
+    /// Containers on draining nodes are excluded: a drain refuses new
+    /// assignments, warm or cold.
     #[must_use]
     pub fn warm_candidates(&self, action: &ActionName) -> Vec<WarmCandidate> {
         let mut candidates: Vec<WarmCandidate> = self
             .sandboxes
             .values()
-            .filter(|s| &s.action == action && s.has_free_slot())
+            .filter(|s| {
+                &s.action == action
+                    && s.has_free_slot()
+                    && self.nodes[s.node].state == NodeState::Active
+            })
             .map(|s| WarmCandidate {
                 sandbox: s.id,
                 node: s.node,
@@ -302,10 +334,10 @@ impl Controller {
             .get(action)
             .ok_or_else(|| PlatformError::UnknownAction(action.as_str().to_string()))?
             .clone();
-        let fits = self
-            .nodes
-            .get(node)
-            .is_some_and(|n| n.memory_used + spec.memory_budget_bytes <= n.memory_capacity);
+        let fits = self.nodes.get(node).is_some_and(|n| {
+            n.state == NodeState::Active
+                && n.memory_used + spec.memory_budget_bytes <= n.memory_capacity
+        });
         if !fits {
             return Err(PlatformError::InvalidPlacement {
                 node,
@@ -341,6 +373,9 @@ impl Controller {
 
     /// Per-node load/memory snapshots with `action`-specific occupancy, in
     /// node order.  This is the view pluggable schedulers place against.
+    /// Every node slot (including draining and retired ones) gets a snapshot
+    /// so indexing by `NodeId` stays valid; unschedulable slots report
+    /// `fits() == false`.
     #[must_use]
     pub fn node_snapshots(&self, action: &ActionName) -> Vec<NodeSnapshot> {
         let mut snapshots: Vec<NodeSnapshot> = self
@@ -354,6 +389,7 @@ impl Controller {
                 total_sandboxes: 0,
                 action_sandboxes: 0,
                 active_invocations: 0,
+                schedulable: n.state == NodeState::Active,
             })
             .collect();
         for sandbox in self.sandboxes.values() {
@@ -397,24 +433,187 @@ impl Controller {
         Ok(())
     }
 
-    /// Reclaims idle containers whose keep-alive window expired; returns the
-    /// reclaimed sandbox ids.
+    /// Reclaims idle containers whose keep-alive window expired — plus every
+    /// idle container on a draining node, regardless of keep-alive (draining
+    /// means the node is being emptied, so there is no warm pool to preserve
+    /// there).  Returns the reclaimed sandbox ids.
     pub fn evict_idle(&mut self, now: SimTime) -> Vec<SandboxId> {
         let keep_alive = self.config.container_keep_alive;
         let expired: Vec<SandboxId> = self
             .sandboxes
             .values()
-            .filter(|s| s.keep_alive_expired(now, keep_alive))
+            .filter(|s| {
+                s.keep_alive_expired(now, keep_alive)
+                    || (s.is_idle() && self.nodes[s.node].state == NodeState::Draining)
+            })
             .map(|s| s.id)
             .collect();
-        for id in &expired {
+        self.reclaim(&expired);
+        expired
+    }
+
+    fn reclaim(&mut self, ids: &[SandboxId]) {
+        for id in ids {
             if let Some(sandbox) = self.sandboxes.remove(id) {
                 self.nodes[sandbox.node].memory_used = self.nodes[sandbox.node]
                     .memory_used
                     .saturating_sub(sandbox.memory_bytes);
             }
         }
-        expired
+    }
+
+    /// Adds a fresh invoker node to the pool (scale-out) and returns its id.
+    /// The node is immediately schedulable.
+    pub fn add_node(&mut self) -> NodeId {
+        let id = self.nodes.len();
+        self.nodes.push(InvokerNode {
+            memory_capacity: self.config.invoker_memory_bytes,
+            memory_used: 0,
+            state: NodeState::Active,
+        });
+        id
+    }
+
+    /// Starts draining a node (scale-in): the node refuses every new
+    /// placement and warm assignment from this call on, its idle containers
+    /// are reclaimed immediately (their ids are returned so callers can drop
+    /// per-sandbox bookkeeping), and busy containers finish their in-flight
+    /// work before being reclaimed by later [`Controller::evict_idle`] calls.
+    /// Draining an already-draining node is a no-op; draining a retired or
+    /// unknown node is an error.
+    pub fn drain_node(&mut self, node: NodeId) -> Result<Vec<SandboxId>, PlatformError> {
+        match self.nodes.get(node).map(|n| n.state) {
+            Some(NodeState::Active) => {}
+            Some(NodeState::Draining) => return Ok(Vec::new()),
+            Some(NodeState::Retired) => {
+                return Err(PlatformError::InvalidNodeState {
+                    node,
+                    reason: "cannot drain a retired node".to_string(),
+                })
+            }
+            None => {
+                return Err(PlatformError::InvalidNodeState {
+                    node,
+                    reason: "no such node".to_string(),
+                })
+            }
+        }
+        self.nodes[node].state = NodeState::Draining;
+        let idle: Vec<SandboxId> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.node == node && s.is_idle())
+            .map(|s| s.id)
+            .collect();
+        self.reclaim(&idle);
+        Ok(idle)
+    }
+
+    /// Retires a fully drained node.  Errors unless the node is draining and
+    /// hosts no sandboxes (in-flight work must finish first).  The node's id
+    /// stays allocated (and unschedulable) so node indices remain stable.
+    pub fn remove_node(&mut self, node: NodeId) -> Result<(), PlatformError> {
+        let state = self.nodes.get(node).map(|n| n.state).ok_or_else(|| {
+            PlatformError::InvalidNodeState {
+                node,
+                reason: "no such node".to_string(),
+            }
+        })?;
+        if state != NodeState::Draining {
+            return Err(PlatformError::InvalidNodeState {
+                node,
+                reason: format!("cannot remove a node in state {state:?}; drain it first"),
+            });
+        }
+        if self.sandboxes.values().any(|s| s.node == node) {
+            return Err(PlatformError::InvalidNodeState {
+                node,
+                reason: "node still hosts sandboxes".to_string(),
+            });
+        }
+        self.nodes[node].state = NodeState::Retired;
+        Ok(())
+    }
+
+    /// Draining nodes that no longer host any sandbox — ready for
+    /// [`Controller::remove_node`].
+    #[must_use]
+    pub fn drained_empty_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(node, n)| {
+                n.state == NodeState::Draining && !self.sandboxes.values().any(|s| s.node == *node)
+            })
+            .map(|(node, _)| node)
+            .collect()
+    }
+
+    /// Lifecycle state of a node, if it exists.
+    #[must_use]
+    pub fn node_state(&self, node: NodeId) -> Option<NodeState> {
+        self.nodes.get(node).map(|n| n.state)
+    }
+
+    /// Ids of the schedulable (active) nodes, in id order.
+    #[must_use]
+    pub fn active_nodes(&self) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Active)
+            .map(|(node, _)| node)
+            .collect()
+    }
+
+    /// Number of draining nodes.
+    #[must_use]
+    pub fn draining_node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Draining)
+            .count()
+    }
+
+    /// Number of provisioned (active + draining) nodes — the membership the
+    /// cluster is paying for.  Retired nodes do not count.
+    #[must_use]
+    pub fn provisioned_node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state != NodeState::Retired)
+            .count()
+    }
+
+    /// Total invoker memory of the provisioned (active + draining) nodes —
+    /// the capacity the cluster is paying for.  Retired nodes cost nothing.
+    #[must_use]
+    pub fn provisioned_memory_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter(|n| n.state != NodeState::Retired)
+            .map(|n| n.memory_capacity)
+            .sum()
+    }
+
+    /// Per-node `(sandboxes, active invocations)` load of the active nodes,
+    /// in node-id order — the view scale-in policies pick drain victims from.
+    #[must_use]
+    pub fn active_node_loads(&self) -> Vec<(NodeId, usize, usize)> {
+        let mut loads: Vec<(NodeId, usize, usize)> = self
+            .nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, n)| n.state == NodeState::Active)
+            .map(|(node, _)| (node, 0, 0))
+            .collect();
+        for sandbox in self.sandboxes.values() {
+            if let Some(entry) = loads.iter_mut().find(|(node, _, _)| *node == sandbox.node) {
+                entry.1 += 1;
+                entry.2 += sandbox.active;
+            }
+        }
+        loads
     }
 
     /// Read access to a sandbox.
@@ -460,10 +659,20 @@ impl Controller {
         self.total_invocations
     }
 
-    /// Number of invoker nodes.
+    /// Number of invoker node slots ever allocated (including draining and
+    /// retired ones; node ids range over `0..node_count()`).
     #[must_use]
     pub fn node_count(&self) -> usize {
         self.nodes.len()
+    }
+
+    /// Number of schedulable (active) nodes.
+    #[must_use]
+    pub fn active_node_count(&self) -> usize {
+        self.nodes
+            .iter()
+            .filter(|n| n.state == NodeState::Active)
+            .count()
     }
 }
 
@@ -780,6 +989,7 @@ mod tests {
             total_sandboxes: 0,
             action_sandboxes,
             active_invocations: 0,
+            schedulable: true,
         };
         // Home node wins even when another node has more free memory.
         let nodes = vec![snapshot(0, 0, 0), snapshot(1, 512 * MB, 1)];
@@ -852,5 +1062,155 @@ mod tests {
             c.schedule_on(&"ghost".into(), 0, SimTime::ZERO),
             Err(PlatformError::UnknownAction(_))
         ));
+    }
+
+    #[test]
+    fn added_nodes_are_schedulable_and_grow_the_pool() {
+        let mut c = controller(1, 512);
+        c.register_action(spec("f", 512, 1)).unwrap();
+        let _ = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        // Node 0 is full: the cluster saturates...
+        assert!(matches!(
+            c.schedule(&"f".into(), SimTime::from_secs(1)),
+            Err(PlatformError::ClusterSaturated { .. })
+        ));
+        // ...until a new node joins with the configured invoker memory.
+        let node = c.add_node();
+        assert_eq!(node, 1);
+        assert_eq!(c.node_count(), 2);
+        assert_eq!(c.active_node_count(), 2);
+        assert_eq!(c.provisioned_memory_bytes(), 2 * 512 * MB);
+        let outcome = c.schedule(&"f".into(), SimTime::from_secs(2)).unwrap();
+        assert_eq!(
+            outcome,
+            ScheduleOutcome::ColdStart {
+                sandbox: outcome.sandbox(),
+                node: 1
+            }
+        );
+    }
+
+    #[test]
+    fn draining_refuses_placements_and_reclaims_idle_containers_immediately() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        // One idle and one busy sandbox on node 0.
+        let idle = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+            .unwrap();
+        c.sandbox_ready(idle.sandbox()).unwrap();
+        c.invocation_finished(idle.sandbox(), SimTime::from_secs(2))
+            .unwrap();
+        let busy = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(3))
+            .unwrap();
+        c.sandbox_ready(busy.sandbox()).unwrap();
+
+        let evicted = c.drain_node(0).unwrap();
+        assert_eq!(evicted, vec![idle.sandbox()]);
+        assert_eq!(c.node_state(0), Some(NodeState::Draining));
+        assert_eq!(c.active_nodes(), vec![1]);
+        assert_eq!(c.draining_node_count(), 1);
+        // Draining still counts as provisioned capacity (the machine is up
+        // until its in-flight work finishes).
+        assert_eq!(c.provisioned_memory_bytes(), 2 * 1024 * MB);
+
+        // No new placements land on node 0: schedule_on refuses, snapshots
+        // report unschedulable, the busy survivor is not a warm candidate.
+        assert!(matches!(
+            c.schedule_on(&"f".into(), 0, SimTime::from_secs(4)),
+            Err(PlatformError::InvalidPlacement { node: 0, .. })
+        ));
+        let snapshots = c.node_snapshots(&"f".into());
+        assert!(!snapshots[0].schedulable);
+        assert!(!snapshots[0].fits(1));
+        assert_eq!(default_placement(256 * MB, &snapshots), Some(1));
+        c.invocation_finished(busy.sandbox(), SimTime::from_secs(5))
+            .unwrap();
+        assert!(c.warm_candidates(&"f".into()).is_empty());
+
+        // The now-idle survivor is reclaimed on the next eviction pass even
+        // though its keep-alive window has not expired...
+        assert!(c.drained_empty_nodes().is_empty());
+        let reaped = c.evict_idle(SimTime::from_secs(6));
+        assert_eq!(reaped, vec![busy.sandbox()]);
+        // ...after which the node can be removed and stops costing capacity.
+        assert_eq!(c.drained_empty_nodes(), vec![0]);
+        c.remove_node(0).unwrap();
+        assert_eq!(c.node_state(0), Some(NodeState::Retired));
+        assert_eq!(c.active_node_count(), 1);
+        assert_eq!(c.provisioned_memory_bytes(), 1024 * MB);
+        // Ids stay stable: node 1 is still node 1 in the snapshots.
+        assert_eq!(c.node_snapshots(&"f".into()).len(), 2);
+    }
+
+    #[test]
+    fn node_lifecycle_transitions_are_validated() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        // Removing an active node is refused: drain first.
+        assert!(matches!(
+            c.remove_node(0),
+            Err(PlatformError::InvalidNodeState { node: 0, .. })
+        ));
+        // Removing a draining node that still hosts work is refused.
+        let busy = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+            .unwrap();
+        assert!(c.drain_node(0).unwrap().is_empty());
+        assert!(matches!(
+            c.remove_node(0),
+            Err(PlatformError::InvalidNodeState { node: 0, .. })
+        ));
+        // Draining twice is idempotent; draining unknown/retired nodes errors.
+        assert_eq!(c.drain_node(0).unwrap(), Vec::new());
+        assert!(c.drain_node(7).is_err());
+        c.invocation_finished(busy.sandbox(), SimTime::from_secs(2))
+            .unwrap();
+        c.evict_idle(SimTime::from_secs(3));
+        c.remove_node(0).unwrap();
+        assert!(c.drain_node(0).is_err());
+        assert!(c.remove_node(0).is_err());
+        assert!(c.remove_node(9).is_err());
+    }
+
+    #[test]
+    fn drain_diverts_home_affinity_to_the_remaining_nodes() {
+        let mut c = controller(2, 4096);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        // Establish node 0 as f's home node, then drain it: the next cold
+        // start must land on node 1 even though node 0 hosts f's sandboxes.
+        let home = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+            .unwrap();
+        c.sandbox_ready(home.sandbox()).unwrap();
+        c.drain_node(0).unwrap();
+        let outcome = c.schedule(&"f".into(), SimTime::from_secs(2)).unwrap();
+        assert_eq!(
+            outcome,
+            ScheduleOutcome::ColdStart {
+                sandbox: outcome.sandbox(),
+                node: 1
+            }
+        );
+    }
+
+    #[test]
+    fn active_node_loads_reflect_sandboxes_and_in_flight_work() {
+        let mut c = controller(3, 4096);
+        c.register_action(spec("f", 256, 2)).unwrap();
+        let a = c
+            .schedule_on(&"f".into(), 1, SimTime::from_secs(1))
+            .unwrap();
+        let _b = c
+            .schedule_on(&"f".into(), 1, SimTime::from_secs(1))
+            .unwrap();
+        c.sandbox_ready(a.sandbox()).unwrap();
+        c.invocation_finished(a.sandbox(), SimTime::from_secs(2))
+            .unwrap();
+        c.drain_node(2).unwrap();
+        let loads = c.active_node_loads();
+        // Node 2 is draining, so only nodes 0 and 1 appear.
+        assert_eq!(loads, vec![(0, 0, 0), (1, 2, 1)]);
     }
 }

@@ -28,13 +28,21 @@ pub enum PlatformError {
         reason: String,
     },
     /// An external scheduler placed a container on a node that cannot host it
-    /// (out of range or without enough free memory) — a policy bug the
-    /// controller refuses rather than silently re-placing.
+    /// (out of range, draining, retired or without enough free memory) — a
+    /// policy bug the controller refuses rather than silently re-placing.
     InvalidPlacement {
         /// The node the scheduler chose.
         node: usize,
         /// Memory the container would have needed, in bytes.
         required_bytes: u64,
+    },
+    /// A node-lifecycle operation (drain, remove) was requested on a node
+    /// that is not in a state that allows it.
+    InvalidNodeState {
+        /// The node the operation targeted.
+        node: usize,
+        /// Description of the violated expectation.
+        reason: String,
     },
 }
 
@@ -61,6 +69,9 @@ impl fmt::Display for PlatformError {
                 f,
                 "invalid placement: node {node} cannot host a {required_bytes}-byte container"
             ),
+            PlatformError::InvalidNodeState { node, reason } => {
+                write!(f, "invalid state for node {node}: {reason}")
+            }
         }
     }
 }

@@ -12,7 +12,10 @@
 //! * **Invoker nodes** — machines with a configurable invoker memory pool;
 //!   the controller schedules containers onto them by memory, preferring
 //!   nodes that already run containers of the same action (OpenWhisk's
-//!   home-invoker affinity, which the paper exploits in §VI-C).
+//!   home-invoker affinity, which the paper exploits in §VI-C).  The pool is
+//!   elastic at runtime: nodes can be added, drained (refusing new
+//!   placements while in-flight work finishes) and removed, which is what
+//!   the autoscaler in the `sesemi` core crate drives.
 //! * **Sandboxes** — containers with cold-start latency, a keep-alive window
 //!   (3 minutes by default, Table V) after which idle containers are
 //!   reclaimed, and per-container concurrency slots.
@@ -38,7 +41,7 @@ pub mod storage;
 pub use action::{ActionName, ActionSpec, ActivationId, ActivationRecord};
 pub use config::PlatformConfig;
 pub use controller::{
-    default_placement, Controller, NodeId, NodeSnapshot, ScheduleOutcome, WarmCandidate,
+    default_placement, Controller, NodeId, NodeSnapshot, NodeState, ScheduleOutcome, WarmCandidate,
 };
 pub use error::PlatformError;
 pub use sandbox::{Sandbox, SandboxId, SandboxState};

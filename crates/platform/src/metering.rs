@@ -10,9 +10,11 @@ use std::collections::HashMap;
 pub struct Metering {
     per_action_gb_seconds: HashMap<ActionName, f64>,
     cluster_memory: GbSecondMeter,
+    node_capacity: GbSecondMeter,
     memory_series: TimeSeries,
     sandbox_series: TimeSeries,
     serving_series: TimeSeries,
+    node_series: TimeSeries,
     activations: u64,
     cold_starts: u64,
 }
@@ -50,6 +52,34 @@ impl Metering {
             .record(now, committed_bytes as f64 / (1024.0 * 1024.0 * 1024.0));
         self.sandbox_series.record(now, total_sandboxes as f64);
         self.serving_series.record(now, serving_sandboxes as f64);
+    }
+
+    /// Records a change in the provisioned node capacity (the invoker memory
+    /// of every active or draining node) at `now` — the cost signal behind
+    /// the elasticity experiments: a fixed pool pays its full capacity for
+    /// the whole run, an autoscaled one only for the nodes it kept.
+    pub fn record_node_capacity(&mut self, now: SimTime, provisioned_bytes: u64, nodes: usize) {
+        self.node_capacity.set_memory(now, provisioned_bytes);
+        self.node_series.record(now, nodes as f64);
+    }
+
+    /// GB·seconds of provisioned node capacity, integrated up to `end`.
+    #[must_use]
+    pub fn node_gb_seconds(&self, end: SimTime) -> f64 {
+        self.node_capacity.clone().finish(end)
+    }
+
+    /// Provisioned node-count time series (one point per membership change).
+    #[must_use]
+    pub fn node_series(&self) -> &TimeSeries {
+        &self.node_series
+    }
+
+    /// Per-action GB·second billing, as recorded by
+    /// [`Metering::record_activation`].
+    #[must_use]
+    pub fn per_action_gb_seconds(&self) -> &HashMap<ActionName, f64> {
+        &self.per_action_gb_seconds
     }
 
     /// GB·seconds billed for one action (per-activation execution-time ×
@@ -166,5 +196,18 @@ mod tests {
         assert_eq!(metering.memory_series().len(), 2);
         assert_eq!(metering.sandbox_series().len(), 2);
         assert_eq!(metering.serving_series().len(), 2);
+    }
+
+    #[test]
+    fn node_capacity_integration_tracks_membership_changes() {
+        let mut metering = Metering::new();
+        // Two 1-GiB nodes for 10 s, then scale-in to one for 10 s.
+        metering.record_node_capacity(SimTime::ZERO, 2 * GB, 2);
+        metering.record_node_capacity(SimTime::from_secs(10), GB, 1);
+        let total = metering.node_gb_seconds(SimTime::from_secs(20));
+        assert!((total - (2.147483648 * 10.0 + 1.073741824 * 10.0)).abs() < 1e-6);
+        assert_eq!(metering.node_series().len(), 2);
+        // A fixed pool of the same peak size would have paid 2 GiB for 20 s.
+        assert!(total < 2.147483648 * 20.0);
     }
 }

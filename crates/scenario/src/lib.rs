@@ -37,7 +37,9 @@
 #![warn(missing_docs)]
 
 use sesemi::baseline::ServingStrategy;
-use sesemi::cluster::{ClusterConfig, ClusterSimulation, SchedulerKind, SimulationResult};
+use sesemi::cluster::{
+    AutoscaleConfig, ClusterConfig, ClusterSimulation, SchedulerKind, SimulationResult,
+};
 use sesemi_enclave::SgxVersion;
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{ModelId, ModelProfile};
@@ -110,6 +112,14 @@ impl Scenario {
     /// generation (one shared RNG seeded from the scenario seed, streams in
     /// declaration order, merged by arrival time), sessions, then the event
     /// loop — so a scenario is reproducible bit for bit.
+    ///
+    /// Every run is checked against the request-conservation invariant
+    /// `admitted == completed + dropped`: a simulator change that silently
+    /// loses queued requests (the historical saturated-queue bugs) fails
+    /// every scenario instead of just undercounting `completed`.
+    ///
+    /// # Panics
+    /// Panics if the run violates the conservation invariant.
     #[must_use]
     pub fn run(&self) -> SimulationResult {
         let mut sim = ClusterSimulation::new(self.config.clone(), self.models.clone());
@@ -129,7 +139,17 @@ impl Scenario {
         for session in &self.sessions {
             sim.add_session(session.clone());
         }
-        sim.run(self.duration)
+        let result = sim.run(self.duration);
+        assert!(
+            result.conserves_requests(),
+            "scenario {:?} violated request conservation: \
+             admitted {} != completed {} + dropped {}",
+            self.name,
+            result.admitted,
+            result.completed,
+            result.dropped
+        );
+        result
     }
 }
 
@@ -211,6 +231,16 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.config.scheduler = scheduler;
+        self
+    }
+
+    /// Enables elastic node-pool autoscaling: the pool starts at
+    /// [`ScenarioBuilder::nodes`] and grows/shrinks within the policy's
+    /// bounds.  Autoscaled scenarios stay deterministic — the policy is a
+    /// pure function of the sampled cluster state.
+    #[must_use]
+    pub fn autoscale(mut self, autoscale: AutoscaleConfig) -> Self {
+        self.config.autoscale = Some(autoscale);
         self
     }
 
@@ -427,6 +457,52 @@ mod tests {
             .run();
         assert!(result.completed > 200);
         assert_eq!(result.session_latencies.len(), 3);
+    }
+
+    #[test]
+    fn every_run_satisfies_the_conservation_invariant() {
+        // The builder's run() asserts admitted == completed + dropped; this
+        // test additionally pins the expectation that a comfortably
+        // provisioned scenario drops nothing at all.
+        let result = quick_scenario(3).run();
+        assert!(result.conserves_requests());
+        assert_eq!(result.dropped, 0);
+        assert_eq!(result.admitted, result.completed);
+    }
+
+    #[test]
+    fn autoscaled_scenarios_are_deterministic_and_conserve_requests() {
+        let (model, profile) = mbnet();
+        let run = || {
+            Scenario::builder("autoscaled-quick")
+                .seed(13)
+                .nodes(1)
+                .invoker_memory_bytes(
+                    sesemi_platform::PlatformConfig::round_memory_budget(
+                        profile.enclave_bytes_for_concurrency(1),
+                    ) * 2,
+                )
+                .keep_alive(SimDuration::from_secs(30))
+                .autoscale(sesemi::cluster::AutoscaleConfig::new(1, 3))
+                .model(model.clone(), profile)
+                .traffic(
+                    model.clone(),
+                    0,
+                    ArrivalProcess::Poisson { rate_per_sec: 25.0 },
+                )
+                .duration(SimDuration::from_secs(90))
+                .build()
+                .run()
+        };
+        let a = run();
+        let b = run();
+        assert!(a.scale_out_events >= 1, "the pool never grew");
+        assert_eq!(a.dropped, 0);
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.scale_out_events, b.scale_out_events);
+        assert_eq!(a.scale_in_events, b.scale_in_events);
+        assert_eq!(a.peak_nodes, b.peak_nodes);
+        assert!((a.node_gb_seconds - b.node_gb_seconds).abs() < 1e-12);
     }
 
     #[test]

@@ -266,3 +266,59 @@ fn every_scheduler_completes_the_shared_endpoint_workload() {
         assert!(result.hot_fraction() > 0.0);
     }
 }
+
+fn elastic_burst_scenario(autoscale: Option<sesemi::cluster::AutoscaleConfig>) -> SimulationResult {
+    // A 90 s burst well above the starting capacity followed by a long quiet
+    // tail, on nodes sized for two single-thread DSNET containers each.
+    let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+    let model = ModelKind::DsNet.default_id();
+    let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+        profile.enclave_bytes_for_concurrency(1),
+    );
+    let (name, nodes) = match &autoscale {
+        Some(scale) => ("elastic-burst/elastic", scale.min_nodes),
+        None => ("elastic-burst/fixed", 3),
+    };
+    let mut builder = Scenario::builder(name)
+        .cluster(ClusterConfig::multi_node_sgx2())
+        .seed(19)
+        .nodes(nodes)
+        .tcs_per_container(1)
+        .invoker_memory_bytes(budget * 2)
+        .keep_alive(SimDuration::from_secs(45))
+        .model(model.clone(), profile)
+        .traffic(model, 0, poisson(10.0))
+        .duration(SimDuration::from_secs(90));
+    if let Some(scale) = autoscale {
+        builder = builder.autoscale(scale);
+    }
+    builder.build().run()
+}
+
+#[test]
+fn autoscaled_scenarios_conserve_requests_and_undercut_the_fixed_pool() {
+    // The elasticity claim, at integration-test scale: the same seeded burst
+    // on a fixed 3-node pool and on a 1-to-3-node elastic pool admits the
+    // identical trace, completes all of it (conservation, zero drops), and
+    // the elastic pool pays measurably less for provisioned node capacity
+    // because it only holds 3 nodes while the burst lasts.
+    let fixed = elastic_burst_scenario(None);
+    let elastic = elastic_burst_scenario(Some(sesemi::cluster::AutoscaleConfig {
+        idle_ticks: 4,
+        ..sesemi::cluster::AutoscaleConfig::new(1, 3)
+    }));
+    assert_eq!(elastic.admitted, fixed.admitted, "identical seeded trace");
+    for result in [&fixed, &elastic] {
+        assert!(result.conserves_requests());
+        assert_eq!(result.dropped, 0);
+        assert_eq!(result.completed, result.admitted);
+    }
+    assert!(elastic.scale_out_events >= 1, "the pool never grew");
+    assert!(elastic.peak_nodes <= 3);
+    assert!(
+        elastic.node_gb_seconds < fixed.node_gb_seconds,
+        "elastic {:.1} GB·s should undercut the fixed pool's {:.1} GB·s",
+        elastic.node_gb_seconds,
+        fixed.node_gb_seconds
+    );
+}
