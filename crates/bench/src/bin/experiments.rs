@@ -4,17 +4,22 @@
 //! ```text
 //! cargo run -p sesemi_bench --bin experiments --release \
 //!     [-- --seed 42] [--json] [--only F13,F14]
+//!     [--scenario steady-poisson,node-crash-mid-run] [--list-scenarios]
 //! ```
 //!
 //! `--only` filters by report id (comma-separated, e.g. `F13,T3`); the CI
 //! determinism guard uses it to re-run a fixed-seed subset cheaply and
-//! compare the two outputs byte for byte.
+//! compare the two outputs byte for byte.  `--scenario` runs named entries
+//! of the scenario corpus registry instead of the paper experiments, and
+//! `--list-scenarios` prints the corpus (ids, tags, descriptions) and
+//! exits — its output is pinned by `tests/golden/scenarios.txt`.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut seed = 42u64;
     let mut json = false;
     let mut only: Option<Vec<String>> = None;
+    let mut scenarios: Option<Vec<String>> = None;
     let mut iter = args.iter().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -29,8 +34,21 @@ fn main() {
                 let ids = iter.next().expect("--only needs a comma-separated id list");
                 only = Some(ids.split(',').map(|id| id.trim().to_uppercase()).collect());
             }
+            "--scenario" => {
+                let ids = iter
+                    .next()
+                    .expect("--scenario needs a comma-separated corpus id list");
+                scenarios = Some(ids.split(',').map(|id| id.trim().to_string()).collect());
+            }
+            "--list-scenarios" => {
+                print!("{}", sesemi_scenario::ScenarioRegistry::corpus().listing());
+                return;
+            }
             "--help" | "-h" => {
-                println!("usage: experiments [--seed N] [--json] [--only IDS]");
+                println!(
+                    "usage: experiments [--seed N] [--json] [--only IDS] \
+                     [--scenario IDS] [--list-scenarios]"
+                );
                 return;
             }
             other => {
@@ -40,14 +58,31 @@ fn main() {
         }
     }
 
-    match &only {
-        Some(ids) => eprintln!(
-            "running SeSeMI experiments {} (seed {seed}) ...",
+    let reports = if let Some(ids) = &scenarios {
+        eprintln!(
+            "running corpus scenarios {} (seed {seed}) ...",
             ids.join(",")
-        ),
-        None => eprintln!("running all SeSeMI experiments (seed {seed}) ..."),
-    }
-    let reports = sesemi_bench::run_selected(seed, only.as_deref());
+        );
+        match sesemi_bench::sims::scenario_report(seed, ids) {
+            Ok(report) => vec![report],
+            Err(unknown) => {
+                eprintln!(
+                    "--scenario: {unknown:?} is not in the corpus; \
+                     run --list-scenarios for the registry"
+                );
+                std::process::exit(2);
+            }
+        }
+    } else {
+        match &only {
+            Some(ids) => eprintln!(
+                "running SeSeMI experiments {} (seed {seed}) ...",
+                ids.join(",")
+            ),
+            None => eprintln!("running all SeSeMI experiments (seed {seed}) ..."),
+        }
+        sesemi_bench::run_selected(seed, only.as_deref())
+    };
     if reports.is_empty() {
         eprintln!(
             "--only {} matched no experiments",

@@ -350,6 +350,116 @@ pub fn elasticity_cost(seed: u64) -> Report {
     report
 }
 
+/// E2: failure resilience — the corpus's fixed-vs-autoscaled-under-crash
+/// pair, driven through the scenario registry (the experiment *is* two
+/// corpus ids, so `--scenario fixed-under-crash` reproduces either half).
+/// Both pools admit the identical seeded 10 rps trace and lose node 0 at
+/// t=40 s; the killed work is re-queued (conservation holds with zero
+/// losses on both sides), and the elastic pool additionally replaces the
+/// crashed node on demand instead of paying for spare fixed capacity.
+#[must_use]
+pub fn crash_resilience(seed: u64) -> Report {
+    let registry = sesemi_scenario::ScenarioRegistry::corpus();
+    let mut report = Report::new(
+        "E2",
+        "Failure injection — fixed vs autoscaled pool under a node crash (registry-driven)",
+        &[
+            "Scenario",
+            "Node GB·s",
+            "Peak nodes",
+            "Crashes",
+            "Re-queued (in-flight/parked)",
+            "Mean latency (s)",
+            "p95 (s)",
+            "Completed",
+            "Dropped",
+        ],
+    );
+    let mut results = Vec::new();
+    for id in ["fixed-under-crash", "autoscale-under-crash"] {
+        let result = registry.get(id).expect("corpus entry registered").run(seed);
+        report.push_row(vec![
+            id.to_string(),
+            format!("{:.0}", result.node_gb_seconds),
+            result.peak_nodes.to_string(),
+            result.node_crashes.to_string(),
+            format!("{}/{}", result.requeued_inflight, result.requeued_waiting),
+            secs(result.mean_latency()),
+            secs(result.p95_latency()),
+            result.completed.to_string(),
+            result.dropped.to_string(),
+        ]);
+        results.push(result);
+    }
+    let (fixed, elastic) = (&results[0], &results[1]);
+    if fixed.admitted == elastic.admitted && fixed.dropped == 0 && elastic.dropped == 0 {
+        report.push_note(format!(
+            "Both pools admit the identical {} requests and lose node 0 mid-run; every killed \
+             request is re-queued and served (admitted == completed + dropped, dropped 0).",
+            fixed.admitted
+        ));
+    } else {
+        report.push_note(format!(
+            "Admitted fixed/elastic: {}/{}; dropped fixed/elastic: {}/{}.",
+            fixed.admitted, elastic.admitted, fixed.dropped, elastic.dropped
+        ));
+    }
+    report.push_note(format!(
+        "Node-capacity saving of the elastic pool: {:.0}% ({:.0} vs {:.0} GB·s) — it runs 2 \
+         nodes until saturation demands more, and a crash is just another membership change.",
+        (1.0 - elastic.node_gb_seconds / fixed.node_gb_seconds) * 100.0,
+        elastic.node_gb_seconds,
+        fixed.node_gb_seconds
+    ));
+    report
+}
+
+/// Runs the named corpus scenarios at `seed` and tabulates their accounting
+/// (`--scenario id[,id...]` in the experiments binary).  Returns `Err` with
+/// the offending id if one is not in the corpus.
+pub fn scenario_report(seed: u64, ids: &[String]) -> Result<Report, String> {
+    let registry = sesemi_scenario::ScenarioRegistry::corpus();
+    let mut report = Report::new(
+        "SC",
+        &format!("Scenario corpus runs (seed {seed})"),
+        &[
+            "Scenario",
+            "Admitted",
+            "Completed",
+            "Dropped",
+            "Cold starts",
+            "Crashes",
+            "Kills",
+            "Re-queued (in-flight/parked)",
+            "Mean latency (s)",
+            "p95 (s)",
+            "Hot fraction",
+        ],
+    );
+    for id in ids {
+        let entry = registry.get(id).ok_or_else(|| id.clone())?;
+        let result = entry.run(seed);
+        report.push_row(vec![
+            entry.id.to_string(),
+            result.admitted.to_string(),
+            result.completed.to_string(),
+            result.dropped.to_string(),
+            result.cold_starts.to_string(),
+            result.node_crashes.to_string(),
+            result.containers_killed.to_string(),
+            format!("{}/{}", result.requeued_inflight, result.requeued_waiting),
+            secs(result.mean_latency()),
+            secs(result.p95_latency()),
+            format!("{:.2}", result.hot_fraction()),
+        ]);
+    }
+    report.push_note(
+        "Every run is checked against the conservation invariant admitted == completed + dropped; \
+         `--list-scenarios` prints the corpus with tags and descriptions.",
+    );
+    Ok(report)
+}
+
 fn fnpool_models() -> Vec<(ModelId, ModelProfile)> {
     // m0–m4 are five TVM-RSNET models with different ids (paper §VI-D).
     (0..5)

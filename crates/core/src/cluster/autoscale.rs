@@ -175,6 +175,16 @@ impl Autoscaler {
         self.pending_nodes = self.pending_nodes.saturating_sub(1);
     }
 
+    /// Registers an out-of-band provisioning request the simulator issued
+    /// itself — replacing a crashed node to restore the configured
+    /// `min_nodes` floor.  Confirm it with
+    /// [`Autoscaler::node_provisioned`] like any decision-driven
+    /// scale-out; counting it as pending also holds the idle window open
+    /// so the policy does not immediately drain the replacement.
+    pub fn node_requested(&mut self) {
+        self.pending_nodes += 1;
+    }
+
     /// Observes one tick's signals and decides.  A `ScaleOut` decision
     /// registers a pending node (confirm it later with
     /// [`Autoscaler::node_provisioned`]); streaks reset after any decision

@@ -1,0 +1,172 @@
+//! Failure injection: declarative fault plans compiled into simulator
+//! events.
+//!
+//! A [`FaultPlan`] is *data* — a list of timed [`Fault`]s a scenario carries
+//! alongside its workload — so the same corpus entry can run with and
+//! without failures and new failure scenarios need no simulator changes.
+//! [`crate::cluster::ClusterSimulation::add_fault_plan`] compiles the plan
+//! into `Event::NodeCrash` / `Event::ContainerKill` simulator events; the
+//! crash handlers reuse the eviction/re-queue machinery, so a
+//! killed request is re-queued (or counted `dropped`), never lost — the
+//! conservation invariant `admitted == completed + dropped` holds under
+//! every fault plan.
+
+use sesemi_inference::ModelId;
+use sesemi_platform::NodeId;
+use sesemi_sim::SimTime;
+
+/// One injected failure.
+#[derive(Clone, Debug, PartialEq)]
+pub enum Fault {
+    /// The whole invoker node disappears at `at`: every container it hosts
+    /// dies (in-flight and parked requests are re-queued), the node retires
+    /// immediately and stops being billed, and the scheduler is notified of
+    /// the membership change.
+    NodeCrash {
+        /// When the node fails.
+        at: SimTime,
+        /// The node that fails (ignored at runtime if the node does not
+        /// exist or already retired by then — fault plans are data and may
+        /// race with autoscaling).
+        node: NodeId,
+    },
+    /// Every container currently holding `model`'s state is killed at `at`
+    /// (the container process dies; the node survives).  In-flight and
+    /// parked requests are re-queued and retried on fresh capacity.
+    ContainerKill {
+        /// When the containers are killed.
+        at: SimTime,
+        /// The model whose containers die.
+        model: ModelId,
+    },
+}
+
+impl Fault {
+    /// When the fault fires.
+    #[must_use]
+    pub fn at(&self) -> SimTime {
+        match self {
+            Fault::NodeCrash { at, .. } | Fault::ContainerKill { at, .. } => *at,
+        }
+    }
+}
+
+/// A declarative list of timed faults, built with the chainable
+/// [`FaultPlan::node_crash`] / [`FaultPlan::container_kill`] setters:
+///
+/// ```
+/// use sesemi::cluster::FaultPlan;
+/// use sesemi_inference::ModelId;
+/// use sesemi_sim::SimTime;
+///
+/// let plan = FaultPlan::new()
+///     .node_crash(SimTime::from_secs(30), 1)
+///     .container_kill(SimTime::from_secs(60), ModelId::new("mbnet"));
+/// assert_eq!(plan.len(), 2);
+/// ```
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (no failures).
+    #[must_use]
+    pub fn new() -> Self {
+        FaultPlan::default()
+    }
+
+    /// Adds a whole-node crash at `at`.
+    #[must_use]
+    pub fn node_crash(mut self, at: SimTime, node: NodeId) -> Self {
+        self.faults.push(Fault::NodeCrash { at, node });
+        self
+    }
+
+    /// Adds a container kill of every sandbox holding `model` at `at`.
+    #[must_use]
+    pub fn container_kill(mut self, at: SimTime, model: ModelId) -> Self {
+        self.faults.push(Fault::ContainerKill { at, model });
+        self
+    }
+
+    /// Appends an already-constructed fault.
+    #[must_use]
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// The faults, in declaration order.
+    #[must_use]
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Number of faults in the plan.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.faults.len()
+    }
+
+    /// Whether the plan injects nothing.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The highest node id any [`Fault::NodeCrash`] targets, if the plan
+    /// crashes nodes at all — what build-time pool-bounds validation checks
+    /// against.
+    #[must_use]
+    pub fn max_crash_target(&self) -> Option<NodeId> {
+        self.faults
+            .iter()
+            .filter_map(|fault| match fault {
+                Fault::NodeCrash { node, .. } => Some(*node),
+                Fault::ContainerKill { .. } => None,
+            })
+            .max()
+    }
+
+    /// The models any [`Fault::ContainerKill`] targets, in declaration
+    /// order.
+    pub fn kill_targets(&self) -> impl Iterator<Item = &ModelId> {
+        self.faults.iter().filter_map(|fault| match fault {
+            Fault::ContainerKill { model, .. } => Some(model),
+            Fault::NodeCrash { .. } => None,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plans_expose_their_composition() {
+        let plan = FaultPlan::new()
+            .node_crash(SimTime::from_secs(10), 3)
+            .container_kill(SimTime::from_secs(20), ModelId::new("m0"))
+            .with(Fault::NodeCrash {
+                at: SimTime::from_secs(30),
+                node: 1,
+            });
+        assert_eq!(plan.len(), 3);
+        assert!(!plan.is_empty());
+        assert_eq!(plan.max_crash_target(), Some(3));
+        assert_eq!(
+            plan.kill_targets().collect::<Vec<_>>(),
+            vec![&ModelId::new("m0")]
+        );
+        assert_eq!(plan.faults()[0].at(), SimTime::from_secs(10));
+    }
+
+    #[test]
+    fn empty_plans_have_no_targets() {
+        let plan = FaultPlan::new();
+        assert!(plan.is_empty());
+        assert_eq!(plan.max_crash_target(), None);
+        assert_eq!(plan.kill_targets().count(), 0);
+    }
+}

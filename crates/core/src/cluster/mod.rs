@@ -22,18 +22,28 @@
 //!   provisioned-capacity GB·s metered so fixed and autoscaled pools are
 //!   cost-comparable (the elasticity half of Fig. 14),
 //!
+//! * **failure injection** from [`fault`]: a declarative [`FaultPlan`]
+//!   compiles into simulator events that crash whole nodes
+//!   (force-retirement, scheduler notification, immediate billing stop) or
+//!   kill every container holding a model — the in-flight and parked
+//!   requests of the victims are re-queued and retried on surviving
+//!   capacity,
+//!
 //! and runs them in virtual time, so an 800-second MMPP experiment on an
 //! 8-node cluster (Fig. 13) replays in well under a second of wall time while
 //! exercising exactly the decision logic a real deployment would.
 //!
 //! Every run conserves requests: `admitted == completed + dropped` (the
-//! scenario layer asserts it), so saturation can never silently lose work.
+//! scenario layer asserts it), so saturation can never silently lose work —
+//! and neither can a crash: killed work is re-queued or counted `dropped`.
 
 pub mod autoscale;
+pub mod fault;
 pub mod scheduler;
 mod state;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler, ClusterSignals, ScaleDecision};
+pub use fault::{Fault, FaultPlan};
 pub use scheduler::{
     LeastLoadedScheduler, ModelAffinityScheduler, PlacementContext, RoundRobinScheduler, Scheduler,
     SchedulerKind,
@@ -184,6 +194,10 @@ pub struct ClusterSimulation {
     rejected: u64,
     scale_out_events: u64,
     scale_in_events: u64,
+    node_crashes: u64,
+    containers_killed: u64,
+    requeued_inflight: u64,
+    requeued_waiting: u64,
     next_activation: u64,
     metering: Metering,
     peak_sandboxes: usize,
@@ -315,6 +329,10 @@ impl ClusterSimulation {
             rejected: 0,
             scale_out_events: 0,
             scale_in_events: 0,
+            node_crashes: 0,
+            containers_killed: 0,
+            requeued_inflight: 0,
+            requeued_waiting: 0,
             next_activation: 0,
             metering: Metering::new(),
             peak_sandboxes: 0,
@@ -351,6 +369,30 @@ impl ClusterSimulation {
                     cold_start: false,
                 }),
             );
+        }
+    }
+
+    /// Compiles a declarative [`FaultPlan`] into failure-injection events.
+    /// Faults fire at their scheduled times, interleaved deterministically
+    /// with the workload; a fault targeting a node that does not exist (or
+    /// already retired) by then is a no-op, and faults scheduled past the
+    /// run's measurement horizon are ignored (the post-horizon drain-down
+    /// is not perturbed).
+    pub fn add_fault_plan(&mut self, plan: &FaultPlan) {
+        for fault in plan.faults() {
+            match fault {
+                Fault::NodeCrash { at, node } => {
+                    self.queue.push(*at, Event::NodeCrash { node: *node });
+                }
+                Fault::ContainerKill { at, model } => {
+                    self.queue.push(
+                        *at,
+                        Event::ContainerKill {
+                            model: model.clone(),
+                        },
+                    );
+                }
+            }
         }
     }
 
@@ -806,30 +848,150 @@ impl ClusterSimulation {
         }
     }
 
-    /// Drops the simulator-side state of evicted sandboxes.
+    /// Drops the simulator-side state of evicted sandboxes and returns any
+    /// requests that were still parked in their waiting queues, rescued
+    /// under their admission-time action (the caller re-queues them via
+    /// [`ClusterSimulation::requeue_rescued`]).
     ///
-    /// The waiting-queue re-queue below is *defensive*: with today's
-    /// eviction paths it never runs, because every parked request holds a
-    /// controller slot (assigned at schedule time), so a sandbox with
-    /// waiting requests is never idle and both `evict_idle` and
-    /// `drain_node` reclaim only idle sandboxes.  It exists so that a
-    /// future eviction path that reclaims non-idle sandboxes (forced kill,
-    /// failure injection) degrades to re-queued requests instead of
-    /// silently breaking the conservation invariant.
-    fn cleanup_evicted(&mut self, evicted: Vec<SandboxId>) {
+    /// The waiting-queue rescue is cold on every fault-free run: parked
+    /// requests hold a controller slot (assigned at schedule time), so a
+    /// sandbox with waiting requests is never idle and both `evict_idle`
+    /// and `drain_node` reclaim only idle sandboxes.  Failure injection is
+    /// what reaches it — `crash_node` / `kill_sandbox` reclaim sandboxes
+    /// regardless of state, and their parked requests degrade to re-queued
+    /// (later completed or counted `dropped`) instead of breaking the
+    /// conservation invariant.  `requeued_waiting` counts the rescues so
+    /// tests can prove the path ran (or stayed cold).
+    fn cleanup_evicted(&mut self, evicted: Vec<SandboxId>) -> Vec<(ActionName, SimRequest)> {
+        let mut rescued = Vec::new();
         for id in evicted {
             if let Some(mut state) = self.sandbox_state.remove(&id) {
                 self.node_enclave_bytes[state.node] =
                     self.node_enclave_bytes[state.node].saturating_sub(state.enclave_bytes);
-                debug_assert!(
-                    state.waiting.is_empty(),
-                    "an idle-only eviction reclaimed a sandbox with parked requests"
-                );
                 while let Some(request) = state.waiting.pop_front() {
-                    self.saturated.push_back((state.action.clone(), request));
+                    self.requeued_waiting += 1;
+                    rescued.push((state.action.clone(), request));
                 }
             }
         }
+        rescued
+    }
+
+    /// Re-inserts rescued requests at the *front* of the saturated queue in
+    /// admission order: a rescued request was admitted (and scheduled) no
+    /// later than anything now parked behind the full cluster, so service
+    /// under saturation stays FIFO across a crash.  (Stable sort: equal
+    /// submission times keep the deterministic rescue order.)
+    fn requeue_rescued(&mut self, mut rescued: Vec<(ActionName, SimRequest)>) {
+        rescued.sort_by_key(|(_, request)| request.submitted);
+        for entry in rescued.into_iter().rev() {
+            self.saturated.push_front(entry);
+        }
+    }
+
+    /// Shared forced-kill accounting for failure injection: cancels the
+    /// in-flight invocations of the killed sandboxes (their completion
+    /// events are extracted from the queue and the requests re-queued onto
+    /// the saturated queue under their admission-time action), reverses the
+    /// per-node execution counters those invocations held, and re-queues
+    /// any requests parked in the victims' waiting queues via
+    /// [`ClusterSimulation::cleanup_evicted`].  The caller has already
+    /// reclaimed the sandboxes in the controller.
+    fn kill_sandboxes(&mut self, killed: &[SandboxId], now: SimTime) {
+        if killed.is_empty() {
+            return;
+        }
+        self.accrue_busy_time(now);
+        let cancelled = self.queue.extract(|_, event| {
+            matches!(event, Event::InvocationDone { sandbox, .. } if killed.contains(sandbox))
+        });
+        let mut rescued: Vec<(ActionName, SimRequest)> = Vec::new();
+        for (_, event) in cancelled {
+            if let Event::InvocationDone {
+                node,
+                action,
+                request,
+                enclave_was_initialized,
+                ..
+            } = event
+            {
+                self.node_active_exec[node] = self.node_active_exec[node].saturating_sub(1);
+                if enclave_was_initialized {
+                    self.node_enclave_inits[node] = self.node_enclave_inits[node].saturating_sub(1);
+                }
+                self.requeued_inflight += 1;
+                rescued.push((action, request));
+            }
+        }
+        rescued.extend(self.cleanup_evicted(killed.to_vec()));
+        self.requeue_rescued(rescued);
+    }
+
+    /// Failure injection: the node dies now.  Every container it hosts is
+    /// reclaimed (busy or not), their in-flight and parked requests are
+    /// re-queued, the node retires immediately (membership billing stops),
+    /// the scheduler is told the membership changed, and the saturated
+    /// queue is retried against the surviving capacity.  The controller is
+    /// the single authority on whether the target can crash: absent and
+    /// already-retired nodes are no-ops, because fault plans are data and
+    /// may race with autoscaling.
+    fn handle_node_crash(&mut self, node: usize, now: SimTime) {
+        let Ok(killed) = self.controller.crash_node(node) else {
+            return;
+        };
+        self.node_crashes += 1;
+        self.kill_sandboxes(&killed, now);
+        self.scheduler
+            .on_membership_change(&self.controller.active_nodes());
+        self.record_node_membership(now);
+        // An elastic pool must never settle below its configured floor,
+        // but the policy only scales out on sustained saturation — which
+        // light traffic never produces.  Provision replacements for the
+        // shortfall immediately (they arrive after the usual delay).
+        // Draining nodes do not count toward the floor: they are already
+        // committed to retiring, so a crash overlapping a scale-in drain
+        // still leaves the pool at `min_nodes` once the drain completes.
+        if let Some(mut scaler) = self.autoscaler.take() {
+            let staying = self.controller.active_node_count() + scaler.pending_nodes();
+            for _ in staying..scaler.config().min_nodes {
+                self.scale_out_events += 1;
+                scaler.node_requested();
+                self.queue.push(
+                    now + scaler.config().node_provision_delay,
+                    Event::NodeProvisioned,
+                );
+            }
+            self.autoscaler = Some(scaler);
+        }
+        self.retry_saturated(now);
+        self.record_cluster_state(now);
+    }
+
+    /// Failure injection: every container currently holding `model`'s state
+    /// is killed (the processes die; their nodes survive).  Victims are
+    /// reclaimed in sandbox-id order for determinism; their requests are
+    /// re-queued and immediately retried — typically cold-starting fresh
+    /// containers on the same nodes.
+    fn handle_container_kill(&mut self, model: &ModelId, now: SimTime) {
+        let mut victims: Vec<SandboxId> = self
+            .sandbox_state
+            .iter()
+            .filter(|(_, state)| state.hosts_model(model))
+            .map(|(id, _)| *id)
+            .collect();
+        victims.sort_unstable();
+        if victims.is_empty() {
+            return;
+        }
+        self.containers_killed += victims.len() as u64;
+        for id in &victims {
+            self.controller
+                .kill_sandbox(*id)
+                .expect("simulator state tracks only live sandboxes");
+        }
+        self.kill_sandboxes(&victims, now);
+        self.retry_saturated(now);
+        self.record_cluster_state(now);
     }
 
     /// Records the current provisioned membership (capacity bytes + node
@@ -861,7 +1023,8 @@ impl ClusterSimulation {
     fn handle_eviction(&mut self, now: SimTime) {
         let evicted = self.controller.evict_idle(now);
         let freed = !evicted.is_empty();
-        self.cleanup_evicted(evicted);
+        let rescued = self.cleanup_evicted(evicted);
+        self.requeue_rescued(rescued);
         if self.autoscaler.is_some() {
             self.retire_drained_nodes(now);
         }
@@ -937,7 +1100,8 @@ impl ClusterSimulation {
             .controller
             .drain_node(victim)
             .expect("victim is active");
-        self.cleanup_evicted(evicted);
+        let rescued = self.cleanup_evicted(evicted);
+        self.requeue_rescued(rescued);
         self.scheduler
             .on_membership_change(&self.controller.active_nodes());
     }
@@ -989,6 +1153,14 @@ impl ClusterSimulation {
         // Start the provisioned-capacity meter at the initial pool size, so
         // `node_gb_seconds` is meaningful for fixed pools too.
         self.record_node_membership(SimTime::ZERO);
+        // Faults scheduled past the measurement horizon are out of scope:
+        // no new work arrives after `end`, so the post-horizon drain-down
+        // must not be perturbed — and a far-future fault must not advance
+        // the billing clock, so it is discarded here rather than skipped
+        // when popped.
+        let _ = self.queue.extract(|at, event| {
+            at > end && matches!(event, Event::NodeCrash { .. } | Event::ContainerKill { .. })
+        });
 
         while let Some((now, event)) = self.queue.pop() {
             match event {
@@ -1025,6 +1197,11 @@ impl ClusterSimulation {
                 ),
                 Event::EvictionTick => self.handle_eviction(now),
                 Event::AutoscaleTick => self.handle_autoscale_tick(now),
+                // Post-horizon fault events were discarded before the loop,
+                // so every fault that pops here is inside the measurement
+                // window.
+                Event::NodeCrash { node } => self.handle_node_crash(node, now),
+                Event::ContainerKill { model } => self.handle_container_kill(&model, now),
                 Event::NodeProvisioned => {
                     if now <= end {
                         self.handle_node_provisioned(now);
@@ -1082,6 +1259,10 @@ impl ClusterSimulation {
             peak_nodes: self.peak_nodes,
             scale_out_events: self.scale_out_events,
             scale_in_events: self.scale_in_events,
+            node_crashes: self.node_crashes,
+            containers_killed: self.containers_killed,
+            requeued_inflight: self.requeued_inflight,
+            requeued_waiting: self.requeued_waiting,
             sandbox_series: self.metering.sandbox_series().clone(),
             memory_series: self.metering.memory_series().clone(),
             node_series: self.metering.node_series().clone(),
@@ -1593,6 +1774,294 @@ mod tests {
             .last()
             .expect("membership series");
         assert_eq!(*final_nodes, 1.0);
+    }
+
+    /// A node crash mid-execution kills the in-flight request, which is
+    /// re-queued and served by the surviving node: nothing is lost, the
+    /// crashed node stops being billed, and the conservation invariant
+    /// holds.
+    #[test]
+    fn node_crash_requeues_in_flight_work_and_conserves_requests() {
+        let (model, profile) = profile(ModelKind::RsNet, Framework::Tvm);
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let config = ClusterConfig {
+            nodes: 2,
+            tcs_per_container: 1,
+            invoker_memory_bytes: budget,
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // Two cold requests, one per node (the second node fills up first —
+        // placement ties resolve to the highest free-memory index).  RSNET's
+        // cold path runs for several seconds, so a crash at t=2 s lands
+        // mid-execution.
+        sim.add_arrivals(vec![
+            RequestArrival {
+                at: SimTime::from_millis(100),
+                model: model.clone(),
+                user_index: 0,
+            },
+            RequestArrival {
+                at: SimTime::from_millis(200),
+                model: model.clone(),
+                user_index: 0,
+            },
+        ]);
+        sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_secs(2), 1));
+        let result = sim.run(SimDuration::from_secs(120));
+        assert_eq!(result.node_crashes, 1);
+        assert!(
+            result.requeued_inflight >= 1,
+            "the crash landed on an idle node"
+        );
+        assert_eq!(result.admitted, 2);
+        assert_eq!(
+            result.completed, 2,
+            "the killed request must be retried on the survivor"
+        );
+        assert_eq!(result.dropped, 0);
+        assert!(result.conserves_requests());
+        // The crashed node's capacity left the bill immediately.
+        let (_, final_nodes) = result
+            .node_series
+            .points()
+            .last()
+            .expect("membership series");
+        assert_eq!(*final_nodes, 1.0);
+    }
+
+    /// A crash while a cold-starting container still holds parked requests
+    /// drives the `cleanup_evicted` waiting-queue re-queue path — the path
+    /// that is provably unreachable without failure injection.
+    #[test]
+    fn node_crash_requeues_requests_parked_on_a_cold_starting_container() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(4),
+        );
+        let config = ClusterConfig {
+            nodes: 2,
+            tcs_per_container: 4,
+            invoker_memory_bytes: budget,
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // Eight closely spaced arrivals: the first four park on the
+        // cold-starting container (node 1), the fifth cold-starts node 0.
+        let arrivals: Vec<RequestArrival> = (1..=8)
+            .map(|i| RequestArrival {
+                at: SimTime::from_millis(50 * i),
+                model: model.clone(),
+                user_index: 0,
+            })
+            .collect();
+        let admitted_expected = arrivals.len() as u64;
+        sim.add_arrivals(arrivals);
+        // Crash node 1 at t=280 ms — well before its 650 ms cold start
+        // finishes, so its container still has every assigned request
+        // parked in `waiting`.
+        sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_millis(280), 1));
+        let result = sim.run(SimDuration::from_secs(60));
+        assert_eq!(result.node_crashes, 1);
+        assert!(
+            result.requeued_waiting >= 1,
+            "the waiting-queue re-queue path never ran"
+        );
+        assert_eq!(result.admitted, admitted_expected);
+        assert_eq!(result.completed, admitted_expected);
+        assert_eq!(result.dropped, 0);
+        assert!(result.conserves_requests());
+    }
+
+    /// Killing every container of a model forces fresh cold starts but
+    /// loses nothing; a kill naming an unknown model and a crash of an
+    /// absent node are both no-ops.
+    #[test]
+    fn container_kill_cold_starts_replacements_and_conserves_requests() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig {
+            tcs_per_container: 2,
+            ..ClusterConfig::single_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.prewarm(&model, 0, 1);
+        sim.add_arrivals(poisson_trace(&model, 5.0, 20, 23));
+        sim.add_fault_plan(
+            &FaultPlan::new()
+                .container_kill(SimTime::from_secs(10), model.clone())
+                .container_kill(SimTime::from_secs(15), ModelId::new("ghost"))
+                .node_crash(SimTime::from_secs(15), 99),
+        );
+        let result = sim.run(SimDuration::from_secs(20));
+        assert!(result.containers_killed >= 1, "no container was killed");
+        assert_eq!(result.node_crashes, 0, "crashing a ghost node is a no-op");
+        assert!(
+            result.cold_starts >= 2,
+            "the kill must force a replacement cold start (got {})",
+            result.cold_starts
+        );
+        assert_eq!(result.completed, result.admitted);
+        assert_eq!(result.dropped, 0);
+        assert!(result.conserves_requests());
+    }
+
+    /// A crash that drops an elastic pool below its configured floor is
+    /// repaired immediately: the simulator provisions a replacement even
+    /// though light traffic never saturates the survivor into a
+    /// policy-driven scale-out.
+    #[test]
+    fn a_crash_below_the_autoscale_floor_provisions_a_replacement() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig {
+            nodes: 2,
+            tcs_per_container: 1,
+            autoscale: Some(AutoscaleConfig::new(2, 3)),
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // Far too little traffic to ever read as saturated.
+        sim.add_arrivals(poisson_trace(&model, 0.5, 100, 41));
+        sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_secs(20), 0));
+        let result = sim.run(SimDuration::from_secs(100));
+        assert_eq!(result.node_crashes, 1);
+        assert!(
+            result.scale_out_events >= 1,
+            "the floor shortfall never provisioned a replacement"
+        );
+        assert!(result.conserves_requests());
+        assert_eq!(result.dropped, 0);
+        // The pool ends back at the 2-node minimum.
+        let (_, final_nodes) = result
+            .node_series
+            .points()
+            .last()
+            .expect("membership series");
+        assert_eq!(*final_nodes, 2.0);
+    }
+
+    /// A crash overlapping an in-progress scale-in drain still restores the
+    /// floor: the draining node is committed to retiring and must not count
+    /// toward `min_nodes` when sizing the replacement shortfall.
+    #[test]
+    fn a_crash_during_a_drain_still_restores_the_autoscale_floor() {
+        let (model, profile) = profile(ModelKind::RsNet, Framework::Tvm);
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let config = ClusterConfig {
+            nodes: 3,
+            tcs_per_container: 1,
+            invoker_memory_bytes: budget,
+            autoscale: Some(AutoscaleConfig {
+                tick: SimDuration::from_secs(1),
+                idle_ticks: 1,
+                scale_in_utilization: 1.0,
+                scale_out_queue: usize::MAX,
+                scale_out_utilization: 2.0,
+                ..AutoscaleConfig::new(2, 3)
+            }),
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // One long cold request per node: the aggressive policy drains a
+        // busy node at the first tick (the drain stays open on in-flight
+        // work), then node 0 crashes while the drain is still in progress.
+        sim.add_arrivals(
+            (1..=3)
+                .map(|i| RequestArrival {
+                    at: SimTime::from_millis(100 * i),
+                    model: model.clone(),
+                    user_index: 0,
+                })
+                .collect(),
+        );
+        sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_secs(3), 0));
+        let result = sim.run(SimDuration::from_secs(60));
+        assert_eq!(result.node_crashes, 1);
+        assert!(result.scale_in_events >= 1, "no drain ever happened");
+        assert!(
+            result.scale_out_events >= 1,
+            "the floor shortfall never provisioned a replacement"
+        );
+        assert_eq!(result.completed, 3);
+        assert_eq!(result.dropped, 0);
+        assert!(result.conserves_requests());
+        // Once the drain retires, the pool sits at the 2-node floor — not 1.
+        let (_, final_nodes) = result
+            .node_series
+            .points()
+            .last()
+            .expect("membership series");
+        assert_eq!(*final_nodes, 2.0);
+    }
+
+    /// Faults scheduled past the measurement horizon neither fire nor
+    /// advance the billing clock: the run is byte-identical to a fault-free
+    /// one.
+    #[test]
+    fn faults_past_the_horizon_are_discarded_entirely() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let run = |faults: Option<FaultPlan>| {
+            let mut sim = ClusterSimulation::new(
+                ClusterConfig::single_node_sgx2(),
+                vec![(model.clone(), profile)],
+            );
+            sim.add_arrivals(poisson_trace(&model, 3.0, 30, 47));
+            if let Some(plan) = &faults {
+                sim.add_fault_plan(plan);
+            }
+            sim.run(SimDuration::from_secs(30))
+        };
+        let clean = run(None);
+        let with_late_faults = run(Some(
+            FaultPlan::new()
+                .node_crash(SimTime::from_secs(10_000), 0)
+                .container_kill(SimTime::from_secs(31), model.clone()),
+        ));
+        assert_eq!(with_late_faults.node_crashes, 0);
+        assert_eq!(with_late_faults.containers_killed, 0);
+        assert_eq!(with_late_faults.completed, clean.completed);
+        assert_eq!(with_late_faults.mean_latency(), clean.mean_latency());
+        // The far-future fault must not inflate the billing integrals.
+        assert!((with_late_faults.node_gb_seconds - clean.node_gb_seconds).abs() < 1e-12);
+        assert!((with_late_faults.gb_seconds - clean.gb_seconds).abs() < 1e-12);
+    }
+
+    /// Fault-free runs never touch the forced-kill re-queue counters, and a
+    /// crash-bearing run reproduces bit-for-bit.
+    #[test]
+    fn fault_injection_is_deterministic_and_absent_faults_leave_counters_cold() {
+        let (model, profile) = profile(ModelKind::DsNet, Framework::Tvm);
+        let run = |faults: bool| {
+            let config = ClusterConfig {
+                nodes: 2,
+                tcs_per_container: 1,
+                ..ClusterConfig::multi_node_sgx2()
+            };
+            let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+            sim.add_arrivals(poisson_trace(&model, 4.0, 60, 29));
+            if faults {
+                sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_secs(20), 0));
+            }
+            sim.run(SimDuration::from_secs(60))
+        };
+        let clean = run(false);
+        assert_eq!(clean.node_crashes, 0);
+        assert_eq!(clean.containers_killed, 0);
+        assert_eq!(clean.requeued_inflight, 0);
+        assert_eq!(clean.requeued_waiting, 0);
+        let a = run(true);
+        let b = run(true);
+        assert_eq!(a.node_crashes, 1);
+        assert!(a.conserves_requests());
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.requeued_inflight, b.requeued_inflight);
+        assert_eq!(a.requeued_waiting, b.requeued_waiting);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+        assert_eq!(a.cold_starts, b.cold_starts);
+        assert!((a.node_gb_seconds - b.node_gb_seconds).abs() < 1e-12);
     }
 
     fn run_with_scheduler(kind: SchedulerKind, seed: u64) -> SimulationResult {

@@ -47,6 +47,19 @@ pub(super) enum Event {
     /// A node requested by the autoscaler finishes provisioning and joins
     /// the pool.
     NodeProvisioned,
+    /// Failure injection: the node dies, taking every container it hosts
+    /// (busy or idle) with it.  Compiled from a
+    /// [`FaultPlan`](crate::cluster::FaultPlan).
+    NodeCrash {
+        /// The node that fails.
+        node: usize,
+    },
+    /// Failure injection: every container currently holding the model's
+    /// state is killed (the processes die; their nodes survive).
+    ContainerKill {
+        /// The model whose containers die.
+        model: ModelId,
+    },
 }
 
 /// Cached enclave state of one simulated sandbox.
@@ -86,6 +99,14 @@ impl SandboxSimState {
 
     pub(super) fn free_slot(&self) -> Option<usize> {
         self.slot_busy.iter().position(|busy| !busy)
+    }
+
+    /// Whether the sandbox currently holds `model`'s state (a loaded model
+    /// copy or a slot runtime initialised for it) — the victim predicate of
+    /// [`Fault::ContainerKill`](crate::cluster::Fault).
+    pub(super) fn hosts_model(&self, model: &ModelId) -> bool {
+        self.loaded_model.as_ref() == Some(model)
+            || self.slot_models.iter().flatten().any(|m| m == model)
     }
 }
 
@@ -138,6 +159,25 @@ pub struct SimulationResult {
     /// Scale-in (drain) decisions taken by the autoscaler (0 for fixed
     /// pools).
     pub scale_in_events: u64,
+    /// Injected node crashes that actually took a node down (a
+    /// [`Fault::NodeCrash`](crate::cluster::Fault) targeting an absent or
+    /// already-retired node is a no-op and not counted).
+    pub node_crashes: u64,
+    /// Containers killed by injected
+    /// [`Fault::ContainerKill`](crate::cluster::Fault) faults (node crashes
+    /// reclaim containers too, but are counted per node above).
+    pub containers_killed: u64,
+    /// In-flight invocations cancelled by a fault and re-queued onto the
+    /// cluster-saturated queue.  Each such request later completes (counted
+    /// once in `completed`) or is accounted as `dropped` — conservation
+    /// holds either way.
+    pub requeued_inflight: u64,
+    /// Requests that were parked in a killed sandbox's waiting queue and
+    /// re-queued by the eviction cleanup path.  Zero on every fault-free
+    /// run: idle-only eviction never reclaims a sandbox with parked
+    /// requests, so a non-zero value proves the forced-kill re-queue path
+    /// ran.
+    pub requeued_waiting: u64,
     /// Sandbox-count time series (total, serving).
     pub sandbox_series: TimeSeries,
     /// Committed-memory time series in GB.

@@ -509,6 +509,51 @@ impl Controller {
         Ok(idle)
     }
 
+    /// Crashes a node (failure injection): unlike the drain → remove
+    /// lifecycle, the node disappears *immediately*, taking every sandbox it
+    /// hosts — busy or idle — with it.  Returns the reclaimed sandbox ids in
+    /// ascending order so callers can deterministically account for the
+    /// requests that were in flight or parked on them.  Crashing an active or
+    /// draining node is allowed; a retired or unknown node is an error.
+    pub fn crash_node(&mut self, node: NodeId) -> Result<Vec<SandboxId>, PlatformError> {
+        match self.nodes.get(node).map(|n| n.state) {
+            Some(NodeState::Active | NodeState::Draining) => {}
+            Some(NodeState::Retired) => {
+                return Err(PlatformError::InvalidNodeState {
+                    node,
+                    reason: "cannot crash a retired node".to_string(),
+                })
+            }
+            None => {
+                return Err(PlatformError::InvalidNodeState {
+                    node,
+                    reason: "no such node".to_string(),
+                })
+            }
+        }
+        let mut victims: Vec<SandboxId> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.node == node)
+            .map(|s| s.id)
+            .collect();
+        victims.sort_unstable();
+        self.reclaim(&victims);
+        self.nodes[node].state = NodeState::Retired;
+        Ok(victims)
+    }
+
+    /// Force-reclaims one sandbox regardless of its state (failure
+    /// injection: the container process was killed).  In-flight work on it
+    /// is the caller's to re-queue or account as lost.
+    pub fn kill_sandbox(&mut self, id: SandboxId) -> Result<(), PlatformError> {
+        if !self.sandboxes.contains_key(&id) {
+            return Err(PlatformError::UnknownSandbox(id.0));
+        }
+        self.reclaim(&[id]);
+        Ok(())
+    }
+
     /// Retires a fully drained node.  Errors unless the node is draining and
     /// hosts no sandboxes (in-flight work must finish first).  The node's id
     /// stays allocated (and unschedulable) so node indices remain stable.
@@ -1172,6 +1217,68 @@ mod tests {
         assert!(c.drain_node(0).is_err());
         assert!(c.remove_node(0).is_err());
         assert!(c.remove_node(9).is_err());
+    }
+
+    #[test]
+    fn crash_node_force_removes_a_non_empty_node() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        // One busy and one idle sandbox on node 0 — a node `remove_node`
+        // would refuse even after a drain (the busy one is still working).
+        let busy = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+            .unwrap();
+        c.sandbox_ready(busy.sandbox()).unwrap();
+        let idle = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(2))
+            .unwrap();
+        c.sandbox_ready(idle.sandbox()).unwrap();
+        c.invocation_finished(idle.sandbox(), SimTime::from_secs(3))
+            .unwrap();
+        let survivor = c
+            .schedule_on(&"f".into(), 1, SimTime::from_secs(3))
+            .unwrap();
+
+        let mut victims = c.crash_node(0).unwrap();
+        victims.sort_unstable();
+        let mut expected = vec![busy.sandbox(), idle.sandbox()];
+        expected.sort_unstable();
+        assert_eq!(victims, expected);
+        // The node is gone at once: retired, unbilled, unschedulable, empty.
+        assert_eq!(c.node_state(0), Some(NodeState::Retired));
+        assert_eq!(c.provisioned_memory_bytes(), 1024 * MB);
+        assert_eq!(c.active_nodes(), vec![1]);
+        assert!(c.sandbox(busy.sandbox()).is_err());
+        assert!(c.sandbox(idle.sandbox()).is_err());
+        assert!(c.sandbox(survivor.sandbox()).is_ok());
+        assert_eq!(c.committed_memory_bytes(), 256 * MB);
+        assert!(matches!(
+            c.schedule_on(&"f".into(), 0, SimTime::from_secs(4)),
+            Err(PlatformError::InvalidPlacement { node: 0, .. })
+        ));
+        // Crashing again (retired) or crashing a ghost node is an error;
+        // crashing a draining node is allowed.
+        assert!(c.crash_node(0).is_err());
+        assert!(c.crash_node(9).is_err());
+        c.drain_node(1).unwrap();
+        assert_eq!(c.crash_node(1).unwrap(), vec![survivor.sandbox()]);
+        assert_eq!(c.node_state(1), Some(NodeState::Retired));
+    }
+
+    #[test]
+    fn kill_sandbox_reclaims_busy_containers_and_frees_their_memory() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 256, 2)).unwrap();
+        let outcome = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        c.sandbox_ready(outcome.sandbox()).unwrap();
+        assert_eq!(c.serving_sandbox_count(), 1);
+        c.kill_sandbox(outcome.sandbox()).unwrap();
+        assert_eq!(c.sandbox_count(), 0);
+        assert_eq!(c.committed_memory_bytes(), 0);
+        assert!(matches!(
+            c.kill_sandbox(outcome.sandbox()),
+            Err(PlatformError::UnknownSandbox(_))
+        ));
     }
 
     #[test]

@@ -13,6 +13,14 @@
 //! are deterministic: the same name/seed/composition reproduces the same
 //! [`SimulationResult`] bit for bit (guarded by the CI smoke job).
 //!
+//! Scenarios may also carry a [`FaultPlan`] (timed node crashes and
+//! container kills, validated against the pool bounds at build time), and
+//! the [`registry`] module holds the **named scenario corpus**: an
+//! enumerable, tag-filterable id → scenario registry through which the
+//! experiments binary (`--scenario <id>`, `--list-scenarios`) and the
+//! corpus-wide invariant test suite discover workloads — a new workload is
+//! a corpus entry, not new harness code.
+//!
 //! ```
 //! use sesemi_scenario::Scenario;
 //! use sesemi_inference::{Framework, ModelKind, ModelProfile};
@@ -36,14 +44,18 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod registry;
+
+pub use registry::{CorpusEntry, ScenarioRegistry};
+
 use sesemi::baseline::ServingStrategy;
 use sesemi::cluster::{
-    AutoscaleConfig, ClusterConfig, ClusterSimulation, SchedulerKind, SimulationResult,
+    AutoscaleConfig, ClusterConfig, ClusterSimulation, FaultPlan, SchedulerKind, SimulationResult,
 };
 use sesemi_enclave::SgxVersion;
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{ModelId, ModelProfile};
-use sesemi_sim::{SimDuration, SimRng};
+use sesemi_sim::{SimDuration, SimRng, SimTime};
 use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
 
 /// One open-loop traffic stream of a scenario.
@@ -70,6 +82,7 @@ pub struct Scenario {
     prewarms: Vec<(ModelId, usize, usize)>,
     traffic: Vec<TrafficSpec>,
     sessions: Vec<InteractiveSession>,
+    faults: FaultPlan,
     duration: SimDuration,
 }
 
@@ -84,6 +97,7 @@ impl Scenario {
             prewarms: Vec::new(),
             traffic: Vec::new(),
             sessions: Vec::new(),
+            faults: FaultPlan::new(),
             duration: SimDuration::from_secs(60),
         }
     }
@@ -104,6 +118,18 @@ impl Scenario {
     #[must_use]
     pub fn duration(&self) -> SimDuration {
         self.duration
+    }
+
+    /// The scenario's fault plan (empty for failure-free runs).
+    #[must_use]
+    pub fn faults(&self) -> &FaultPlan {
+        &self.faults
+    }
+
+    /// Whether the scenario injects failures.
+    #[must_use]
+    pub fn has_faults(&self) -> bool {
+        !self.faults.is_empty()
     }
 
     /// Replays the scenario and returns the aggregated results.
@@ -139,6 +165,7 @@ impl Scenario {
         for session in &self.sessions {
             sim.add_session(session.clone());
         }
+        sim.add_fault_plan(&self.faults);
         let result = sim.run(self.duration);
         assert!(
             result.conserves_requests(),
@@ -163,6 +190,7 @@ pub struct ScenarioBuilder {
     prewarms: Vec<(ModelId, usize, usize)>,
     traffic: Vec<TrafficSpec>,
     sessions: Vec<InteractiveSession>,
+    faults: FaultPlan,
     duration: SimDuration,
 }
 
@@ -308,6 +336,64 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Replaces the scenario's whole fault plan.
+    #[must_use]
+    pub fn fault_plan(mut self, faults: FaultPlan) -> Self {
+        self.faults = faults;
+        self
+    }
+
+    /// Injects a whole-node crash at `at` (see
+    /// [`sesemi::cluster::Fault::NodeCrash`]).  The target must lie within
+    /// the configured pool bounds — validated by
+    /// [`ScenarioBuilder::build`].
+    #[must_use]
+    pub fn node_crash(mut self, at: SimTime, node: usize) -> Self {
+        self.faults = self.faults.node_crash(at, node);
+        self
+    }
+
+    /// Injects a kill of every container holding `model` at `at` (see
+    /// [`sesemi::cluster::Fault::ContainerKill`]).  The model must be
+    /// registered — validated by [`ScenarioBuilder::build`].
+    #[must_use]
+    pub fn container_kill(mut self, at: SimTime, model: ModelId) -> Self {
+        self.faults = self.faults.container_kill(at, model);
+        self
+    }
+
+    /// Drops every injected fault — turns a fault-bearing corpus entry into
+    /// its failure-free control run.
+    #[must_use]
+    pub fn clear_faults(mut self) -> Self {
+        self.faults = FaultPlan::new();
+        self
+    }
+
+    /// The registered model ids, in registration order (for fault
+    /// generators that need valid kill targets).
+    #[must_use]
+    pub fn model_ids(&self) -> Vec<ModelId> {
+        self.models.iter().map(|(m, _)| m.clone()).collect()
+    }
+
+    /// One past the highest node id the *configuration* provisions: the
+    /// initial node count, or the autoscaler's upper bound if that is
+    /// larger.  Node-crash targets must lie below it.  (An autoscaled run
+    /// that crashes nodes can allocate replacement ids beyond this bound at
+    /// runtime — retired ids stay allocated for index stability — but those
+    /// ids are not knowable at build time and are not valid declarative
+    /// targets.)
+    #[must_use]
+    pub fn node_pool_bound(&self) -> usize {
+        self.config
+            .autoscale
+            .as_ref()
+            .map_or(self.config.nodes, |scale| {
+                scale.max_nodes.max(self.config.nodes)
+            })
+    }
+
     /// The workload horizon (default 60 s).
     #[must_use]
     pub fn duration(mut self, duration: SimDuration) -> Self {
@@ -318,8 +404,10 @@ impl ScenarioBuilder {
     /// Finalizes the scenario.
     ///
     /// # Panics
-    /// Panics if no model was registered, or if a prewarm, traffic stream or
-    /// session references an unregistered model — catching composition
+    /// Panics if no model was registered; if a prewarm, traffic stream,
+    /// session or container-kill fault references an unregistered model; or
+    /// if a node-crash fault targets a node outside the configured pool
+    /// bounds ([`ScenarioBuilder::node_pool_bound`]) — catching composition
     /// mistakes at build time instead of deep inside the simulator.
     #[must_use]
     pub fn build(self) -> Scenario {
@@ -328,6 +416,15 @@ impl ScenarioBuilder {
             "scenario {:?} registers no models",
             self.name
         );
+        if let Some(target) = self.faults.max_crash_target() {
+            let bound = self.node_pool_bound();
+            assert!(
+                target < bound,
+                "scenario {:?} crashes node {target}, outside the configured \
+                 pool bounds (valid node ids are 0..{bound})",
+                self.name
+            );
+        }
         let registered = |model: &ModelId| self.models.iter().any(|(m, _)| m == model);
         for (model, _, _) in &self.prewarms {
             assert!(
@@ -354,6 +451,13 @@ impl ScenarioBuilder {
                 );
             }
         }
+        for model in self.faults.kill_targets() {
+            assert!(
+                registered(model),
+                "scenario {:?} kills containers of unregistered model {model}",
+                self.name
+            );
+        }
         Scenario {
             name: self.name,
             config: self.config,
@@ -361,6 +465,7 @@ impl ScenarioBuilder {
             prewarms: self.prewarms,
             traffic: self.traffic,
             sessions: self.sessions,
+            faults: self.faults,
             duration: self.duration,
         }
     }
@@ -509,6 +614,65 @@ mod tests {
     #[should_panic(expected = "registers no models")]
     fn scenarios_without_models_are_rejected() {
         let _ = Scenario::builder("empty").build();
+    }
+
+    #[test]
+    fn fault_plans_ride_along_and_control_runs_can_drop_them() {
+        let (model, profile) = mbnet();
+        let builder = Scenario::builder("faulty")
+            .nodes(2)
+            .model(model.clone(), profile)
+            .traffic(
+                model.clone(),
+                0,
+                ArrivalProcess::Poisson { rate_per_sec: 4.0 },
+            )
+            .node_crash(SimTime::from_secs(10), 1)
+            .container_kill(SimTime::from_secs(20), model);
+        assert_eq!(builder.node_pool_bound(), 2);
+        assert_eq!(builder.model_ids().len(), 1);
+        let scenario = builder.clone().build();
+        assert!(scenario.has_faults());
+        assert_eq!(scenario.faults().len(), 2);
+        let control = builder.clear_faults().build();
+        assert!(!control.has_faults());
+    }
+
+    #[test]
+    fn autoscaled_pools_accept_crashes_up_to_the_scale_bound() {
+        let (model, profile) = mbnet();
+        // 1 initial node, autoscale up to 3: node id 2 is a legal target
+        // even though it does not exist at t=0.
+        let scenario = Scenario::builder("autoscale-crash-bound")
+            .nodes(1)
+            .autoscale(sesemi::cluster::AutoscaleConfig::new(1, 3))
+            .model(model.clone(), profile)
+            .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 1.0 })
+            .node_crash(SimTime::from_secs(5), 2)
+            .build();
+        assert!(scenario.has_faults());
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured pool bounds")]
+    fn crashes_outside_the_pool_bounds_are_rejected() {
+        let (model, profile) = mbnet();
+        let _ = Scenario::builder("bad-crash")
+            .nodes(2)
+            .model(model.clone(), profile)
+            .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 1.0 })
+            .node_crash(SimTime::from_secs(5), 2)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "kills containers of unregistered model")]
+    fn container_kills_of_unregistered_models_are_rejected() {
+        let (model, profile) = mbnet();
+        let _ = Scenario::builder("bad-kill")
+            .model(model, profile)
+            .container_kill(SimTime::from_secs(5), ModelId::new("ghost"))
+            .build();
     }
 
     #[test]

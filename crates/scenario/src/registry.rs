@@ -1,0 +1,599 @@
+//! The named scenario corpus: a registry of ready-to-run cluster
+//! experiments, so new workloads are *data* (an entry here) rather than
+//! code scattered across tests and binaries.
+//!
+//! Every entry maps an id to a [`ScenarioBuilder`] factory — callers apply
+//! a seed (and may compose further: add faults, swap schedulers) before
+//! building.  Entries carry a description and a small tag taxonomy so
+//! harnesses can enumerate (`--list-scenarios`), filter (`with_tag`) and
+//! conformance-test the whole corpus by construction:
+//!
+//! | tag          | meaning |
+//! |--------------|---------|
+//! | `quick`      | cheap enough for per-case property testing |
+//! | `single-model` / `multi-tenant` | how many endpoints share the pool |
+//! | `diurnal` / `mmpp` / `burst` / `zipf` | workload shape |
+//! | `saturation` | intentionally offered more load than capacity |
+//! | `sessions`   | closed-loop interactive sessions in the mix |
+//! | `autoscale`  | elastic node pool |
+//! | `fault`      | carries a failure-injection plan (`crash` / `kill`) |
+//! | `elasticity` | one side of the fixed-vs-elastic `E2` comparison |
+//!
+//! The corpus-wide invariant suite (`tests/scenario_corpus.rs`) runs every
+//! entry at two seeds and asserts conservation and accounting consistency,
+//! so adding a scenario here automatically puts it under test.
+
+use crate::{Scenario, ScenarioBuilder};
+use sesemi::cluster::{AutoscaleConfig, ClusterConfig, SimulationResult};
+use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
+use sesemi_sim::{SimDuration, SimTime};
+use sesemi_workload::ArrivalProcess;
+use std::collections::BTreeSet;
+
+/// A seed-parameterised [`ScenarioBuilder`] factory.
+pub type ScenarioBuilderFn = fn(u64) -> ScenarioBuilder;
+
+/// One named corpus entry.
+pub struct CorpusEntry {
+    /// Stable scenario id (`--scenario <id>` in the experiments binary).
+    pub id: &'static str,
+    /// One-line description for listings.
+    pub description: &'static str,
+    /// Tags from the taxonomy in the module docs.
+    pub tags: &'static [&'static str],
+    builder: ScenarioBuilderFn,
+}
+
+impl CorpusEntry {
+    /// The entry's builder with `seed` applied — still open for further
+    /// composition (extra faults, a different scheduler) before `build()`.
+    #[must_use]
+    pub fn builder(&self, seed: u64) -> ScenarioBuilder {
+        (self.builder)(seed)
+    }
+
+    /// Builds the scenario as registered.
+    #[must_use]
+    pub fn build(&self, seed: u64) -> Scenario {
+        self.builder(seed).build()
+    }
+
+    /// Builds and runs the scenario as registered.
+    #[must_use]
+    pub fn run(&self, seed: u64) -> SimulationResult {
+        self.build(seed).run()
+    }
+
+    /// Whether the entry carries the given tag.
+    #[must_use]
+    pub fn has_tag(&self, tag: &str) -> bool {
+        self.tags.contains(&tag)
+    }
+}
+
+/// An enumerable, filterable id → scenario registry.
+#[derive(Default)]
+pub struct ScenarioRegistry {
+    entries: Vec<CorpusEntry>,
+}
+
+impl ScenarioRegistry {
+    /// An empty registry (grow it with [`ScenarioRegistry::register`]).
+    #[must_use]
+    pub fn new() -> Self {
+        ScenarioRegistry::default()
+    }
+
+    /// The built-in corpus every harness shares.
+    #[must_use]
+    pub fn corpus() -> Self {
+        let mut registry = ScenarioRegistry::new();
+        for entry in corpus_entries() {
+            registry.register(entry);
+        }
+        registry
+    }
+
+    /// Adds an entry.
+    ///
+    /// # Panics
+    /// Panics on a duplicate id — ids are the corpus's stable interface.
+    pub fn register(&mut self, entry: CorpusEntry) {
+        assert!(
+            self.get(entry.id).is_none(),
+            "scenario id {:?} registered twice",
+            entry.id
+        );
+        self.entries.push(entry);
+    }
+
+    /// Every entry, in registration order.
+    #[must_use]
+    pub fn entries(&self) -> &[CorpusEntry] {
+        &self.entries
+    }
+
+    /// Number of registered scenarios.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Looks an entry up by id.
+    #[must_use]
+    pub fn get(&self, id: &str) -> Option<&CorpusEntry> {
+        self.entries.iter().find(|entry| entry.id == id)
+    }
+
+    /// The registered ids, in registration order.
+    #[must_use]
+    pub fn ids(&self) -> Vec<&'static str> {
+        self.entries.iter().map(|entry| entry.id).collect()
+    }
+
+    /// Entries carrying `tag`, in registration order.
+    #[must_use]
+    pub fn with_tag(&self, tag: &str) -> Vec<&CorpusEntry> {
+        self.entries
+            .iter()
+            .filter(|entry| entry.has_tag(tag))
+            .collect()
+    }
+
+    /// Every tag used by at least one entry, sorted.
+    #[must_use]
+    pub fn tags(&self) -> BTreeSet<&'static str> {
+        self.entries
+            .iter()
+            .flat_map(|entry| entry.tags.iter().copied())
+            .collect()
+    }
+
+    /// Stable human-readable listing (the `--list-scenarios` output, pinned
+    /// by a golden file): one block per scenario, sorted by id.
+    #[must_use]
+    pub fn listing(&self) -> String {
+        let mut ids: Vec<&CorpusEntry> = self.entries.iter().collect();
+        ids.sort_by_key(|entry| entry.id);
+        let mut out = format!("# SeSeMI scenario corpus — {} scenarios\n", ids.len());
+        for entry in ids {
+            out.push_str(&format!(
+                "\n{}  [{}]\n    {}\n",
+                entry.id,
+                entry.tags.join(", "),
+                entry.description
+            ));
+        }
+        out
+    }
+}
+
+fn mbnet() -> (ModelId, ModelProfile) {
+    (
+        ModelKind::MbNet.default_id(),
+        ModelProfile::paper(ModelKind::MbNet, Framework::Tvm),
+    )
+}
+
+fn dsnet() -> (ModelId, ModelProfile) {
+    (
+        ModelKind::DsNet.default_id(),
+        ModelProfile::paper(ModelKind::DsNet, Framework::Tvm),
+    )
+}
+
+/// Memory budget of one container of `profile` at `tcs` threads.
+fn budget(profile: &ModelProfile, tcs: usize) -> u64 {
+    sesemi_platform::PlatformConfig::round_memory_budget(profile.enclave_bytes_for_concurrency(tcs))
+}
+
+/// Zipf(s=1) rates over `n` endpoints summing to `total` requests per
+/// second: endpoint `i` gets a share proportional to `1 / (i + 1)`.
+fn zipf_rates(n: usize, total: f64) -> Vec<f64> {
+    let harmonic: f64 = (1..=n).map(|rank| 1.0 / rank as f64).sum();
+    (1..=n)
+        .map(|rank| total * (1.0 / rank as f64) / harmonic)
+        .collect()
+}
+
+/// The shared workload of the `E2` fixed-vs-elastic-under-crash pair: both
+/// sides admit this identical seeded trace and suffer the identical crash,
+/// so the experiment isolates how much node capacity each pool pays for.
+fn under_crash_base(seed: u64, name: &str) -> ScenarioBuilder {
+    let (model, profile) = dsnet();
+    Scenario::builder(name)
+        .cluster(ClusterConfig::multi_node_sgx2())
+        .seed(seed)
+        .tcs_per_container(1)
+        .invoker_memory_bytes(budget(&profile, 1) * 2)
+        .keep_alive(SimDuration::from_secs(45))
+        .model(model.clone(), profile)
+        .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 10.0 })
+        .node_crash(SimTime::from_secs(40), 0)
+        .duration(SimDuration::from_secs(120))
+}
+
+fn corpus_entries() -> Vec<CorpusEntry> {
+    vec![
+        CorpusEntry {
+            id: "steady-poisson",
+            description: "Comfortably provisioned single-model Poisson baseline: 2 nodes, \
+                          prewarmed MBNET at 8 rps — everything hot, nothing dropped.",
+            tags: &["quick", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("steady-poisson")
+                    .seed(seed)
+                    .nodes(2)
+                    .tcs_per_container(2)
+                    .model(model.clone(), profile)
+                    .prewarm(model.clone(), 0, 2)
+                    .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 8.0 })
+                    .duration(SimDuration::from_secs(60))
+            },
+        },
+        CorpusEntry {
+            id: "diurnal-sinusoid",
+            description: "Sinusoid-modulated (compressed diurnal) MBNET trace: the rate swings \
+                          ±80% around 6 rps over a 60 s day-night cycle.",
+            tags: &["quick", "diurnal", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("diurnal-sinusoid")
+                    .seed(seed)
+                    .nodes(2)
+                    .tcs_per_container(2)
+                    .model(model.clone(), profile)
+                    .traffic(
+                        model,
+                        0,
+                        ArrivalProcess::Diurnal {
+                            base_rate: 6.0,
+                            amplitude: 0.8,
+                            period: SimDuration::from_secs(60),
+                        },
+                    )
+                    .duration(SimDuration::from_secs(180))
+            },
+        },
+        CorpusEntry {
+            id: "multi-tenant-zipf",
+            description: "Five DSNET endpoints behind FnPacker with Zipf(1)-skewed popularity \
+                          (6 rps total): a popularity-skewed multi-tenant mix.",
+            tags: &["multi-tenant", "zipf"],
+            builder: |seed| {
+                let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+                let models: Vec<(ModelId, ModelProfile)> = (0..5)
+                    .map(|i| (ModelId::new(format!("m{i}")), profile))
+                    .collect();
+                let rates = zipf_rates(models.len(), 6.0);
+                let mut builder = Scenario::builder("multi-tenant-zipf")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(4)
+                    .tcs_per_container(1)
+                    .routing(sesemi_fnpacker::RoutingStrategy::FnPacker)
+                    .models(models.clone());
+                for (index, ((model, _), rate)) in models.iter().zip(rates).enumerate() {
+                    builder = builder.traffic(
+                        model.clone(),
+                        index,
+                        ArrivalProcess::Poisson { rate_per_sec: rate },
+                    );
+                }
+                builder.duration(SimDuration::from_secs(120))
+            },
+        },
+        CorpusEntry {
+            id: "burst-over-capacity",
+            description: "MMPP burst far above a one-container node (25↔40 rps against ~15 rps \
+                          of capacity): the saturated queue does the serving.",
+            tags: &["quick", "burst", "mmpp", "saturation", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("burst-over-capacity")
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1))
+                    .model(model.clone(), profile)
+                    .traffic(
+                        model,
+                        0,
+                        ArrivalProcess::Mmpp {
+                            rates_per_sec: vec![25.0, 40.0],
+                            mean_dwell: SimDuration::from_secs(10),
+                        },
+                    )
+                    .duration(SimDuration::from_secs(30))
+            },
+        },
+        CorpusEntry {
+            id: "interactive-sessions",
+            description: "Closed-loop interactive sessions over three FnPacker endpoints with \
+                          1 rps background traffic on the popular model.",
+            tags: &["multi-tenant", "sessions"],
+            builder: |seed| {
+                let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+                let models: Vec<(ModelId, ModelProfile)> = (0..3)
+                    .map(|i| (ModelId::new(format!("m{i}")), profile))
+                    .collect();
+                let ids: Vec<ModelId> = models.iter().map(|(m, _)| m.clone()).collect();
+                Scenario::builder("interactive-sessions")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(2)
+                    .tcs_per_container(1)
+                    .routing(sesemi_fnpacker::RoutingStrategy::FnPacker)
+                    .models(models)
+                    .traffic(
+                        ids[0].clone(),
+                        0,
+                        ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+                    )
+                    .session(sesemi_workload::InteractiveSession::new(
+                        "Session 1",
+                        SimTime::from_secs(30),
+                        ids.clone(),
+                        9,
+                    ))
+                    .session(sesemi_workload::InteractiveSession::new(
+                        "Session 2",
+                        SimTime::from_secs(90),
+                        ids,
+                        10,
+                    ))
+                    .duration(SimDuration::from_secs(150))
+            },
+        },
+        CorpusEntry {
+            id: "autoscale-burst",
+            description: "Elastic 1→3-node pool absorbing a sustained 12 rps DSNET burst: \
+                          scale-out under saturation, scale-in after the quiet tail.",
+            tags: &["autoscale", "burst", "single-model"],
+            builder: |seed| {
+                let (model, profile) = dsnet();
+                Scenario::builder("autoscale-burst")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1) * 2)
+                    .keep_alive(SimDuration::from_secs(30))
+                    .autoscale(AutoscaleConfig {
+                        idle_ticks: 4,
+                        ..AutoscaleConfig::new(1, 3)
+                    })
+                    .model(model.clone(), profile)
+                    .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 12.0 })
+                    .duration(SimDuration::from_secs(120))
+            },
+        },
+        CorpusEntry {
+            id: "fixed-mmpp",
+            description: "The paper's MMPP shape at corpus scale: a fixed 4-node pool serving \
+                          an 8↔16 rps modulated DSNET stream.",
+            tags: &["burst", "mmpp", "single-model"],
+            builder: |seed| {
+                let (model, profile) = dsnet();
+                Scenario::builder("fixed-mmpp")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(4)
+                    .tcs_per_container(1)
+                    .model(model.clone(), profile)
+                    .prewarm(model.clone(), 0, 4)
+                    .traffic(
+                        model,
+                        0,
+                        ArrivalProcess::Mmpp {
+                            rates_per_sec: vec![8.0, 16.0],
+                            mean_dwell: SimDuration::from_secs(30),
+                        },
+                    )
+                    .duration(SimDuration::from_secs(120))
+            },
+        },
+        CorpusEntry {
+            id: "node-crash-mid-run",
+            description: "A 2-node MBNET pool loses node 1 at t=30 s: in-flight work is \
+                          re-queued and the survivor serves the rest alone.",
+            tags: &["quick", "fault", "crash", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("node-crash-mid-run")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(2)
+                    .tcs_per_container(2)
+                    .model(model.clone(), profile)
+                    .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 8.0 })
+                    .node_crash(SimTime::from_secs(30), 1)
+                    .duration(SimDuration::from_secs(90))
+            },
+        },
+        CorpusEntry {
+            id: "crash-cold-start-requeue",
+            description: "Deterministic cold-start pile-up killed mid-boot: node 1 crashes \
+                          280 ms in, while its only container still holds four parked \
+                          requests — the forced re-queue path, by construction.",
+            tags: &["quick", "fault", "crash", "cold-start", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("crash-cold-start-requeue")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(2)
+                    .tcs_per_container(4)
+                    .invoker_memory_bytes(budget(&profile, 4))
+                    .model(model.clone(), profile)
+                    .traffic(
+                        model,
+                        0,
+                        ArrivalProcess::Constant {
+                            interval: SimDuration::from_millis(50),
+                        },
+                    )
+                    .node_crash(SimTime::from_millis(280), 1)
+                    .duration(SimDuration::from_secs(30))
+            },
+        },
+        CorpusEntry {
+            id: "container-kill-hot-model",
+            description: "The prewarmed MBNET container is killed twice mid-stream: each kill \
+                          forces fresh cold starts without losing a request.",
+            tags: &["quick", "fault", "kill", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("container-kill-hot-model")
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(2)
+                    .model(model.clone(), profile)
+                    .prewarm(model.clone(), 0, 1)
+                    .traffic(
+                        model.clone(),
+                        0,
+                        ArrivalProcess::Poisson { rate_per_sec: 6.0 },
+                    )
+                    .container_kill(SimTime::from_secs(20), model.clone())
+                    .container_kill(SimTime::from_secs(40), model)
+                    .duration(SimDuration::from_secs(60))
+            },
+        },
+        CorpusEntry {
+            id: "fixed-under-crash",
+            description: "E2 control: a fixed 4-node DSNET pool at 10 rps loses node 0 at \
+                          t=40 s and keeps paying for the remaining fixed capacity.",
+            tags: &["fault", "crash", "elasticity", "single-model"],
+            builder: |seed| under_crash_base(seed, "fixed-under-crash").nodes(4),
+        },
+        CorpusEntry {
+            id: "autoscale-under-crash",
+            description: "E2 treatment: the same trace and crash on an elastic 2→4-node pool \
+                          — the autoscaler replaces the crashed node on demand.",
+            tags: &["fault", "crash", "autoscale", "elasticity", "single-model"],
+            builder: |seed| {
+                under_crash_base(seed, "autoscale-under-crash")
+                    .nodes(2)
+                    .autoscale(AutoscaleConfig {
+                        idle_ticks: 4,
+                        ..AutoscaleConfig::new(2, 4)
+                    })
+            },
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_corpus_is_a_real_registry() {
+        let registry = ScenarioRegistry::corpus();
+        assert!(
+            registry.len() >= 10,
+            "the corpus holds {} scenarios, want >= 10",
+            registry.len()
+        );
+        assert!(!registry.is_empty());
+        assert_eq!(registry.ids().len(), registry.len());
+        // Lookup round-trips and the builder applies the seed.
+        let entry = registry.get("steady-poisson").expect("known id");
+        assert_eq!(entry.build(123).config().seed, 123);
+        assert!(registry.get("no-such-scenario").is_none());
+    }
+
+    #[test]
+    fn tag_filtering_finds_the_fault_scenarios() {
+        let registry = ScenarioRegistry::corpus();
+        let faulty = registry.with_tag("fault");
+        assert!(
+            faulty.len() >= 2,
+            "want >= 2 fault-bearing scenarios, got {}",
+            faulty.len()
+        );
+        for entry in &faulty {
+            assert!(
+                entry.build(1).has_faults(),
+                "{} is tagged fault but injects nothing",
+                entry.id
+            );
+        }
+        // And the converse: untagged entries are failure-free.
+        for entry in registry.entries() {
+            if !entry.has_tag("fault") {
+                assert!(
+                    !entry.build(1).has_faults(),
+                    "{} hides a fault plan",
+                    entry.id
+                );
+            }
+        }
+        assert!(registry.tags().contains("autoscale"));
+        assert!(registry.with_tag("no-such-tag").is_empty());
+    }
+
+    #[test]
+    fn every_entry_builds_and_names_itself_after_its_id() {
+        for entry in ScenarioRegistry::corpus().entries() {
+            let scenario = entry.build(7);
+            assert_eq!(scenario.name(), entry.id, "id/name mismatch");
+            assert!(!entry.description.is_empty());
+            assert!(!entry.tags.is_empty());
+        }
+    }
+
+    #[test]
+    fn the_listing_is_sorted_and_mentions_every_id() {
+        let registry = ScenarioRegistry::corpus();
+        let listing = registry.listing();
+        for id in registry.ids() {
+            assert!(listing.contains(id), "listing misses {id}");
+        }
+        // In the rendered text, blocks appear in ascending id order.
+        let mut ids = registry.ids();
+        ids.sort_unstable();
+        let positions: Vec<usize> = ids
+            .iter()
+            .map(|id| listing.find(&format!("\n{id}  [")).expect("id line"))
+            .collect();
+        assert!(
+            positions.windows(2).all(|pair| pair[0] < pair[1]),
+            "listing blocks are not sorted by id"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "registered twice")]
+    fn duplicate_ids_are_rejected() {
+        let mut registry = ScenarioRegistry::corpus();
+        registry.register(CorpusEntry {
+            id: "steady-poisson",
+            description: "dup",
+            tags: &["quick"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("dup").seed(seed).model(model, profile)
+            },
+        });
+    }
+
+    #[test]
+    fn zipf_rates_are_normalised_and_skewed() {
+        let rates = zipf_rates(5, 6.0);
+        assert_eq!(rates.len(), 5);
+        assert!((rates.iter().sum::<f64>() - 6.0).abs() < 1e-9);
+        for pair in rates.windows(2) {
+            assert!(pair[0] > pair[1], "zipf rates must decrease by rank");
+        }
+        assert!((rates[0] / rates[4] - 5.0).abs() < 1e-9);
+    }
+}

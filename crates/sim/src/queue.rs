@@ -101,6 +101,28 @@ impl<E> EventQueue<E> {
         self.now
     }
 
+    /// Removes every pending event matching `predicate` (which sees the
+    /// event's scheduled time and payload) and returns them in delivery
+    /// order (time, then insertion sequence), without advancing the clock.
+    /// Failure injection uses this to cancel the in-flight work of a
+    /// crashed node deterministically — the extraction order is exactly the
+    /// order the events would have popped in — and to discard out-of-scope
+    /// events without letting them advance the clock when popped.
+    pub fn extract(&mut self, mut predicate: impl FnMut(SimTime, &E) -> bool) -> Vec<(SimTime, E)> {
+        let mut kept = BinaryHeap::with_capacity(self.heap.len());
+        let mut extracted: Vec<Entry<E>> = Vec::new();
+        for entry in self.heap.drain() {
+            if predicate(entry.at, &entry.event) {
+                extracted.push(entry);
+            } else {
+                kept.push(entry);
+            }
+        }
+        self.heap = kept;
+        extracted.sort_unstable_by(|a, b| (a.at, a.seq).cmp(&(b.at, b.seq)));
+        extracted.into_iter().map(|e| (e.at, e.event)).collect()
+    }
+
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
@@ -153,6 +175,40 @@ mod tests {
         q.pop();
         assert_eq!(q.now(), SimTime::from_millis(9));
         assert!(q.is_empty());
+    }
+
+    #[test]
+    fn extract_removes_matching_events_in_delivery_order() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_millis(30), 30);
+        q.push(SimTime::from_millis(10), 10);
+        q.push(SimTime::from_millis(20), 21);
+        q.push(SimTime::from_millis(20), 20);
+        let odd = q.extract(|_, e| e % 2 == 1);
+        assert_eq!(odd, vec![(SimTime::from_millis(20), 21)]);
+        // The survivors still pop in order, clock untouched.
+        assert_eq!(q.now(), SimTime::ZERO);
+        let rest: Vec<_> = std::iter::from_fn(|| q.pop()).map(|(_, e)| e).collect();
+        assert_eq!(rest, vec![10, 20, 30]);
+        // Same-instant extractions preserve insertion order.
+        let mut q = EventQueue::new();
+        let t = SimTime::from_secs(1);
+        for i in 0..6 {
+            q.push(t, i);
+        }
+        let all = q.extract(|_, _| true);
+        assert_eq!(
+            all.iter().map(|(_, e)| *e).collect::<Vec<_>>(),
+            vec![0, 1, 2, 3, 4, 5]
+        );
+        assert!(q.is_empty());
+        // Time-based predicates see each event's scheduled instant.
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_secs(1), "early");
+        q.push(SimTime::from_secs(9), "late");
+        let late = q.extract(|at, _| at > SimTime::from_secs(5));
+        assert_eq!(late, vec![(SimTime::from_secs(9), "late")]);
+        assert_eq!(q.len(), 1);
     }
 
     #[test]

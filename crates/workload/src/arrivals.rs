@@ -39,6 +39,19 @@ pub enum ArrivalProcess {
         /// Fixed inter-arrival gap.
         interval: SimDuration,
     },
+    /// Sinusoid-modulated Poisson arrivals — a compressed diurnal traffic
+    /// curve: the instantaneous rate is
+    /// `base_rate * (1 + amplitude * sin(2π t / period))`, sampled by
+    /// thinning a homogeneous Poisson process at the peak rate.
+    Diurnal {
+        /// Mean request rate over a full period.
+        base_rate: f64,
+        /// Relative swing of the sinusoid in `[0, 1]` (1 means the trough
+        /// reaches zero traffic).
+        amplitude: f64,
+        /// One full day-night cycle.
+        period: SimDuration,
+    },
 }
 
 impl ArrivalProcess {
@@ -111,6 +124,42 @@ impl ArrivalProcess {
                         user_index,
                     });
                     t += *interval;
+                }
+            }
+            ArrivalProcess::Diurnal {
+                base_rate,
+                amplitude,
+                period,
+            } => {
+                assert!(
+                    *base_rate > 0.0 && base_rate.is_finite(),
+                    "base rate must be positive"
+                );
+                assert!(
+                    (0.0..=1.0).contains(amplitude),
+                    "amplitude must lie in [0, 1]"
+                );
+                assert!(*period > SimDuration::ZERO, "period must be positive");
+                // Thinning (Lewis–Shedler): draw candidates at the peak rate
+                // and keep each with probability rate(t) / peak — an exact
+                // sampler for the nonhomogeneous process, still one rng
+                // stream, still deterministic per seed.
+                let peak = base_rate * (1.0 + amplitude);
+                let omega = 2.0 * std::f64::consts::PI / period.as_secs_f64();
+                let mut t = SimTime::ZERO;
+                loop {
+                    t += rng.exponential(peak);
+                    if t >= horizon {
+                        break;
+                    }
+                    let rate = base_rate * (1.0 + amplitude * (omega * t.as_secs_f64()).sin());
+                    if rng.chance(rate / peak) {
+                        arrivals.push(RequestArrival {
+                            at: t,
+                            model: model.clone(),
+                            user_index,
+                        });
+                    }
                 }
             }
         }
@@ -191,6 +240,73 @@ mod tests {
         assert_eq!(arrivals[0].at, SimTime::from_millis(100));
         assert_eq!(arrivals[8].at, SimTime::from_millis(900));
         assert!(arrivals.iter().all(|a| a.user_index == 3));
+    }
+
+    #[test]
+    fn diurnal_mean_rate_tracks_the_base_and_modulates_with_the_phase() {
+        let mut rng = SimRng::seed_from_u64(6);
+        let process = ArrivalProcess::Diurnal {
+            base_rate: 10.0,
+            amplitude: 0.8,
+            period: SimDuration::from_secs(200),
+        };
+        // Four full periods: the sinusoid averages out, so the mean rate is
+        // close to the base rate.
+        let arrivals = process.generate(&model(), 0, SimDuration::from_secs(800), &mut rng);
+        let rate = arrivals.len() as f64 / 800.0;
+        assert!((rate - 10.0).abs() < 1.0, "observed mean rate {rate}");
+        for window in arrivals.windows(2) {
+            assert!(window[0].at <= window[1].at);
+        }
+        // The first quarter-period (sin > 0, peak phase) carries clearly
+        // more traffic than the third (sin < 0, trough phase).
+        let count_in = |from: f64, to: f64| {
+            arrivals
+                .iter()
+                .filter(|a| (from..to).contains(&a.at.as_secs_f64()))
+                .count() as f64
+        };
+        let peak = count_in(0.0, 100.0);
+        let trough = count_in(100.0, 200.0);
+        assert!(
+            peak > 1.5 * trough,
+            "expected diurnal modulation, got peak {peak} vs trough {trough}"
+        );
+    }
+
+    #[test]
+    fn diurnal_generation_is_deterministic_per_seed() {
+        let process = ArrivalProcess::Diurnal {
+            base_rate: 5.0,
+            amplitude: 0.5,
+            period: SimDuration::from_secs(60),
+        };
+        let a = process.generate(
+            &model(),
+            0,
+            SimDuration::from_secs(120),
+            &mut SimRng::seed_from_u64(13),
+        );
+        let b = process.generate(
+            &model(),
+            0,
+            SimDuration::from_secs(120),
+            &mut SimRng::seed_from_u64(13),
+        );
+        assert_eq!(a, b);
+        assert!(!a.is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "amplitude must lie in [0, 1]")]
+    fn diurnal_rejects_overdriven_amplitudes() {
+        let mut rng = SimRng::seed_from_u64(1);
+        let _ = ArrivalProcess::Diurnal {
+            base_rate: 5.0,
+            amplitude: 1.5,
+            period: SimDuration::from_secs(60),
+        }
+        .generate(&model(), 0, SimDuration::from_secs(10), &mut rng);
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Golden-file pin of the scenario-corpus listing — the exact text
+//! `experiments --list-scenarios` prints.  The listing is the corpus's
+//! human-facing index (ids are a stable interface: CI invokes scenarios by
+//! id, docs reference them), so accidental renames, re-tags or format
+//! drift fail here instead of silently breaking `--scenario` consumers.
+//!
+//! To regenerate after an *intentional* corpus change, run with
+//! `UPDATE_GOLDEN=1` and commit the diff:
+//!
+//! ```text
+//! UPDATE_GOLDEN=1 cargo test -p sesemi_scenario --test golden_scenarios
+//! ```
+
+use sesemi_scenario::ScenarioRegistry;
+
+#[test]
+fn corpus_listing_matches_the_golden_file() {
+    let golden_path = concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/scenarios.txt"
+    );
+    let actual = ScenarioRegistry::corpus().listing();
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path)
+        .expect("golden file tests/golden/scenarios.txt is checked in");
+    assert_eq!(
+        actual, expected,
+        "the corpus listing drifted from tests/golden/scenarios.txt; if the \
+         change is intentional (new scenario, new tag), regenerate with \
+         UPDATE_GOLDEN=1"
+    );
+}
+
+#[test]
+fn the_golden_listing_covers_every_registered_id() {
+    // Belt and braces against a stale golden: the *pinned file on disk*
+    // must mention every currently registered id and the current corpus
+    // size, so a forgotten regeneration after adding a scenario fails with
+    // a pointed message even before the byte-equality diff is read.
+    // During a regeneration run the sibling test is rewriting the file
+    // concurrently, so checking the (possibly still-stale) content would
+    // race — skip, the next plain run re-checks.
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        return;
+    }
+    let golden = std::fs::read_to_string(concat!(
+        env!("CARGO_MANIFEST_DIR"),
+        "/../../tests/golden/scenarios.txt"
+    ))
+    .expect("golden file tests/golden/scenarios.txt is checked in");
+    let registry = ScenarioRegistry::corpus();
+    assert!(
+        golden.starts_with(&format!(
+            "# SeSeMI scenario corpus — {} scenarios",
+            registry.len()
+        )),
+        "the pinned corpus size drifted; regenerate with UPDATE_GOLDEN=1"
+    );
+    for id in registry.ids() {
+        assert!(
+            golden.contains(id),
+            "the pinned listing misses {id}; regenerate with UPDATE_GOLDEN=1"
+        );
+    }
+}
