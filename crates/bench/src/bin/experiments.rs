@@ -4,14 +4,17 @@
 //! ```text
 //! cargo run -p sesemi_bench --bin experiments --release \
 //!     [-- --seed 42] [--json] [--only F13,F14]
-//!     [--scenario steady-poisson,node-crash-mid-run] [--list-scenarios]
+//!     [--scenario steady-poisson,node-crash-mid-run] [--tag lifecycle]
+//!     [--list-scenarios]
 //! ```
 //!
 //! `--only` filters by report id (comma-separated, e.g. `F13,T3`); the CI
 //! determinism guard uses it to re-run a fixed-seed subset cheaply and
 //! compare the two outputs byte for byte.  `--scenario` runs named entries
-//! of the scenario corpus registry instead of the paper experiments, and
-//! `--list-scenarios` prints the corpus (ids, tags, descriptions) and
+//! of the scenario corpus registry instead of the paper experiments, `--tag`
+//! runs every corpus entry carrying a tag (an unknown tag exits non-zero
+//! with the known-tag list, exactly as an unknown `--scenario` id does),
+//! and `--list-scenarios` prints the corpus (ids, tags, descriptions) and
 //! exits — its output is pinned by `tests/golden/scenarios.txt`.
 
 fn main() {
@@ -20,6 +23,7 @@ fn main() {
     let mut json = false;
     let mut only: Option<Vec<String>> = None;
     let mut scenarios: Option<Vec<String>> = None;
+    let mut tag: Option<String> = None;
     let mut iter = args.iter().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -40,6 +44,9 @@ fn main() {
                     .expect("--scenario needs a comma-separated corpus id list");
                 scenarios = Some(ids.split(',').map(|id| id.trim().to_string()).collect());
             }
+            "--tag" => {
+                tag = Some(iter.next().expect("--tag needs a corpus tag").to_string());
+            }
             "--list-scenarios" => {
                 print!("{}", sesemi_scenario::ScenarioRegistry::corpus().listing());
                 return;
@@ -47,7 +54,7 @@ fn main() {
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--seed N] [--json] [--only IDS] \
-                     [--scenario IDS] [--list-scenarios]"
+                     [--scenario IDS] [--tag TAG] [--list-scenarios]"
                 );
                 return;
             }
@@ -58,7 +65,16 @@ fn main() {
         }
     }
 
-    let reports = if let Some(ids) = &scenarios {
+    let reports = if let Some(tag) = &tag {
+        eprintln!("running corpus scenarios tagged {tag:?} (seed {seed}) ...");
+        match sesemi_bench::sims::tag_report(seed, tag) {
+            Ok(report) => vec![report],
+            Err(message) => {
+                eprintln!("{message}");
+                std::process::exit(2);
+            }
+        }
+    } else if let Some(ids) = &scenarios {
         eprintln!(
             "running corpus scenarios {} (seed {seed}) ...",
             ids.join(",")

@@ -4,7 +4,7 @@
 
 use crate::report::{secs, Report};
 use sesemi::baseline::ServingStrategy;
-use sesemi::cluster::{AutoscaleConfig, ClusterConfig, SimulationResult};
+use sesemi::cluster::{AutoscaleConfig, ClusterConfig, LifecycleKind, SimulationResult};
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
 use sesemi_scenario::Scenario;
@@ -414,6 +414,91 @@ pub fn crash_resilience(seed: u64) -> Report {
     report
 }
 
+/// E3: container-lifecycle policies — age-only versus warm-value keep-alive
+/// and drain, on the two registry scenarios built for the comparison.  The
+/// keep-alive half runs the Zipf multi-tenant mix (`lifecycle-zipf-warm-value`
+/// and its age-only control): the warm-value policy grants the ring's
+/// sticky-subset containers an extended keep-alive, so the tail models'
+/// idle gaps stop expiring their warm capacity and the hot-path fraction
+/// rises.  The drain half runs the autoscaled crash scenario
+/// (`lifecycle-drain-under-crash` and its control): scale-in retires the
+/// node whose warm pool the ring values least and pre-migrates the hot
+/// model's capacity before the drain evicts it.
+#[must_use]
+pub fn lifecycle_policies(seed: u64) -> Report {
+    let registry = sesemi_scenario::ScenarioRegistry::corpus();
+    let mut report = Report::new(
+        "E3",
+        "Lifecycle policies — age-only vs warm-value keep-alive (Zipf mix) and drain (autoscaled crash)",
+        &[
+            "Scenario",
+            "Lifecycle",
+            "Hot fraction",
+            "Warm hits",
+            "Cold starts",
+            "Evictions (exp/prs/drn)",
+            "Premigrated",
+            "Node GB·s",
+            "Mean latency (s)",
+            "Completed",
+            "Dropped",
+        ],
+    );
+    let mut zipf = Vec::new();
+    for id in ["lifecycle-zipf-warm-value", "lifecycle-drain-under-crash"] {
+        for kind in LifecycleKind::ALL {
+            let result = registry
+                .get(id)
+                .expect("corpus entry registered")
+                .builder(seed)
+                .lifecycle(kind)
+                .build()
+                .run();
+            report.push_row(vec![
+                id.to_string(),
+                kind.label().to_string(),
+                format!("{:.3}", result.hot_fraction()),
+                result.warm_hits().to_string(),
+                result.cold_starts.to_string(),
+                format!(
+                    "{}/{}/{}",
+                    result.evictions_expired, result.evictions_pressure, result.evictions_drain
+                ),
+                result.premigrated.to_string(),
+                format!("{:.0}", result.node_gb_seconds),
+                secs(result.mean_latency()),
+                result.completed.to_string(),
+                result.dropped.to_string(),
+            ]);
+            if id == "lifecycle-zipf-warm-value" {
+                zipf.push((kind, result));
+            }
+        }
+    }
+    if let [(_, age_only), (_, warm_value)] = &zipf[..] {
+        report.push_note(format!(
+            "Keep-alive: the warm-value lifecycle serves {:.1}% of the Zipf mix hot vs {:.1}% \
+             under age-only eviction — sticky-subset retention keeps the tail models' \
+             containers alive across idle gaps the 10 s keep-alive would otherwise expire \
+             ({} vs {} cold starts).",
+            warm_value.hot_fraction() * 100.0,
+            age_only.hot_fraction() * 100.0,
+            warm_value.cold_starts,
+            age_only.cold_starts,
+        ));
+    }
+    report.push_note(
+        "Drain: warm-value scale-in picks the node whose warm pool the consistent-hash ring \
+         values least and pre-migrates the evicted models' capacity onto survivors \
+         (Premigrated column) — the drain stops costing the next burst its warm starts.",
+    );
+    report.push_note(
+        "Both policies conserve requests under every scenario (admitted == completed + dropped \
+         is asserted corpus-wide, faults included).",
+    );
+    report
+}
+
 /// Runs the named corpus scenarios at `seed` and tabulates their accounting
 /// (`--scenario id[,id...]` in the experiments binary).  Returns `Err` with
 /// the offending id if one is not in the corpus.
@@ -427,7 +512,9 @@ pub fn scenario_report(seed: u64, ids: &[String]) -> Result<Report, String> {
             "Admitted",
             "Completed",
             "Dropped",
+            "Warm hits",
             "Cold starts",
+            "Evictions (exp/prs/drn)",
             "Crashes",
             "Kills",
             "Re-queued (in-flight/parked)",
@@ -444,7 +531,12 @@ pub fn scenario_report(seed: u64, ids: &[String]) -> Result<Report, String> {
             result.admitted.to_string(),
             result.completed.to_string(),
             result.dropped.to_string(),
+            result.warm_hits().to_string(),
             result.cold_starts.to_string(),
+            format!(
+                "{}/{}/{}",
+                result.evictions_expired, result.evictions_pressure, result.evictions_drain
+            ),
             result.node_crashes.to_string(),
             result.containers_killed.to_string(),
             format!("{}/{}", result.requeued_inflight, result.requeued_waiting),
@@ -458,6 +550,24 @@ pub fn scenario_report(seed: u64, ids: &[String]) -> Result<Report, String> {
          `--list-scenarios` prints the corpus with tags and descriptions.",
     );
     Ok(report)
+}
+
+/// Runs every corpus scenario carrying `tag` at `seed` (`--tag <tag>` in the
+/// experiments binary).  An unknown tag is an error naming the known tags —
+/// `ScenarioRegistry::with_tag` returns an empty slice for unknown and
+/// valid-but-empty filters alike, and a harness must not silently run
+/// nothing (mirroring the unknown-scenario-id error of `--scenario`).
+pub fn tag_report(seed: u64, tag: &str) -> Result<Report, String> {
+    let registry = sesemi_scenario::ScenarioRegistry::corpus();
+    let entries = registry.try_with_tag(tag).map_err(|known| {
+        format!(
+            "--tag: {tag:?} is not a corpus tag; known tags: {}",
+            known.join(", ")
+        )
+    })?;
+    let ids: Vec<String> = entries.iter().map(|entry| entry.id.to_string()).collect();
+    scenario_report(seed, &ids)
+        .map_err(|id| format!("--tag: corpus entry {id:?} vanished mid-listing"))
 }
 
 fn fnpool_models() -> Vec<(ModelId, ModelProfile)> {
@@ -672,6 +782,59 @@ mod tests {
     fn fig13_curve_produces_points() {
         let curve = fig13_latency_curve(ModelKind::DsNet, ServingStrategy::Sesemi, 8);
         assert!(curve.len() > 10);
+    }
+
+    /// The E3 acceptance bar: on the Zipf multi-tenant mix, warm-value
+    /// keep-alive serves a strictly higher hot-path fraction than age-only
+    /// eviction — sticky-subset retention keeps the tail models' containers
+    /// alive across idle gaps the short keep-alive would otherwise expire.
+    #[test]
+    fn e3_warm_value_keep_alive_beats_age_only_on_the_zipf_mix() {
+        let registry = sesemi_scenario::ScenarioRegistry::corpus();
+        let entry = registry
+            .get("lifecycle-zipf-warm-value")
+            .expect("corpus entry");
+        for seed in [42, 7] {
+            let run = |kind: LifecycleKind| entry.builder(seed).lifecycle(kind).build().run();
+            let age_only = run(LifecycleKind::AgeOnly);
+            let warm_value = run(LifecycleKind::WarmValue);
+            assert_eq!(
+                age_only.admitted, warm_value.admitted,
+                "identical trace on both sides"
+            );
+            assert!(
+                warm_value.hot_fraction() > age_only.hot_fraction(),
+                "seed {seed}: warm-value hot fraction {:.3} must strictly beat \
+                 age-only {:.3}",
+                warm_value.hot_fraction(),
+                age_only.hot_fraction()
+            );
+            assert!(
+                warm_value.cold_starts < age_only.cold_starts,
+                "seed {seed}: retention must avoid cold starts ({} vs {})",
+                warm_value.cold_starts,
+                age_only.cold_starts
+            );
+            for result in [&age_only, &warm_value] {
+                assert!(result.conserves_requests());
+                assert_eq!(result.dropped, 0);
+            }
+        }
+    }
+
+    /// `--tag` hygiene: an unknown tag is a loud error carrying the known-tag
+    /// list (a registry `with_tag` miss is otherwise indistinguishable from
+    /// a valid-but-empty filter), while a known tag reports every carrier.
+    #[test]
+    fn tag_report_rejects_unknown_tags_with_the_known_list() {
+        let err = tag_report(1, "no-such-tag").expect_err("unknown tag must error");
+        assert!(err.contains("no-such-tag"), "{err}");
+        for known in ["lifecycle", "fault", "quick", "autoscale"] {
+            assert!(err.contains(known), "error must list {known:?}: {err}");
+        }
+        let report = tag_report(1, "lifecycle").expect("known tag runs");
+        let registry = sesemi_scenario::ScenarioRegistry::corpus();
+        assert_eq!(report.rows.len(), registry.with_tag("lifecycle").len());
     }
 
     #[test]

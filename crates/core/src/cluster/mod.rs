@@ -39,11 +39,17 @@
 
 pub mod autoscale;
 pub mod fault;
+pub mod lifecycle;
 pub mod scheduler;
 mod state;
 
 pub use autoscale::{AutoscaleConfig, Autoscaler, ClusterSignals, ScaleDecision};
 pub use fault::{Fault, FaultPlan};
+pub use lifecycle::{
+    AgeOnlyLifecycle, DrainCandidate, DrainContext, DrainVerdict, EvictionCandidate,
+    EvictionContext, EvictionReason, EvictionVerdict, LifecycleKind, LifecyclePolicy,
+    WarmValueLifecycle,
+};
 pub use scheduler::{
     LeastLoadedScheduler, ModelAffinityScheduler, PlacementContext, RoundRobinScheduler, Scheduler,
     SchedulerKind,
@@ -95,6 +101,9 @@ pub struct ClusterConfig {
     pub routing: RoutingStrategy,
     /// Node-placement policy for new containers.
     pub scheduler: SchedulerKind,
+    /// Container-lifecycle policy: which idle containers keep-alive reclaims
+    /// and which node a scale-in drains.
+    pub lifecycle: LifecycleKind,
     /// Elastic node-pool autoscaling.  `None` (the default) keeps the pool
     /// fixed at `nodes`; `Some` starts the pool at `nodes` and lets the
     /// [`Autoscaler`] grow/shrink it within the configured bounds.
@@ -117,6 +126,7 @@ impl Default for ClusterConfig {
             sandbox_cold_start: SimDuration::from_millis(650),
             routing: RoutingStrategy::OneToOne,
             scheduler: SchedulerKind::LeastLoaded,
+            lifecycle: LifecycleKind::AgeOnly,
             autoscale: None,
             seed: 42,
         }
@@ -159,6 +169,7 @@ pub struct ClusterSimulation {
     profiles: HashMap<ModelId, ModelProfile>,
     router: Box<dyn Router>,
     scheduler: Box<dyn Scheduler>,
+    lifecycle: Box<dyn LifecyclePolicy>,
     controller: Controller,
     action_models: HashMap<ActionName, Vec<ModelId>>,
     sandbox_state: HashMap<SandboxId, SandboxSimState>,
@@ -198,6 +209,14 @@ pub struct ClusterSimulation {
     containers_killed: u64,
     requeued_inflight: u64,
     requeued_waiting: u64,
+    evictions_expired: u64,
+    evictions_pressure: u64,
+    evictions_drain: u64,
+    dispatched: u64,
+    cold_dispatches: u64,
+    per_model_warm_hits: HashMap<ModelId, u64>,
+    auxiliary_cold_starts: u64,
+    premigrated: u64,
     next_activation: u64,
     metering: Metering,
     peak_sandboxes: usize,
@@ -268,6 +287,7 @@ impl ClusterSimulation {
         let rng = SimRng::seed_from_u64(config.seed);
         let nodes = config.nodes;
         let scheduler = config.scheduler.build(nodes);
+        let lifecycle = config.lifecycle.build();
         // Execution slots one node contributes: how many containers of the
         // largest registered action fit in its invoker memory, times the
         // per-container concurrency.  The autoscaler's utilization signal is
@@ -303,6 +323,7 @@ impl ClusterSimulation {
             profiles: models.into_iter().collect(),
             router,
             scheduler,
+            lifecycle,
             controller,
             action_models,
             sandbox_state: HashMap::new(),
@@ -333,6 +354,14 @@ impl ClusterSimulation {
             containers_killed: 0,
             requeued_inflight: 0,
             requeued_waiting: 0,
+            evictions_expired: 0,
+            evictions_pressure: 0,
+            evictions_drain: 0,
+            dispatched: 0,
+            cold_dispatches: 0,
+            per_model_warm_hits: HashMap::new(),
+            auxiliary_cold_starts: 0,
+            premigrated: 0,
             next_activation: 0,
             metering: Metering::new(),
             peak_sandboxes: 0,
@@ -461,6 +490,11 @@ impl ClusterSimulation {
                 Ok(outcome) => outcome,
                 Err(_) => break,
             };
+            if outcome.is_cold_start() {
+                // Not request-driven: keeps the cold-start ledger closed
+                // (cold_starts == cold_dispatches + auxiliary_cold_starts).
+                self.auxiliary_cold_starts += 1;
+            }
             let sandbox_id = outcome.sandbox();
             let spec_memory = self
                 .controller
@@ -490,7 +524,15 @@ impl ClusterSimulation {
             for slot in state.slot_models.iter_mut() {
                 *slot = Some(model.clone());
             }
-            self.node_enclave_bytes[node] += state.enclave_bytes;
+            // A warm-reused iteration re-warms the container created by an
+            // earlier one (with a free slot it is the MRU warm candidate):
+            // its enclave bytes are already on the node's books, and
+            // replacing its state must not count them again — phantom EPC
+            // commitment would read as pressure to the warm-value lifecycle
+            // policy and inflate the pricing model's pressure factor.
+            if outcome.is_cold_start() {
+                self.node_enclave_bytes[node] += state.enclave_bytes;
+            }
             self.sandbox_state.insert(sandbox_id, state);
         }
         self.router
@@ -639,6 +681,18 @@ impl ClusterSimulation {
         let memory = sandbox.memory_bytes;
         let is_cold = outcome.is_cold_start();
         request.cold_start = is_cold;
+        // Warm-hit ledger: every dispatch is exactly one of a warm hit or a
+        // cold start, so Σ per-model warm hits + cold dispatches == dispatched
+        // by construction (asserted corpus-wide).
+        self.dispatched += 1;
+        if is_cold {
+            self.cold_dispatches += 1;
+        } else {
+            *self
+                .per_model_warm_hits
+                .entry(request.model.clone())
+                .or_insert(0) += 1;
+        }
         let entry = self.sandbox_state.entry(sandbox_id).or_insert_with(|| {
             SandboxSimState::new(node, action, self.config.tcs_per_container, memory)
         });
@@ -1020,8 +1074,63 @@ impl ClusterSimulation {
         self.record_node_membership(now);
     }
 
+    /// One keep-alive/pressure eviction pass, decided by the configured
+    /// [`LifecyclePolicy`]: the controller exposes the idle-candidate view,
+    /// the simulator annotates it with each container's model and the
+    /// scheduler's [`Scheduler::warm_value`] locality score, the policy
+    /// picks, and the controller applies the verdict.
     fn handle_eviction(&mut self, now: SimTime) {
-        let evicted = self.controller.evict_idle(now);
+        let candidates = self.controller.idle_candidates(now);
+        let views: Vec<EvictionCandidate> = candidates
+            .into_iter()
+            .map(|candidate| {
+                let state = self.sandbox_state.get(&candidate.sandbox);
+                let model = state.and_then(|s| s.warm_model().cloned());
+                let warm_value = model
+                    .as_ref()
+                    .map_or(0.5, |m| self.scheduler.warm_value(m, candidate.node));
+                EvictionCandidate {
+                    sandbox: candidate.sandbox,
+                    node: candidate.node,
+                    model,
+                    last_used: candidate.last_used,
+                    expired: candidate.expired,
+                    node_draining: candidate.node_draining,
+                    enclave_bytes: state.map_or(0, |s| s.enclave_bytes),
+                    warm_value,
+                }
+            })
+            .collect();
+        let verdicts = {
+            let ctx = EvictionContext {
+                now,
+                keep_alive: self.config.keep_alive,
+                candidates: &views,
+                node_enclave_bytes: &self.node_enclave_bytes,
+                epc_bytes: self.config.epc_bytes,
+            };
+            let mut verdicts = self.lifecycle.select_evictions(&ctx);
+            // Sorted and deduplicated by construction, so no policy can leak
+            // iteration-order drift into the determinism guard.  The sort
+            // key includes the reason: if a policy names one sandbox under
+            // two reasons, the `EvictionReason` order picks the survivor
+            // deterministically (not whatever the unstable sort left first).
+            verdicts.sort_unstable_by_key(|verdict| (verdict.sandbox, verdict.reason));
+            verdicts.dedup_by_key(|verdict| verdict.sandbox);
+            verdicts
+        };
+        let mut evicted = Vec::with_capacity(verdicts.len());
+        for verdict in &verdicts {
+            match verdict.reason {
+                EvictionReason::Expired => self.evictions_expired += 1,
+                EvictionReason::Pressure => self.evictions_pressure += 1,
+                EvictionReason::Drain => self.evictions_drain += 1,
+            }
+            evicted.push(verdict.sandbox);
+        }
+        self.controller
+            .reclaim_sandboxes(&evicted)
+            .expect("lifecycle policies evict only live idle candidates");
         let freed = !evicted.is_empty();
         let rescued = self.cleanup_evicted(evicted);
         self.requeue_rescued(rescued);
@@ -1076,7 +1185,7 @@ impl ClusterSimulation {
             }
             ScaleDecision::ScaleIn => {
                 self.scale_in_events += 1;
-                self.drain_least_loaded_node();
+                self.drain_for_scale_in(now);
             }
         }
         self.autoscaler = Some(scaler);
@@ -1084,26 +1193,166 @@ impl ClusterSimulation {
         self.record_cluster_state(now);
     }
 
-    /// Scale-in victim selection: the active node with the least in-flight
-    /// work, then the fewest sandboxes, ties resolved towards the highest
-    /// node id (so the long-lived low-id nodes keep their warm pools).  The
-    /// drained node's provisioned capacity stays billed until it retires.
-    fn drain_least_loaded_node(&mut self) {
-        let victim = self
-            .controller
-            .active_node_loads()
-            .into_iter()
-            .min_by_key(|(node, sandboxes, active)| (*active, *sandboxes, std::cmp::Reverse(*node)))
-            .map(|(node, _, _)| node)
-            .expect("scale-in only fires with nodes above the minimum");
+    /// Scale-in victim selection, decided by the configured
+    /// [`LifecyclePolicy`] over per-node [`DrainCandidate`] views (load,
+    /// sandboxes, and the warm-pool value the scheduler assigns to each
+    /// node's idle containers).  The age-only default picks the least
+    /// in-flight work; the warm-value policy retires the node whose warm
+    /// pool the consistent-hash ring values least, and pre-migrates the
+    /// victims' warm capacity onto surviving nodes before the drain evicts
+    /// it.  The drained node's provisioned capacity stays billed until it
+    /// retires.
+    fn drain_for_scale_in(&mut self, now: SimTime) {
+        let nodes = self.drain_candidates();
+        let Some(verdict) = self
+            .lifecycle
+            .select_drain_victim(&DrainContext { nodes: &nodes })
+        else {
+            return;
+        };
+        let victim = verdict.victim;
+        // Capture the victim's warm pool before the drain destroys it: one
+        // (action, model) pair per distinct model its containers hold, in
+        // model order for determinism.  Busy containers count too — they
+        // finish their in-flight work and are then reclaimed by the drain,
+        // so their warm state is just as forfeit as an idle container's.
+        let migrations = if verdict.premigrate {
+            self.victim_warm_models(victim)
+        } else {
+            Vec::new()
+        };
         let evicted = self
             .controller
             .drain_node(victim)
             .expect("victim is active");
+        self.evictions_drain += evicted.len() as u64;
         let rescued = self.cleanup_evicted(evicted);
         self.requeue_rescued(rescued);
         self.scheduler
             .on_membership_change(&self.controller.active_nodes());
+        // Pre-migration happens *after* the membership change so the ring
+        // (and the snapshots' fits()) already exclude the draining victim.
+        for (action, model) in migrations {
+            self.premigrate(action, model, now);
+        }
+    }
+
+    /// Per-node drain-candidate views for the lifecycle policy: load from
+    /// the controller, warm-pool value from the scheduler's score of each
+    /// container's model (summed in sandbox-id order).  Busy containers
+    /// count toward the pool value — a drain forfeits their warm state too,
+    /// as soon as their in-flight work finishes.
+    fn drain_candidates(&self) -> Vec<DrainCandidate> {
+        let memory_pressure = self.controller.node_memory_pressure();
+        let mut nodes: Vec<DrainCandidate> = self
+            .controller
+            .active_node_loads()
+            .into_iter()
+            .map(|(node, sandboxes, active)| DrainCandidate {
+                node,
+                sandboxes,
+                active_invocations: active,
+                idle_containers: 0,
+                warm_pool_value: 0.0,
+                memory_pressure: memory_pressure.get(node).copied().unwrap_or(0.0),
+            })
+            .collect();
+        let mut live: Vec<&sesemi_platform::Sandbox> = self.controller.sandboxes().collect();
+        live.sort_unstable_by_key(|s| s.id);
+        for sandbox in live {
+            let Some(entry) = nodes.iter_mut().find(|n| n.node == sandbox.node) else {
+                continue; // draining/retired host: not a drain candidate
+            };
+            if sandbox.is_idle() {
+                entry.idle_containers += 1;
+            }
+            entry.warm_pool_value += self
+                .sandbox_state
+                .get(&sandbox.id)
+                .and_then(|state| state.warm_model())
+                .map_or(0.5, |model| self.scheduler.warm_value(model, sandbox.node));
+        }
+        nodes
+    }
+
+    /// The distinct `(action, model)` warm pairs a drain of `victim` would
+    /// forfeit: one entry per model held by the victim's containers (busy
+    /// ones included — their warm state dies when the drain reclaims them
+    /// after their in-flight work), sorted by model id for determinism.
+    fn victim_warm_models(&self, victim: usize) -> Vec<(ActionName, ModelId)> {
+        let mut pairs: Vec<(ActionName, ModelId)> = self
+            .controller
+            .sandboxes()
+            .filter(|s| s.node == victim)
+            .filter_map(|s| {
+                self.sandbox_state
+                    .get(&s.id)
+                    .and_then(|state| state.warm_model())
+                    .map(|model| (s.action.clone(), model.clone()))
+            })
+            .collect();
+        pairs.sort_unstable_by(|a, b| {
+            (a.1.as_str(), a.0.as_str()).cmp(&(b.1.as_str(), b.0.as_str()))
+        });
+        pairs.dedup();
+        pairs
+    }
+
+    /// Pre-migrates one container of warm capacity for `model`: the
+    /// scheduler places a replacement on a surviving node, and the container
+    /// is warmed proactively during its boot window — by the time it is
+    /// ready, its enclave is launched and the model loaded (the strategies
+    /// that reuse that state keep it; keys stay per-user and are fetched on
+    /// first use).  Skipped silently when no surviving node has the memory —
+    /// pre-migration is an optimisation, never a correctness requirement.
+    fn premigrate(&mut self, action: ActionName, model: ModelId, now: SimTime) {
+        let Ok(spec) = self.controller.action(&action) else {
+            return;
+        };
+        let memory_bytes = spec.memory_budget_bytes;
+        let snapshots = self.controller.node_snapshots(&action);
+        let context = PlacementContext {
+            action: &action,
+            model: &model,
+            memory_bytes,
+            nodes: &snapshots,
+            node_enclave_bytes: &self.node_enclave_bytes,
+            epc_bytes: self.config.epc_bytes,
+            pending_for_model: self.router.pending_for(&model),
+            now,
+        };
+        let Some(node) = self.scheduler.place(&context) else {
+            return;
+        };
+        let Ok(outcome) = self.controller.schedule_on(&action, node, now) else {
+            return;
+        };
+        let sandbox_id = outcome.sandbox();
+        self.controller
+            .invocation_finished(sandbox_id, now)
+            .expect("assigned at schedule time");
+        let spec_memory = self
+            .controller
+            .sandbox(sandbox_id)
+            .expect("just scheduled")
+            .memory_bytes;
+        let mut state =
+            SandboxSimState::new(node, action, self.config.tcs_per_container, spec_memory);
+        state.enclave_ready = self.config.strategy.reuses_enclave()
+            || self.config.strategy == ServingStrategy::Untrusted;
+        state.loaded_model = if self.config.strategy.reuses_model() {
+            Some(model)
+        } else {
+            None
+        };
+        self.node_enclave_bytes[node] += state.enclave_bytes;
+        self.sandbox_state.insert(sandbox_id, state);
+        self.queue.push(
+            now + self.config.sandbox_cold_start,
+            Event::SandboxReady(sandbox_id),
+        );
+        self.premigrated += 1;
+        self.auxiliary_cold_starts += 1;
     }
 
     /// A node requested by the autoscaler joins the pool.
@@ -1241,6 +1490,22 @@ impl ClusterSimulation {
             .map(|(action, gbs)| (action.as_str().to_string(), *gbs))
             .collect();
         per_action_gb_seconds.sort_by(|a, b| a.0.cmp(&b.0));
+        let mut per_model_warm_hits: Vec<(String, u64)> = self
+            .per_model_warm_hits
+            .iter()
+            .map(|(model, hits)| (model.as_str().to_string(), *hits))
+            .collect();
+        per_model_warm_hits.sort_by(|a, b| a.0.cmp(&b.0));
+        debug_assert_eq!(
+            per_model_warm_hits.iter().map(|(_, n)| n).sum::<u64>() + self.cold_dispatches,
+            self.dispatched,
+            "warm-hit ledger out of balance"
+        );
+        debug_assert_eq!(
+            self.controller.cold_start_count(),
+            self.cold_dispatches + self.auxiliary_cold_starts,
+            "cold-start ledger out of balance"
+        );
         SimulationResult {
             latency: self.latency,
             per_model_latency: self.per_model_latency,
@@ -1263,6 +1528,14 @@ impl ClusterSimulation {
             containers_killed: self.containers_killed,
             requeued_inflight: self.requeued_inflight,
             requeued_waiting: self.requeued_waiting,
+            evictions_expired: self.evictions_expired,
+            evictions_pressure: self.evictions_pressure,
+            evictions_drain: self.evictions_drain,
+            dispatched: self.dispatched,
+            cold_dispatches: self.cold_dispatches,
+            per_model_warm_hits,
+            auxiliary_cold_starts: self.auxiliary_cold_starts,
+            premigrated: self.premigrated,
             sandbox_series: self.metering.sandbox_series().clone(),
             memory_series: self.metering.memory_series().clone(),
             node_series: self.metering.node_series().clone(),
@@ -2108,5 +2381,221 @@ mod tests {
         assert_eq!(a.p95_latency(), b.p95_latency());
         assert_eq!(a.peak_sandboxes, b.peak_sandboxes);
         assert!((a.gb_seconds - b.gb_seconds).abs() < 1e-12);
+    }
+
+    /// The dispatch ledger holds on every run: each dispatch is exactly one
+    /// of a warm hit or a cold start, and every cold start is either
+    /// request-driven or auxiliary (prewarm / pre-migration).
+    #[test]
+    fn warm_hit_and_cold_start_ledgers_balance() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig {
+            tcs_per_container: 2,
+            ..ClusterConfig::single_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.prewarm(&model, 0, 1);
+        sim.add_arrivals(poisson_trace(&model, 6.0, 30, 51));
+        let result = sim.run(SimDuration::from_secs(30));
+        assert!(result.dispatched >= result.completed);
+        assert_eq!(
+            result.warm_hits() + result.cold_dispatches,
+            result.dispatched
+        );
+        assert_eq!(
+            result.cold_starts,
+            result.cold_dispatches + result.auxiliary_cold_starts
+        );
+        assert_eq!(result.auxiliary_cold_starts, 1, "exactly the prewarm");
+        assert_eq!(result.premigrated, 0);
+        // One model, mostly warm/hot traffic behind a prewarmed container.
+        assert_eq!(result.per_model_warm_hits.len(), 1);
+        assert!(result.warm_hits() > 0);
+    }
+
+    /// Regression: a warm-reused prewarm iteration must not re-count the
+    /// container's enclave bytes.  Pre-fix, `prewarm(model, 0, 3)` (one
+    /// container re-warmed three times — later iterations reuse the MRU
+    /// warm candidate) booked 3× the bytes, and the phantom commitment read
+    /// as EPC pressure: the warm-value policy would evict the only warm
+    /// container the prewarm built.
+    #[test]
+    fn prewarm_reuse_does_not_inflate_enclave_commitment_into_phantom_pressure() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let config = ClusterConfig {
+            tcs_per_container: 1,
+            lifecycle: LifecycleKind::WarmValue,
+            // Room for one container's real commitment, not for three
+            // phantom ones.
+            epc_bytes: budget * 2,
+            invoker_memory_bytes: budget * 4,
+            ..ClusterConfig::single_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.prewarm(&model, 0, 3);
+        assert_eq!(sim.auxiliary_cold_starts, 1, "one container, re-warmed");
+        // No arrivals: only eviction ticks run.  The lone warm container is
+        // far under the EPC, so no pressure eviction may fire.
+        let result = sim.run(SimDuration::from_secs(25));
+        assert_eq!(
+            result.evictions_pressure, 0,
+            "phantom enclave commitment read as EPC pressure"
+        );
+        assert_eq!(result.evictions_expired, 0, "keep-alive has not expired");
+    }
+
+    /// Under EPC pressure the warm-value policy evicts idle containers early
+    /// (before their keep-alive expires) to bring the node's enclave working
+    /// set back under the EPC; the age-only policy never does.
+    #[test]
+    fn warm_value_lifecycle_relieves_epc_pressure_and_age_only_does_not() {
+        let (m0, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let m1 = ModelId::new("second");
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let run = |lifecycle: LifecycleKind| {
+            let config = ClusterConfig {
+                nodes: 2,
+                tcs_per_container: 1,
+                scheduler: SchedulerKind::ModelAffinity,
+                lifecycle,
+                // Two containers fit in memory, but two containers
+                // over-commit the EPC — the pressure regime.
+                invoker_memory_bytes: budget * 4,
+                epc_bytes: budget * 3 / 2,
+                keep_alive: SimDuration::from_secs(300),
+                ..ClusterConfig::multi_node_sgx2()
+            };
+            let mut sim =
+                ClusterSimulation::new(config, vec![(m0.clone(), profile), (m1.clone(), profile)]);
+            let mut trace = poisson_trace(&m0, 3.0, 60, 61);
+            let mut rng = SimRng::seed_from_u64(62);
+            trace.extend(
+                sesemi_workload::ArrivalProcess::Poisson { rate_per_sec: 3.0 }.generate(
+                    &m1,
+                    1,
+                    SimDuration::from_secs(60),
+                    &mut rng,
+                ),
+            );
+            trace.sort_by_key(|a| a.at);
+            sim.add_arrivals(trace);
+            sim.run(SimDuration::from_secs(120))
+        };
+        let age_only = run(LifecycleKind::AgeOnly);
+        assert_eq!(
+            age_only.evictions_pressure, 0,
+            "age-only must never evict for pressure"
+        );
+        let warm_value = run(LifecycleKind::WarmValue);
+        assert!(
+            warm_value.evictions_pressure >= 1,
+            "two models share a node whose EPC holds 1.5 containers: the \
+             warm-value policy must evict for pressure (got {} pressure, {} \
+             expired)",
+            warm_value.evictions_pressure,
+            warm_value.evictions_expired
+        );
+        for result in [&age_only, &warm_value] {
+            assert!(result.conserves_requests());
+            assert_eq!(result.dropped, 0);
+        }
+    }
+
+    /// A warm-value scale-in pre-migrates the victim's warm capacity: the
+    /// drain is preceded by a replacement cold start on a surviving node, so
+    /// the model's warm pool survives the membership change.  The pool is
+    /// constructed explicitly — two models whose ring primaries are
+    /// distinct nodes ("left" → node 0, "right" → node 2 on a 3-node ring),
+    /// one prewarmed container each — and the scale-in path invoked
+    /// directly, pinning the exact victim order: first the empty node 1
+    /// (lowest warm-pool value, nothing to migrate), then (value tie, id
+    /// tie-break) node 2, whose warm container for "right" must be rebuilt
+    /// on the survivor.
+    #[test]
+    fn warm_value_drain_premigrates_warm_capacity_and_stays_deterministic() {
+        let (_, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let left = ModelId::new("left");
+        let right = ModelId::new("right");
+        let budget = sesemi_platform::PlatformConfig::round_memory_budget(
+            profile.enclave_bytes_for_concurrency(1),
+        );
+        let run = || {
+            let config = ClusterConfig {
+                nodes: 3,
+                tcs_per_container: 1,
+                scheduler: SchedulerKind::ModelAffinity,
+                lifecycle: LifecycleKind::WarmValue,
+                invoker_memory_bytes: budget * 4,
+                keep_alive: SimDuration::from_secs(120),
+                ..ClusterConfig::multi_node_sgx2()
+            };
+            let mut sim = ClusterSimulation::new(
+                config,
+                vec![(left.clone(), profile), (right.clone(), profile)],
+            );
+            sim.prewarm(&left, 0, 1);
+            sim.prewarm(&right, 1, 1);
+            // First scale-in: node 1 holds no warm pool at all (aggregate
+            // value 0) and is retired without any migration.
+            sim.drain_for_scale_in(SimTime::from_secs(1));
+            assert_eq!(sim.premigrated, 0, "an empty node needs no migration");
+            // Second scale-in: nodes 0 and 2 tie on warm-pool value (one
+            // sticky container each); the id tie-break drains node 2, and
+            // "right"'s warm capacity is pre-migrated onto node 0.
+            sim.drain_for_scale_in(SimTime::from_secs(2));
+            assert_eq!(sim.premigrated, 1, "the drained warm pool must migrate");
+            // A trailing trickle on both models is served by the surviving
+            // (partly migrated) warm pool — no request-driven cold start.
+            sim.add_arrivals(
+                (1..=3)
+                    .flat_map(|i| {
+                        // 5 s apart per model: each single-slot container
+                        // finishes its warm invocation before the next one.
+                        [
+                            RequestArrival {
+                                at: SimTime::from_secs(5 + 5 * i),
+                                model: left.clone(),
+                                user_index: 0,
+                            },
+                            RequestArrival {
+                                at: SimTime::from_millis((5 + 5 * i) * 1000 + 2500),
+                                model: right.clone(),
+                                user_index: 1,
+                            },
+                        ]
+                    })
+                    .collect(),
+            );
+            sim.run(SimDuration::from_secs(60))
+        };
+        let a = run();
+        assert_eq!(a.premigrated, 1);
+        assert_eq!(
+            a.evictions_drain, 1,
+            "exactly the drained warm container is a drain eviction"
+        );
+        assert_eq!(
+            a.cold_starts,
+            a.cold_dispatches + a.auxiliary_cold_starts,
+            "pre-migration must stay on the auxiliary side of the ledger"
+        );
+        assert_eq!(a.completed, 6);
+        assert_eq!(
+            a.cold_dispatches, 0,
+            "the migrated pool absorbs every request"
+        );
+        assert!(a.conserves_requests());
+        assert_eq!(a.dropped, 0);
+        let b = run();
+        assert_eq!(a.completed, b.completed);
+        assert_eq!(a.premigrated, b.premigrated);
+        assert_eq!(a.evictions_drain, b.evictions_drain);
+        assert_eq!(a.mean_latency(), b.mean_latency());
+        assert!((a.node_gb_seconds - b.node_gb_seconds).abs() < 1e-12);
     }
 }

@@ -80,6 +80,18 @@ pub trait Scheduler {
     fn on_membership_change(&mut self, active_nodes: &[NodeId]) {
         let _ = active_nodes;
     }
+
+    /// How much a warm container of `model` on `node` is worth keeping, in
+    /// `[0, 1]` — the locality signal container-lifecycle policies score
+    /// eviction and drain candidates by.  Placement-blind policies return
+    /// the neutral 0.5 (every container is equally worth keeping, so a
+    /// warm-value lifecycle policy degrades to its age/load tie-breaks);
+    /// the consistent-hash scheduler overrides this with its ring order, so
+    /// containers the ring would rebuild cheapest elsewhere score lowest.
+    fn warm_value(&self, model: &ModelId, node: NodeId) -> f64 {
+        let _ = (model, node);
+        0.5
+    }
 }
 
 /// Which placement policy a simulation uses.
@@ -336,6 +348,21 @@ impl Scheduler for ModelAffinityScheduler {
         self.rebuild(active_nodes);
     }
 
+    /// The ring's keep-worthiness of a warm container: 1.0 inside the
+    /// model's sticky subset (this is exactly where the ring sends the
+    /// model's traffic, so warm capacity here is maximally valuable),
+    /// decaying with ring rank off-subset (`1 / (rank + 1)` — capacity the
+    /// ring only reaches on spill-over, cheap to rebuild where it belongs),
+    /// 0.0 for a node no longer in the membership.
+    fn warm_value(&self, model: &ModelId, node: NodeId) -> f64 {
+        let order = self.preferred_nodes(model);
+        match order.iter().position(|n| *n == node) {
+            Some(rank) if rank < self.subset_size() => 1.0,
+            Some(rank) => 1.0 / (rank + 1) as f64,
+            None => 0.0,
+        }
+    }
+
     /// Warm reuse is affinity-aware too: prefer warm containers on the
     /// model's ring order (most-recently-used within a node), falling back to
     /// plain MRU off-ring.  Under shared endpoints this keeps a model's
@@ -560,6 +587,30 @@ mod tests {
         }
         assert_eq!(scheduler.subset_size(), 2);
         assert_eq!(scheduler.preferred_nodes(&model).len(), 2);
+    }
+
+    #[test]
+    fn warm_value_follows_the_ring_and_defaults_to_neutral() {
+        let model = ModelId::new("m");
+        let scheduler = ModelAffinityScheduler::with_params(6, 31, 2);
+        let order = scheduler.preferred_nodes(&model);
+        // Sticky-subset members are maximally valuable; value decays with
+        // ring rank beyond them; everything stays within [0, 1].
+        assert_eq!(scheduler.warm_value(&model, order[0]), 1.0);
+        assert_eq!(scheduler.warm_value(&model, order[1]), 1.0);
+        let mut previous = 1.0;
+        for &node in &order[2..] {
+            let value = scheduler.warm_value(&model, node);
+            assert!(value < previous && value > 0.0, "value {value}");
+            previous = value;
+        }
+        // A node outside the membership is worth nothing.
+        let mut shrunk = scheduler.clone();
+        shrunk.on_membership_change(&[order[0], order[1]]);
+        assert_eq!(shrunk.warm_value(&model, order[2]), 0.0);
+        // Placement-blind policies score everything neutrally.
+        assert_eq!(LeastLoadedScheduler.warm_value(&model, 0), 0.5);
+        assert_eq!(RoundRobinScheduler::new().warm_value(&model, 3), 0.5);
     }
 
     #[test]

@@ -108,6 +108,16 @@ impl SandboxSimState {
         self.loaded_model.as_ref() == Some(model)
             || self.slot_models.iter().flatten().any(|m| m == model)
     }
+
+    /// The model whose warm state this container would contribute if kept
+    /// alive: the loaded model, or (for strategies that wipe the model but
+    /// keep slot runtimes) the first slot's model.  `None` for a container
+    /// holding nothing warm — lifecycle policies score those neutrally.
+    pub(super) fn warm_model(&self) -> Option<&ModelId> {
+        self.loaded_model
+            .as_ref()
+            .or_else(|| self.slot_models.iter().flatten().next())
+    }
 }
 
 /// Aggregated results of one simulation run.
@@ -178,6 +188,33 @@ pub struct SimulationResult {
     /// requests, so a non-zero value proves the forced-kill re-queue path
     /// ran.
     pub requeued_waiting: u64,
+    /// Containers reclaimed because their (possibly policy-extended)
+    /// keep-alive window expired.
+    pub evictions_expired: u64,
+    /// Containers reclaimed by the lifecycle policy to relieve EPC pressure
+    /// (only the warm-value policy evicts for this reason).
+    pub evictions_pressure: u64,
+    /// Containers reclaimed because their node was draining (the immediate
+    /// reclaim at drain time plus the per-tick sweep of newly idle
+    /// containers on draining nodes).  Zero for fixed pools.
+    pub evictions_drain: u64,
+    /// Successful request dispatches (a request re-dispatched after a fault
+    /// re-queue counts once per dispatch).  Every dispatch is exactly one of
+    /// a warm hit or a cold dispatch: `Σ per_model_warm_hits +
+    /// cold_dispatches == dispatched`.
+    pub dispatched: u64,
+    /// Dispatches that had to cold-start a fresh container.
+    pub cold_dispatches: u64,
+    /// Warm hits per model (dispatches absorbed by an existing container),
+    /// sorted by model id.
+    pub per_model_warm_hits: Vec<(String, u64)>,
+    /// Cold starts not driven by a request: prewarmed containers plus
+    /// pre-migrated drain replacements.  Closes the cold-start ledger:
+    /// `cold_starts == cold_dispatches + auxiliary_cold_starts`.
+    pub auxiliary_cold_starts: u64,
+    /// Replacement containers the warm-value drain pre-migrated onto
+    /// surviving nodes before retiring a victim's warm pool.
+    pub premigrated: u64,
     /// Sandbox-count time series (total, serving).
     pub sandbox_series: TimeSeries,
     /// Committed-memory time series in GB.
@@ -240,5 +277,19 @@ impl SimulationResult {
     #[must_use]
     pub fn activation_gb_seconds(&self) -> f64 {
         self.per_action_gb_seconds.iter().map(|(_, gbs)| gbs).sum()
+    }
+
+    /// Total warm hits across models (the complement of `cold_dispatches`
+    /// within `dispatched`).
+    #[must_use]
+    pub fn warm_hits(&self) -> u64 {
+        self.per_model_warm_hits.iter().map(|(_, hits)| hits).sum()
+    }
+
+    /// Total policy-driven evictions, across reasons.  (Crash and kill
+    /// reclaims are accounted separately, under the fault counters.)
+    #[must_use]
+    pub fn evictions_total(&self) -> u64 {
+        self.evictions_expired + self.evictions_pressure + self.evictions_drain
     }
 }

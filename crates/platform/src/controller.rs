@@ -91,6 +91,30 @@ impl NodeSnapshot {
     }
 }
 
+/// An idle container the lifecycle layer may reclaim right now, with the
+/// facts an eviction policy decides on.  Produced by
+/// [`Controller::idle_candidates`] in ascending sandbox-id order, so policy
+/// decisions built from this view are deterministic by construction —
+/// hash-map iteration order can never leak into reclaim decisions.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct IdleCandidate {
+    /// The idle sandbox.
+    pub sandbox: SandboxId,
+    /// The node hosting it.
+    pub node: NodeId,
+    /// The action it serves.
+    pub action: ActionName,
+    /// When it last served (or was assigned) an activation — the keep-alive
+    /// clock.
+    pub last_used: SimTime,
+    /// Whether its keep-alive window has expired (the built-in reclaim
+    /// trigger).
+    pub expired: bool,
+    /// Whether its node is draining (draining nodes reclaim idle containers
+    /// immediately, ignoring keep-alive).
+    pub node_draining: bool,
+}
+
 /// A warm container that could absorb one more invocation of an action.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct WarmCandidate {
@@ -433,23 +457,85 @@ impl Controller {
         Ok(())
     }
 
+    /// Every idle container, in ascending sandbox-id order, annotated with
+    /// the facts an eviction policy needs (keep-alive expiry, node drain
+    /// state).  This is the candidate view external lifecycle policies
+    /// decide over; hand the chosen subset back via
+    /// [`Controller::reclaim_sandboxes`].  The sort makes any policy built
+    /// on this view deterministic by construction.
+    #[must_use]
+    pub fn idle_candidates(&self, now: SimTime) -> Vec<IdleCandidate> {
+        let keep_alive = self.config.container_keep_alive;
+        let mut candidates: Vec<IdleCandidate> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.is_idle())
+            .map(|s| IdleCandidate {
+                sandbox: s.id,
+                node: s.node,
+                action: s.action.clone(),
+                last_used: s.last_used,
+                expired: s.keep_alive_expired(now, keep_alive),
+                node_draining: self.nodes[s.node].state == NodeState::Draining,
+            })
+            .collect();
+        candidates.sort_unstable_by_key(|candidate| candidate.sandbox);
+        candidates
+    }
+
+    /// Applies an external eviction verdict: reclaims exactly the listed
+    /// sandboxes.  All-or-nothing — errors (before touching anything) if any
+    /// id is unknown or still has work in flight, so a buggy policy surfaces
+    /// instead of silently corrupting the cluster.
+    pub fn reclaim_sandboxes(&mut self, ids: &[SandboxId]) -> Result<(), PlatformError> {
+        for id in ids {
+            let sandbox = self
+                .sandboxes
+                .get(id)
+                .ok_or(PlatformError::UnknownSandbox(id.0))?;
+            if !sandbox.is_idle() {
+                return Err(PlatformError::InvalidSandboxState {
+                    sandbox: id.0,
+                    reason: "cannot reclaim a sandbox with work in flight".to_string(),
+                });
+            }
+        }
+        self.reclaim(ids);
+        Ok(())
+    }
+
     /// Reclaims idle containers whose keep-alive window expired — plus every
     /// idle container on a draining node, regardless of keep-alive (draining
     /// means the node is being emptied, so there is no warm pool to preserve
-    /// there).  Returns the reclaimed sandbox ids.
+    /// there).  Returns the reclaimed sandbox ids in ascending id order
+    /// (inherited from [`Controller::idle_candidates`]), so the reclaim
+    /// order is deterministic by construction.
     pub fn evict_idle(&mut self, now: SimTime) -> Vec<SandboxId> {
-        let keep_alive = self.config.container_keep_alive;
         let expired: Vec<SandboxId> = self
-            .sandboxes
-            .values()
-            .filter(|s| {
-                s.keep_alive_expired(now, keep_alive)
-                    || (s.is_idle() && self.nodes[s.node].state == NodeState::Draining)
-            })
-            .map(|s| s.id)
+            .idle_candidates(now)
+            .into_iter()
+            .filter(|candidate| candidate.expired || candidate.node_draining)
+            .map(|candidate| candidate.sandbox)
             .collect();
         self.reclaim(&expired);
         expired
+    }
+
+    /// Per-node committed-memory pressure (`memory_used / memory_capacity`),
+    /// indexed by `NodeId` over every allocated slot (retired nodes report
+    /// 0.0).  One of the pressure views lifecycle policies decide on.
+    #[must_use]
+    pub fn node_memory_pressure(&self) -> Vec<f64> {
+        self.nodes
+            .iter()
+            .map(|n| {
+                if n.state == NodeState::Retired || n.memory_capacity == 0 {
+                    0.0
+                } else {
+                    n.memory_used as f64 / n.memory_capacity as f64
+                }
+            })
+            .collect()
     }
 
     fn reclaim(&mut self, ids: &[SandboxId]) {
@@ -1300,6 +1386,125 @@ mod tests {
                 node: 1
             }
         );
+    }
+
+    #[test]
+    fn evict_idle_reclaims_in_ascending_sandbox_id_order_by_construction() {
+        // Many idle sandboxes across several nodes, all expired: the reclaim
+        // order must be ascending by sandbox id regardless of hash-map
+        // iteration order, so policy-driven eviction can never introduce
+        // iteration-order drift into the determinism guard.
+        let mut c = controller(4, 4096);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        let mut ids = Vec::new();
+        for i in 0..12u64 {
+            let outcome = c
+                .schedule_on(&"f".into(), (i % 4) as usize, SimTime::from_secs(1))
+                .unwrap();
+            c.sandbox_ready(outcome.sandbox()).unwrap();
+            c.invocation_finished(outcome.sandbox(), SimTime::from_secs(2))
+                .unwrap();
+            ids.push(outcome.sandbox());
+        }
+        let evicted = c.evict_idle(SimTime::from_secs(2 + 200));
+        assert_eq!(evicted.len(), 12);
+        assert!(
+            evicted.windows(2).all(|pair| pair[0] < pair[1]),
+            "eviction order not ascending: {evicted:?}"
+        );
+        assert_eq!(evicted, ids, "every expired sandbox reclaimed, in order");
+    }
+
+    #[test]
+    fn idle_candidates_expose_expiry_and_drain_state_in_id_order() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        // An old idle sandbox on node 0, a fresh idle one on node 1, and a
+        // busy one on node 1 (never a candidate).
+        let old = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+            .unwrap();
+        c.sandbox_ready(old.sandbox()).unwrap();
+        c.invocation_finished(old.sandbox(), SimTime::from_secs(2))
+            .unwrap();
+        let fresh = c
+            .schedule_on(&"f".into(), 1, SimTime::from_secs(198))
+            .unwrap();
+        c.sandbox_ready(fresh.sandbox()).unwrap();
+        c.invocation_finished(fresh.sandbox(), SimTime::from_secs(199))
+            .unwrap();
+        let busy = c
+            .schedule_on(&"f".into(), 1, SimTime::from_secs(199))
+            .unwrap();
+
+        let candidates = c.idle_candidates(SimTime::from_secs(200));
+        assert_eq!(candidates.len(), 2);
+        assert_eq!(candidates[0].sandbox, old.sandbox());
+        assert!(candidates[0].expired, "idle for 198 s > 180 s keep-alive");
+        assert!(!candidates[0].node_draining);
+        assert_eq!(candidates[0].last_used, SimTime::from_secs(2));
+        assert_eq!(candidates[0].action, ActionName::new("f"));
+        assert_eq!(candidates[1].sandbox, fresh.sandbox());
+        assert!(!candidates[1].expired);
+        assert!(!candidates.iter().any(|c| c.sandbox == busy.sandbox()));
+
+        // Draining flips the flag on the node's idle candidates.
+        c.drain_node(1).unwrap();
+        // (the drain already reclaimed the fresh idle sandbox)
+        let candidates = c.idle_candidates(SimTime::from_secs(200));
+        assert_eq!(candidates.len(), 1);
+        assert!(!candidates[0].node_draining, "node 0 is active");
+    }
+
+    #[test]
+    fn reclaim_sandboxes_is_atomic_and_refuses_busy_or_unknown_ids() {
+        let mut c = controller(1, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        let idle = c.schedule(&"f".into(), SimTime::from_secs(1)).unwrap();
+        c.sandbox_ready(idle.sandbox()).unwrap();
+        c.invocation_finished(idle.sandbox(), SimTime::from_secs(2))
+            .unwrap();
+        // An explicit placement cold-starts a second container (with its
+        // invocation in flight) instead of reusing the idle warm one.
+        let busy = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(3))
+            .unwrap();
+        c.sandbox_ready(busy.sandbox()).unwrap();
+
+        // A verdict naming a busy sandbox is refused wholesale: the idle one
+        // survives too.
+        assert!(matches!(
+            c.reclaim_sandboxes(&[idle.sandbox(), busy.sandbox()]),
+            Err(PlatformError::InvalidSandboxState { .. })
+        ));
+        assert_eq!(c.sandbox_count(), 2);
+        // Unknown ids are refused.
+        assert!(matches!(
+            c.reclaim_sandboxes(&[SandboxId(999)]),
+            Err(PlatformError::UnknownSandbox(999))
+        ));
+        // A valid verdict reclaims exactly the listed sandboxes.
+        c.reclaim_sandboxes(&[idle.sandbox()]).unwrap();
+        assert_eq!(c.sandbox_count(), 1);
+        assert!(c.sandbox(idle.sandbox()).is_err());
+        assert!(c.sandbox(busy.sandbox()).is_ok());
+    }
+
+    #[test]
+    fn node_memory_pressure_tracks_commitment_per_slot() {
+        let mut c = controller(2, 1024);
+        c.register_action(spec("f", 256, 1)).unwrap();
+        let _ = c
+            .schedule_on(&"f".into(), 0, SimTime::from_secs(1))
+            .unwrap();
+        let pressure = c.node_memory_pressure();
+        assert_eq!(pressure.len(), 2);
+        assert!((pressure[0] - 0.25).abs() < 1e-12);
+        assert_eq!(pressure[1], 0.0);
+        // Retired slots read as zero pressure.
+        c.drain_node(1).unwrap();
+        c.remove_node(1).unwrap();
+        assert_eq!(c.node_memory_pressure()[1], 0.0);
     }
 
     #[test]

@@ -41,7 +41,8 @@ pub mod storage;
 pub use action::{ActionName, ActionSpec, ActivationId, ActivationRecord};
 pub use config::PlatformConfig;
 pub use controller::{
-    default_placement, Controller, NodeId, NodeSnapshot, NodeState, ScheduleOutcome, WarmCandidate,
+    default_placement, Controller, IdleCandidate, NodeId, NodeSnapshot, NodeState, ScheduleOutcome,
+    WarmCandidate,
 };
 pub use error::PlatformError;
 pub use sandbox::{Sandbox, SandboxId, SandboxState};

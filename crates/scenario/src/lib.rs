@@ -50,7 +50,8 @@ pub use registry::{CorpusEntry, ScenarioRegistry};
 
 use sesemi::baseline::ServingStrategy;
 use sesemi::cluster::{
-    AutoscaleConfig, ClusterConfig, ClusterSimulation, FaultPlan, SchedulerKind, SimulationResult,
+    AutoscaleConfig, ClusterConfig, ClusterSimulation, FaultPlan, LifecycleKind, SchedulerKind,
+    SimulationResult,
 };
 use sesemi_enclave::SgxVersion;
 use sesemi_fnpacker::RoutingStrategy;
@@ -259,6 +260,16 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn scheduler(mut self, scheduler: SchedulerKind) -> Self {
         self.config.scheduler = scheduler;
+        self
+    }
+
+    /// The container-lifecycle policy: which idle containers keep-alive
+    /// reclaims and which node a scale-in drains (default
+    /// [`LifecycleKind::AgeOnly`], the behaviour-preserving pre-refactor
+    /// rules).
+    #[must_use]
+    pub fn lifecycle(mut self, lifecycle: LifecycleKind) -> Self {
+        self.config.lifecycle = lifecycle;
         self
     }
 

@@ -18,13 +18,16 @@
 //! | `autoscale`  | elastic node pool |
 //! | `fault`      | carries a failure-injection plan (`crash` / `kill`) |
 //! | `elasticity` | one side of the fixed-vs-elastic `E2` comparison |
+//! | `lifecycle`  | exercises a non-default container-lifecycle policy (the `E3` comparisons) |
 //!
 //! The corpus-wide invariant suite (`tests/scenario_corpus.rs`) runs every
 //! entry at two seeds and asserts conservation and accounting consistency,
 //! so adding a scenario here automatically puts it under test.
 
 use crate::{Scenario, ScenarioBuilder};
-use sesemi::cluster::{AutoscaleConfig, ClusterConfig, SimulationResult};
+use sesemi::cluster::{
+    AutoscaleConfig, ClusterConfig, LifecycleKind, SchedulerKind, SimulationResult,
+};
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
 use sesemi_sim::{SimDuration, SimTime};
 use sesemi_workload::ArrivalProcess;
@@ -137,13 +140,29 @@ impl ScenarioRegistry {
         self.entries.iter().map(|entry| entry.id).collect()
     }
 
-    /// Entries carrying `tag`, in registration order.
+    /// Entries carrying `tag`, in registration order.  Returns an empty
+    /// vector for an unknown tag — indistinguishable from a valid-but-empty
+    /// filter, so harnesses that must fail loudly on typos should use
+    /// [`ScenarioRegistry::try_with_tag`] instead.
     #[must_use]
     pub fn with_tag(&self, tag: &str) -> Vec<&CorpusEntry> {
         self.entries
             .iter()
             .filter(|entry| entry.has_tag(tag))
             .collect()
+    }
+
+    /// Entries carrying `tag`, or — when no entry carries it (tags only
+    /// exist by appearing on entries, so "unknown" and "empty" coincide) —
+    /// the sorted list of known tags as the error, ready for a harness's
+    /// diagnostic.
+    pub fn try_with_tag(&self, tag: &str) -> Result<Vec<&CorpusEntry>, Vec<&'static str>> {
+        let entries = self.with_tag(tag);
+        if entries.is_empty() {
+            Err(self.tags().into_iter().collect())
+        } else {
+            Ok(entries)
+        }
     }
 
     /// Every tag used by at least one entry, sorted.
@@ -217,6 +236,35 @@ fn under_crash_base(seed: u64, name: &str) -> ScenarioBuilder {
         .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 10.0 })
         .node_crash(SimTime::from_secs(40), 0)
         .duration(SimDuration::from_secs(120))
+}
+
+/// The shared workload of the `E3` keep-alive comparison: a Zipf(1)-skewed
+/// five-model mix on the consistent-hash scheduler with a keep-alive short
+/// enough that the tail models' idle gaps actually expire containers — the
+/// regime where locality-aware retention pays.  `E3` runs it once per
+/// lifecycle policy; the corpus registers the warm-value side.
+fn lifecycle_zipf_base(seed: u64, name: &str) -> ScenarioBuilder {
+    let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+    let models: Vec<(ModelId, ModelProfile)> = (0..5)
+        .map(|i| (ModelId::new(format!("m{i}")), profile))
+        .collect();
+    let rates = zipf_rates(models.len(), 3.0);
+    let mut builder = Scenario::builder(name)
+        .cluster(ClusterConfig::multi_node_sgx2())
+        .seed(seed)
+        .nodes(4)
+        .tcs_per_container(1)
+        .scheduler(SchedulerKind::ModelAffinity)
+        .keep_alive(SimDuration::from_secs(10))
+        .models(models.clone());
+    for (index, ((model, _), rate)) in models.iter().zip(rates).enumerate() {
+        builder = builder.traffic(
+            model.clone(),
+            index,
+            ArrivalProcess::Poisson { rate_per_sec: rate },
+        );
+    }
+    builder.duration(SimDuration::from_secs(240))
 }
 
 fn corpus_entries() -> Vec<CorpusEntry> {
@@ -475,6 +523,111 @@ fn corpus_entries() -> Vec<CorpusEntry> {
             builder: |seed| under_crash_base(seed, "fixed-under-crash").nodes(4),
         },
         CorpusEntry {
+            id: "lifecycle-zipf-warm-value",
+            description: "The E3 keep-alive treatment: the Zipf five-model mix on the \
+                          consistent-hash scheduler with a 10 s keep-alive and the warm-value \
+                          lifecycle — sticky-subset containers earn extended retention.",
+            tags: &["lifecycle", "multi-tenant", "zipf"],
+            builder: |seed| {
+                lifecycle_zipf_base(seed, "lifecycle-zipf-warm-value")
+                    .lifecycle(LifecycleKind::WarmValue)
+            },
+        },
+        CorpusEntry {
+            id: "lifecycle-epc-pressure",
+            description: "Three MBNET endpoints whose warm pools overcommit a 1.5-container \
+                          EPC: the warm-value lifecycle evicts the off-ring containers early \
+                          to keep each node's enclave working set resident.",
+            tags: &["lifecycle", "multi-tenant"],
+            builder: |seed| {
+                let (_, profile) = mbnet();
+                let models: Vec<(ModelId, ModelProfile)> = (0..3)
+                    .map(|i| (ModelId::new(format!("m{i}")), profile))
+                    .collect();
+                let mut builder = Scenario::builder("lifecycle-epc-pressure")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(3)
+                    .tcs_per_container(1)
+                    .scheduler(SchedulerKind::ModelAffinity)
+                    .lifecycle(LifecycleKind::WarmValue)
+                    .invoker_memory_bytes(budget(&profile, 1) * 4)
+                    .epc_bytes(budget(&profile, 1) * 3 / 2)
+                    .keep_alive(SimDuration::from_secs(90))
+                    .models(models.clone());
+                for (index, (model, _)) in models.iter().enumerate() {
+                    builder = builder.traffic(
+                        model.clone(),
+                        index,
+                        ArrivalProcess::Poisson { rate_per_sec: 2.0 },
+                    );
+                }
+                builder.duration(SimDuration::from_secs(120))
+            },
+        },
+        CorpusEntry {
+            id: "lifecycle-drain-under-crash",
+            description: "The E3 drain treatment: a burst/quiet MMPP DSNET stream on an \
+                          elastic 2→4-node pool that loses node 0 at t=40 s, with the \
+                          consistent-hash scheduler and the warm-value lifecycle — every \
+                          quiet-phase scale-in retires the least valuable warm pool and \
+                          pre-migrates the hot model's capacity first.",
+            tags: &["lifecycle", "fault", "crash", "autoscale", "mmpp"],
+            builder: |seed| {
+                let profile = ModelProfile::paper(ModelKind::DsNet, Framework::Tvm);
+                let models: Vec<(ModelId, ModelProfile)> = (0..3)
+                    .map(|i| (ModelId::new(format!("m{i}")), profile))
+                    .collect();
+                let mut builder = Scenario::builder("lifecycle-drain-under-crash")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(2)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1) * 4)
+                    .keep_alive(SimDuration::from_secs(90))
+                    .autoscale(AutoscaleConfig {
+                        idle_ticks: 4,
+                        // Grow before the pool is memory-full: a drain's
+                        // pre-migrated replacement needs a free slot on a
+                        // survivor, and the default 90% threshold only adds
+                        // nodes once every slot is committed.
+                        scale_out_utilization: 0.55,
+                        ..AutoscaleConfig::new(2, 4)
+                    })
+                    .scheduler(SchedulerKind::ModelAffinity)
+                    .lifecycle(LifecycleKind::WarmValue)
+                    .models(models.clone());
+                // The popular model's bursts push the 2-node floor over the
+                // scale-out threshold and its quiet phases idle it (scale-in
+                // drains); the tail models keep low-rate warm pools on
+                // their own sticky nodes, so the drained node's spilled
+                // burst capacity is the cheap pool to retire — and the
+                // warm capacity it does hold gets pre-migrated.
+                builder = builder
+                    .traffic(
+                        models[0].0.clone(),
+                        0,
+                        ArrivalProcess::Mmpp {
+                            rates_per_sec: vec![12.0, 1.0],
+                            mean_dwell: SimDuration::from_secs(40),
+                        },
+                    )
+                    .traffic(
+                        models[1].0.clone(),
+                        1,
+                        ArrivalProcess::Poisson { rate_per_sec: 0.6 },
+                    )
+                    .traffic(
+                        models[2].0.clone(),
+                        2,
+                        ArrivalProcess::Poisson { rate_per_sec: 0.4 },
+                    );
+                builder
+                    .node_crash(SimTime::from_secs(40), 0)
+                    .duration(SimDuration::from_secs(240))
+            },
+        },
+        CorpusEntry {
             id: "autoscale-under-crash",
             description: "E2 treatment: the same trace and crash on an elastic 2→4-node pool \
                           — the autoscaler replaces the crashed node on demand.",
@@ -539,6 +692,20 @@ mod tests {
         }
         assert!(registry.tags().contains("autoscale"));
         assert!(registry.with_tag("no-such-tag").is_empty());
+    }
+
+    #[test]
+    fn try_with_tag_distinguishes_unknown_tags_from_filters() {
+        let registry = ScenarioRegistry::corpus();
+        let lifecycle = registry.try_with_tag("lifecycle").expect("known tag");
+        assert!(lifecycle.len() >= 3, "want >= 3 lifecycle scenarios");
+        assert!(lifecycle.iter().all(|entry| entry.has_tag("lifecycle")));
+        let Err(known) = registry.try_with_tag("no-such-tag") else {
+            panic!("unknown tag must be an error");
+        };
+        // The error is the sorted known-tag list, ready for a diagnostic.
+        assert_eq!(known, registry.tags().into_iter().collect::<Vec<_>>());
+        assert!(known.contains(&"lifecycle"));
     }
 
     #[test]

@@ -9,7 +9,7 @@
 //! there is no per-scenario test to forget.
 
 use proptest::prelude::*;
-use sesemi::cluster::SimulationResult;
+use sesemi::cluster::{LifecycleKind, SimulationResult};
 use sesemi_scenario::{Scenario, ScenarioBuilder, ScenarioRegistry};
 use sesemi_sim::SimTime;
 
@@ -50,6 +50,28 @@ fn assert_internally_consistent(id: &str, seed: u64, result: &SimulationResult) 
     );
     assert!(result.gb_seconds >= 0.0 && result.node_gb_seconds >= 0.0);
     assert!(result.peak_nodes >= 1, "{id}: a pool served with no nodes");
+    // The lifecycle layer's dispatch ledger: every successful dispatch is
+    // exactly one of a warm hit or a cold start...
+    assert_eq!(
+        result.warm_hits() + result.cold_dispatches,
+        result.dispatched,
+        "{id} (seed {seed}): warm hits + cold dispatches != dispatches"
+    );
+    // ...and every cold start is either request-driven or auxiliary
+    // (prewarm / pre-migration) — the cold-start complement.
+    assert_eq!(
+        result.cold_starts,
+        result.cold_dispatches + result.auxiliary_cold_starts,
+        "{id} (seed {seed}): cold-start ledger out of balance"
+    );
+    assert!(
+        result.dispatched >= result.completed,
+        "{id} (seed {seed}): completions without dispatches"
+    );
+    assert!(
+        result.premigrated <= result.auxiliary_cold_starts,
+        "{id} (seed {seed}): pre-migrations are auxiliary cold starts"
+    );
 }
 
 /// Corpus conformance: every registered scenario, at two seeds, completes
@@ -61,6 +83,7 @@ fn every_corpus_scenario_conserves_requests_at_two_seeds() {
     let registry = ScenarioRegistry::corpus();
     for entry in registry.entries() {
         for seed in CONFORMANCE_SEEDS {
+            let scenario = entry.build(seed);
             let result = entry.run(seed);
             assert!(
                 result.completed > 0,
@@ -68,6 +91,29 @@ fn every_corpus_scenario_conserves_requests_at_two_seeds() {
                 entry.id
             );
             assert_internally_consistent(entry.id, seed, &result);
+            if scenario.config().lifecycle == LifecycleKind::AgeOnly {
+                // Only the warm-value policy evicts for EPC pressure or
+                // pre-migrates drained warm pools.
+                assert_eq!(
+                    result.evictions_pressure, 0,
+                    "{}: age-only pressure eviction",
+                    entry.id
+                );
+                assert_eq!(
+                    result.premigrated, 0,
+                    "{}: age-only pre-migration",
+                    entry.id
+                );
+            }
+            if scenario.config().autoscale.is_none() && !entry.has_tag("fault") {
+                // Drain-reason evictions need a draining node, which only
+                // scale-in produces on a fault-free fixed pool.
+                assert_eq!(
+                    result.evictions_drain, 0,
+                    "{}: drain eviction without a drain",
+                    entry.id
+                );
+            }
             if entry.has_tag("fault") {
                 assert!(
                     result.node_crashes + result.containers_killed > 0,
@@ -147,6 +193,61 @@ fn node_crash_drives_the_waiting_queue_requeue_path_and_the_control_stays_cold()
     // only do better.
     assert_eq!(control.admitted, crashed.admitted);
     assert_eq!(control.dropped, 0);
+}
+
+/// The EPC-pressure corpus scenario actually exercises the warm-value
+/// policy's pressure path — three models' warm pools overcommit a
+/// 1.5-container EPC, so idle containers are reclaimed *before* their 90 s
+/// keep-alive — and the identical scenario under the age-only policy proves
+/// the path belongs to the policy, not the workload.
+#[test]
+fn epc_pressure_scenario_drives_pressure_evictions_only_under_warm_value() {
+    let entry_builder = |seed| {
+        ScenarioRegistry::corpus()
+            .get("lifecycle-epc-pressure")
+            .expect("corpus entry")
+            .builder(seed)
+    };
+    let warm_value = entry_builder(5).build().run();
+    assert!(
+        warm_value.evictions_pressure >= 1,
+        "the overcommitted EPC never drove a pressure eviction"
+    );
+    assert!(warm_value.conserves_requests());
+
+    let age_only = entry_builder(5)
+        .lifecycle(LifecycleKind::AgeOnly)
+        .build()
+        .run();
+    assert_eq!(
+        age_only.evictions_pressure, 0,
+        "age-only eviction must ignore EPC pressure"
+    );
+    assert_eq!(age_only.admitted, warm_value.admitted, "identical trace");
+    assert!(age_only.conserves_requests());
+}
+
+/// Lifecycle-tagged scenarios reproduce bit-for-bit under both policies —
+/// the corpus-level determinism guard for the new layer (the CI guard pins
+/// the E3 JSON the same way).
+#[test]
+fn lifecycle_scenarios_are_deterministic_under_both_policies() {
+    let registry = ScenarioRegistry::corpus();
+    for entry in registry.with_tag("lifecycle") {
+        for kind in LifecycleKind::ALL {
+            let run = || entry.builder(9).lifecycle(kind).build().run();
+            let a = run();
+            let b = run();
+            assert_eq!(a.completed, b.completed, "{}", entry.id);
+            assert_eq!(a.cold_starts, b.cold_starts, "{}", entry.id);
+            assert_eq!(a.evictions_expired, b.evictions_expired, "{}", entry.id);
+            assert_eq!(a.evictions_pressure, b.evictions_pressure, "{}", entry.id);
+            assert_eq!(a.evictions_drain, b.evictions_drain, "{}", entry.id);
+            assert_eq!(a.premigrated, b.premigrated, "{}", entry.id);
+            assert_eq!(a.per_model_warm_hits, b.per_model_warm_hits, "{}", entry.id);
+            assert_eq!(a.mean_latency(), b.mean_latency(), "{}", entry.id);
+        }
+    }
 }
 
 /// Crash-bearing corpus scenarios reproduce bit-for-bit — the corpus-level
