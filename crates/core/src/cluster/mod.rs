@@ -37,12 +37,17 @@
 //! scenario layer asserts it), so saturation can never silently lose work —
 //! and neither can a crash: killed work is re-queued or counted `dropped`.
 
+pub mod admission;
 pub mod autoscale;
 pub mod fault;
 pub mod lifecycle;
 pub mod scheduler;
 mod state;
 
+pub use admission::{
+    AdmissionContext, AdmissionKind, AdmissionPolicy, AdmissionVerdict, AdmitAllAdmission,
+    DeadlineAwareAdmission, QueueBoundAdmission, QueuedRequest,
+};
 pub use autoscale::{AutoscaleConfig, Autoscaler, ClusterSignals, ScaleDecision};
 pub use fault::{Fault, FaultPlan};
 pub use lifecycle::{
@@ -67,7 +72,7 @@ use sesemi_platform::{
 };
 use sesemi_runtime::{InvocationPath, InvocationReport, ServingStage};
 use sesemi_sim::{EventQueue, LatencyStats, SimDuration, SimRng, SimTime, TimeSeries};
-use sesemi_workload::{InteractiveSession, RequestArrival};
+use sesemi_workload::{InteractiveSession, RequestArrival, Tier};
 use state::{Event, SandboxSimState, SimRequest};
 use std::collections::HashMap;
 use std::collections::VecDeque;
@@ -104,6 +109,10 @@ pub struct ClusterConfig {
     /// Container-lifecycle policy: which idle containers keep-alive reclaims
     /// and which node a scale-in drains.
     pub lifecycle: LifecycleKind,
+    /// Admission-control policy, consulted for arrivals the cluster cannot
+    /// serve immediately.  The default ([`AdmissionKind::AdmitAll`]) queues
+    /// everything, byte-identical to the simulator before this layer.
+    pub admission: AdmissionKind,
     /// Elastic node-pool autoscaling.  `None` (the default) keeps the pool
     /// fixed at `nodes`; `Some` starts the pool at `nodes` and lets the
     /// [`Autoscaler`] grow/shrink it within the configured bounds.
@@ -127,6 +136,7 @@ impl Default for ClusterConfig {
             routing: RoutingStrategy::OneToOne,
             scheduler: SchedulerKind::LeastLoaded,
             lifecycle: LifecycleKind::AgeOnly,
+            admission: AdmissionKind::AdmitAll,
             autoscale: None,
             seed: 42,
         }
@@ -170,6 +180,7 @@ pub struct ClusterSimulation {
     router: Box<dyn Router>,
     scheduler: Box<dyn Scheduler>,
     lifecycle: Box<dyn LifecyclePolicy>,
+    admission: Box<dyn AdmissionPolicy>,
     controller: Controller,
     action_models: HashMap<ActionName, Vec<ModelId>>,
     sandbox_state: HashMap<SandboxId, SandboxSimState>,
@@ -203,6 +214,7 @@ pub struct ClusterSimulation {
     completed: u64,
     dropped: u64,
     rejected: u64,
+    shed: u64,
     scale_out_events: u64,
     scale_in_events: u64,
     node_crashes: u64,
@@ -288,13 +300,15 @@ impl ClusterSimulation {
         let nodes = config.nodes;
         let scheduler = config.scheduler.build(nodes);
         let lifecycle = config.lifecycle.build();
+        let admission = config.admission.build();
         // Execution slots one node contributes: how many containers of the
         // largest registered action fit in its invoker memory, times the
         // per-container concurrency.  The autoscaler's utilization signal is
         // measured against this (in-flight work over slots), because
         // committed memory is dominated by keep-alive warm pools and says
-        // nothing about load.  Only autoscaled runs read it.
-        let slots_per_node = if config.autoscale.is_some() {
+        // nothing about load.  Admission policies read the same yardstick to
+        // estimate queueing delay, so it is computed for every run.
+        let slots_per_node = {
             let max_action_budget = action_models
                 .keys()
                 .map(|action| {
@@ -306,8 +320,6 @@ impl ClusterSimulation {
                 .max()
                 .expect("at least one action");
             (config.invoker_memory_bytes / max_action_budget) as usize * config.tcs_per_container
-        } else {
-            0
         };
         let autoscaler = config.autoscale.clone().map(|autoscale| {
             assert!(
@@ -324,6 +336,7 @@ impl ClusterSimulation {
             router,
             scheduler,
             lifecycle,
+            admission,
             controller,
             action_models,
             sandbox_state: HashMap::new(),
@@ -348,6 +361,7 @@ impl ClusterSimulation {
             completed: 0,
             dropped: 0,
             rejected: 0,
+            shed: 0,
             scale_out_events: 0,
             scale_in_events: 0,
             node_crashes: 0,
@@ -395,6 +409,8 @@ impl ClusterSimulation {
                     user_index: arrival.user_index,
                     submitted: arrival.at,
                     session: None,
+                    tier: arrival.tier,
+                    deadline: arrival.deadline,
                     cold_start: false,
                 }),
             );
@@ -442,6 +458,8 @@ impl ClusterSimulation {
                 user_index,
                 submitted: start,
                 session: Some(index),
+                tier: Tier::default(),
+                deadline: None,
                 cold_start: false,
             }),
         );
@@ -714,9 +732,9 @@ impl ClusterSimulation {
     fn handle_arrival(&mut self, request: SimRequest, now: SimTime) {
         // Route exactly once, at admission.  Routers are stateful (FnPacker
         // counts one pending response per routed request, balanced by the
-        // one `complete()` a finished request fires), so a queued request
-        // must carry its routed action through retries instead of being
-        // routed again.
+        // one `complete()` a finished request fires — or by the `cancel()`
+        // an admission rejection fires), so a queued request must carry its
+        // routed action through retries instead of being routed again.
         let action = self.router.route(&request.model, now);
         debug_assert!(
             self.action_models
@@ -724,15 +742,89 @@ impl ClusterSimulation {
                 .is_some_and(|models| models.contains(&request.model)),
             "router chose an endpoint that does not serve the model"
         );
-        self.admitted += 1;
         match self.schedule_request(&action, &request.model, now) {
-            Ok(outcome) => self.dispatch(&outcome, request, now),
-            Err(_) => {
-                // Cluster saturated: queue and retry when capacity frees up.
-                self.saturated.push_back((action, request));
+            Ok(outcome) => {
+                // A request the cluster can serve right now is admitted
+                // without consulting the admission policy: no policy can
+                // reject while a free warm slot (or room for a fresh
+                // container) exists.
+                self.admitted += 1;
+                self.dispatch(&outcome, request, now);
             }
+            Err(_) => match self.admission_verdict(&request, now) {
+                AdmissionVerdict::Admit => {
+                    // Cluster saturated: queue and retry when capacity
+                    // frees up (the pre-admission-control behavior).
+                    self.admitted += 1;
+                    self.saturated.push_back((action, request));
+                }
+                AdmissionVerdict::Reject => {
+                    // Never admitted: unwind the router's pending slot and
+                    // leave no other trace — no latency sample, no
+                    // per-model totals, no GB·s.
+                    self.rejected += 1;
+                    self.router.cancel(&request.model, &action);
+                }
+                AdmissionVerdict::AdmitShedding { victim } => {
+                    self.shed_queued(victim);
+                    self.admitted += 1;
+                    self.saturated.push_back((action, request));
+                }
+            },
         }
         self.record_cluster_state(now);
+    }
+
+    /// Consults the admission policy for one arrival the cluster cannot
+    /// serve immediately, assembling the placement context it decides on.
+    fn admission_verdict(&mut self, request: &SimRequest, now: SimTime) -> AdmissionVerdict {
+        let queued: Vec<QueuedRequest> = self
+            .saturated
+            .iter()
+            .map(|(_, queued)| QueuedRequest {
+                tier: queued.tier,
+                deadline: queued.deadline,
+                submitted: queued.submitted,
+            })
+            .collect();
+        // Mean busy-slot time one request consumes, from the busy-time
+        // integral (brought forward to `now` read-only — accruing here
+        // would be harmless but this keeps the consult side-effect free).
+        let busy_slots: usize = self.node_active_exec.iter().sum();
+        let busy_integral_now = self.busy_exec_integral
+            + busy_slots as f64 * now.duration_since(self.busy_accrued_at).as_secs_f64();
+        let mean_service = if self.completed > 0 {
+            SimDuration::from_secs_f64(busy_integral_now / self.completed as f64)
+        } else {
+            SimDuration::ZERO
+        };
+        let ctx = AdmissionContext {
+            now,
+            tier: request.tier,
+            deadline: request.deadline,
+            queued: &queued,
+            busy_slots,
+            execution_slots: self.controller.active_node_count() * self.slots_per_node,
+            mean_service,
+        };
+        self.admission.decide(&ctx)
+    }
+
+    /// Applies a shed verdict: drops the queued request at `victim` (an
+    /// index into the saturated queue, oldest first).  The victim was
+    /// admitted, so it counts as `dropped` — conservation holds — and its
+    /// router pending slot is released without a completion record.
+    fn shed_queued(&mut self, victim: usize) {
+        let Some((action, request)) = self.saturated.remove(victim) else {
+            debug_assert!(
+                false,
+                "admission policy shed a queue position that does not exist"
+            );
+            return;
+        };
+        self.dropped += 1;
+        self.shed += 1;
+        self.router.cancel(&request.model, &action);
     }
 
     /// Drains the cluster-saturated queue into whatever capacity is free
@@ -869,6 +961,8 @@ impl ClusterSimulation {
                         user_index,
                         submitted: now,
                         session: Some(session_index),
+                        tier: Tier::default(),
+                        deadline: None,
                         cold_start: false,
                     }),
                 );
@@ -1515,6 +1609,7 @@ impl ClusterSimulation {
             completed: self.completed,
             dropped: self.dropped,
             rejected: self.rejected,
+            shed: self.shed,
             cold_starts: self.controller.cold_start_count(),
             peak_sandboxes: self.peak_sandboxes,
             gb_seconds: self.metering.cluster_gb_seconds(final_time),
@@ -1831,11 +1926,7 @@ mod tests {
             ClusterConfig::single_node_sgx2(),
             vec![(model.clone(), profile)],
         );
-        sim.add_arrivals(vec![sesemi_workload::RequestArrival {
-            at: SimTime::from_secs(1),
-            model,
-            user_index: 0,
-        }]);
+        sim.add_arrivals(vec![RequestArrival::new(SimTime::from_secs(1), model, 0)]);
         let result = sim.run(SimDuration::from_secs(30));
         assert_eq!(result.completed, 1);
         assert!(result.mean_latency() > SimDuration::ZERO);
@@ -1880,18 +1971,18 @@ mod tests {
         }
         .generate(&model_a, 0, SimDuration::from_secs(30), &mut rng);
         // The victim arrives mid-burst and queues behind a full cluster.
-        arrivals.push(RequestArrival {
-            at: SimTime::from_secs(5),
-            model: model_b.clone(),
-            user_index: 1,
-        });
+        arrivals.push(RequestArrival::new(
+            SimTime::from_secs(5),
+            model_b.clone(),
+            1,
+        ));
         // Trailing trickle after an idle window longer than the keep-alive.
         for at in [150u64, 160, 170] {
-            arrivals.push(RequestArrival {
-                at: SimTime::from_secs(at),
-                model: model_a.clone(),
-                user_index: 0,
-            });
+            arrivals.push(RequestArrival::new(
+                SimTime::from_secs(at),
+                model_a.clone(),
+                0,
+            ));
         }
         arrivals.sort_by_key(|a| a.at);
         let admitted_expected = arrivals.len() as u64;
@@ -2020,16 +2111,8 @@ mod tests {
         // Two cold requests, one per node; RSNET's cold path runs for
         // several seconds, so the drain decision lands mid-execution.
         sim.add_arrivals(vec![
-            RequestArrival {
-                at: SimTime::from_millis(100),
-                model: model.clone(),
-                user_index: 0,
-            },
-            RequestArrival {
-                at: SimTime::from_millis(200),
-                model: model.clone(),
-                user_index: 0,
-            },
+            RequestArrival::new(SimTime::from_millis(100), model.clone(), 0),
+            RequestArrival::new(SimTime::from_millis(200), model.clone(), 0),
         ]);
         let result = sim.run(SimDuration::from_secs(120));
         assert!(result.scale_in_events >= 1, "no drain ever happened");
@@ -2071,16 +2154,8 @@ mod tests {
         // cold path runs for several seconds, so a crash at t=2 s lands
         // mid-execution.
         sim.add_arrivals(vec![
-            RequestArrival {
-                at: SimTime::from_millis(100),
-                model: model.clone(),
-                user_index: 0,
-            },
-            RequestArrival {
-                at: SimTime::from_millis(200),
-                model: model.clone(),
-                user_index: 0,
-            },
+            RequestArrival::new(SimTime::from_millis(100), model.clone(), 0),
+            RequestArrival::new(SimTime::from_millis(200), model.clone(), 0),
         ]);
         sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_secs(2), 1));
         let result = sim.run(SimDuration::from_secs(120));
@@ -2124,11 +2199,7 @@ mod tests {
         // Eight closely spaced arrivals: the first four park on the
         // cold-starting container (node 1), the fifth cold-starts node 0.
         let arrivals: Vec<RequestArrival> = (1..=8)
-            .map(|i| RequestArrival {
-                at: SimTime::from_millis(50 * i),
-                model: model.clone(),
-                user_index: 0,
-            })
+            .map(|i| RequestArrival::new(SimTime::from_millis(50 * i), model.clone(), 0))
             .collect();
         let admitted_expected = arrivals.len() as u64;
         sim.add_arrivals(arrivals);
@@ -2243,11 +2314,7 @@ mod tests {
         // work), then node 0 crashes while the drain is still in progress.
         sim.add_arrivals(
             (1..=3)
-                .map(|i| RequestArrival {
-                    at: SimTime::from_millis(100 * i),
-                    model: model.clone(),
-                    user_index: 0,
-                })
+                .map(|i| RequestArrival::new(SimTime::from_millis(100 * i), model.clone(), 0))
                 .collect(),
         );
         sim.add_fault_plan(&FaultPlan::new().node_crash(SimTime::from_secs(3), 0));
@@ -2557,16 +2624,12 @@ mod tests {
                         // 5 s apart per model: each single-slot container
                         // finishes its warm invocation before the next one.
                         [
-                            RequestArrival {
-                                at: SimTime::from_secs(5 + 5 * i),
-                                model: left.clone(),
-                                user_index: 0,
-                            },
-                            RequestArrival {
-                                at: SimTime::from_millis((5 + 5 * i) * 1000 + 2500),
-                                model: right.clone(),
-                                user_index: 1,
-                            },
+                            RequestArrival::new(SimTime::from_secs(5 + 5 * i), left.clone(), 0),
+                            RequestArrival::new(
+                                SimTime::from_millis((5 + 5 * i) * 1000 + 2500),
+                                right.clone(),
+                                1,
+                            ),
                         ]
                     })
                     .collect(),

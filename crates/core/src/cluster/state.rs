@@ -6,6 +6,7 @@ use sesemi_keyservice::PartyId;
 use sesemi_platform::{ActionName, SandboxId};
 use sesemi_runtime::InvocationPath;
 use sesemi_sim::{LatencyStats, SimDuration, SimTime, TimeSeries};
+use sesemi_workload::Tier;
 use std::collections::{HashMap, VecDeque};
 
 /// One simulated request.
@@ -15,6 +16,10 @@ pub(super) struct SimRequest {
     pub(super) user_index: usize,
     pub(super) submitted: SimTime,
     pub(super) session: Option<usize>,
+    /// Priority tier, read by admission-control policies under saturation.
+    pub(super) tier: Tier,
+    /// Absolute completion deadline, if the request carries an SLO.
+    pub(super) deadline: Option<SimTime>,
     /// Whether admitting this request cold-started a container (set at
     /// assignment time; feeds the activation record's cold-start flag).
     pub(super) cold_start: bool,
@@ -142,11 +147,18 @@ pub struct SimulationResult {
     /// an evicted sandbox's waiting queue) when the run drained — work the
     /// cluster accepted but never served.
     pub dropped: u64,
-    /// Requests refused at admission (currently only arrivals past the
-    /// measurement horizon, e.g. closed-loop session follow-ups issued after
-    /// the run's end; admission-control schedulers may add more).  Not part
-    /// of `admitted`.
+    /// Requests refused at admission: arrivals past the measurement horizon
+    /// (e.g. closed-loop session follow-ups issued after the run's end) and
+    /// arrivals an [`AdmissionPolicy`](crate::cluster::AdmissionPolicy)
+    /// turned away under saturation.  Not part of `admitted`; a rejected
+    /// request contributes no latency sample, no per-model totals and no
+    /// GB·s.
     pub rejected: u64,
+    /// Admitted-then-dropped victims of an admission policy's
+    /// shed-lower-tier verdict — queued requests removed to make room.
+    /// A subset of `dropped`, so conservation still reads
+    /// `admitted == completed + dropped`.
+    pub shed: u64,
     /// Container cold starts.
     pub cold_starts: u64,
     /// Peak number of live sandboxes.

@@ -31,6 +31,14 @@ pub trait Router {
         path: &str,
     );
 
+    /// Unwinds a routed request that was refused by an admission policy and
+    /// will never complete.  Stateless strategies ignore it; adaptive ones
+    /// release the pending slot [`Router::route`] took without recording a
+    /// completion or latency sample.
+    fn cancel(&mut self, model: &ModelId, endpoint: &ActionName) {
+        let _ = (model, endpoint);
+    }
+
     /// Human-readable strategy name for experiment output.
     fn name(&self) -> &'static str;
 
@@ -223,6 +231,12 @@ impl Router for FnPackerRouter {
     ) {
         if let Some(index) = self.action_to_index.get(endpoint) {
             self.packer.complete(model, *index, now, latency, path);
+        }
+    }
+
+    fn cancel(&mut self, model: &ModelId, endpoint: &ActionName) {
+        if let Some(index) = self.action_to_index.get(endpoint) {
+            self.packer.cancel(model, *index);
         }
     }
 

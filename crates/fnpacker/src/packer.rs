@@ -160,6 +160,19 @@ impl FnPacker {
         }
     }
 
+    /// Unwinds a routed request that will never run (rejected or shed by an
+    /// admission policy): releases the endpoint's and the model's pending
+    /// slot without recording a completion, so the packer's load view does
+    /// not drift from reality over a long shedding run.
+    pub fn cancel(&mut self, model: &ModelId, endpoint: usize) {
+        if let Some(state) = self.endpoints.get_mut(endpoint) {
+            state.pending = state.pending.saturating_sub(1);
+        }
+        if let Some(stats) = self.models.get_mut(model) {
+            stats.on_cancel();
+        }
+    }
+
     /// The action name of endpoint `index`.
     #[must_use]
     pub fn endpoint_action(&self, index: usize) -> ActionName {

@@ -32,6 +32,13 @@ impl ModelExecutionStats {
         self.current_endpoint = Some(endpoint);
     }
 
+    /// Unwinds a dispatched request that will never complete (rejected or
+    /// shed at admission): the pending count drops without recording a
+    /// completion or a latency sample.
+    pub fn on_cancel(&mut self) {
+        self.pending = self.pending.saturating_sub(1);
+    }
+
     /// Records a completed request with its observed latency and path label
     /// (`"cold"`, `"warm"` or `"hot"`).
     pub fn on_complete(&mut self, latency: SimDuration, path: &str) {

@@ -50,14 +50,14 @@ pub use registry::{CorpusEntry, ScenarioRegistry};
 
 use sesemi::baseline::ServingStrategy;
 use sesemi::cluster::{
-    AutoscaleConfig, ClusterConfig, ClusterSimulation, FaultPlan, LifecycleKind, SchedulerKind,
-    SimulationResult,
+    AdmissionKind, AutoscaleConfig, ClusterConfig, ClusterSimulation, FaultPlan, LifecycleKind,
+    SchedulerKind, SimulationResult,
 };
 use sesemi_enclave::SgxVersion;
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{ModelId, ModelProfile};
 use sesemi_sim::{SimDuration, SimRng, SimTime};
-use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival};
+use sesemi_workload::{ArrivalProcess, InteractiveSession, RequestArrival, Tier};
 
 /// One open-loop traffic stream of a scenario.
 #[derive(Clone, Debug, PartialEq)]
@@ -68,6 +68,13 @@ pub struct TrafficSpec {
     pub user_index: usize,
     /// The arrival process generating the stream.
     pub process: ArrivalProcess,
+    /// Priority tier stamped on every request of the stream (default
+    /// [`Tier::Standard`]).
+    pub tier: Tier,
+    /// Relative completion SLO: each request's absolute deadline is its
+    /// arrival time plus this budget.  `None` (the default) means no
+    /// deadline.
+    pub slo: Option<SimDuration>,
 }
 
 /// A named, seeded, fully declarative cluster experiment.
@@ -158,8 +165,20 @@ impl Scenario {
             .traffic
             .iter()
             .map(|spec| {
-                spec.process
-                    .generate(&spec.model, spec.user_index, self.duration, &mut rng)
+                let mut stream =
+                    spec.process
+                        .generate(&spec.model, spec.user_index, self.duration, &mut rng);
+                // Stamp the stream's tier and SLO after generation: the
+                // arrival times (and therefore the rng stream) are
+                // untouched, so tiered and untiered variants of a scenario
+                // replay the exact same trace.
+                for arrival in &mut stream {
+                    arrival.tier = spec.tier;
+                    if let Some(slo) = spec.slo {
+                        arrival.deadline = Some(arrival.at + slo);
+                    }
+                }
+                stream
             })
             .collect();
         sim.add_arrivals(ArrivalProcess::merge(streams));
@@ -273,6 +292,15 @@ impl ScenarioBuilder {
         self
     }
 
+    /// The admission-control policy consulted for arrivals the cluster
+    /// cannot serve immediately (default [`AdmissionKind::AdmitAll`], the
+    /// behaviour-preserving pre-refactor rule: queue everything).
+    #[must_use]
+    pub fn admission(mut self, admission: AdmissionKind) -> Self {
+        self.config.admission = admission;
+        self
+    }
+
     /// Enables elastic node-pool autoscaling: the pool starts at
     /// [`ScenarioBuilder::nodes`] and grows/shrinks within the policy's
     /// bounds.  Autoscaled scenarios stay deterministic — the policy is a
@@ -322,11 +350,30 @@ impl ScenarioBuilder {
     /// Adds an open-loop traffic stream for `model` issued by `user_index`.
     /// Streams are generated in declaration order from the scenario's seed.
     #[must_use]
-    pub fn traffic(mut self, model: ModelId, user_index: usize, process: ArrivalProcess) -> Self {
+    pub fn traffic(self, model: ModelId, user_index: usize, process: ArrivalProcess) -> Self {
+        self.traffic_tiered(model, user_index, process, Tier::default(), None)
+    }
+
+    /// Adds an open-loop traffic stream with an explicit priority tier and
+    /// an optional per-request completion SLO (each request's deadline is
+    /// its arrival time plus `slo`).  The tier and SLO decorate the
+    /// generated trace without consuming randomness, so a tiered stream
+    /// replays the same arrivals as [`ScenarioBuilder::traffic`].
+    #[must_use]
+    pub fn traffic_tiered(
+        mut self,
+        model: ModelId,
+        user_index: usize,
+        process: ArrivalProcess,
+        tier: Tier,
+        slo: Option<SimDuration>,
+    ) -> Self {
         self.traffic.push(TrafficSpec {
             model,
             user_index,
             process,
+            tier,
+            slo,
         });
         self
     }

@@ -19,6 +19,7 @@
 //! | `fault`      | carries a failure-injection plan (`crash` / `kill`) |
 //! | `elasticity` | one side of the fixed-vs-elastic `E2` comparison |
 //! | `lifecycle`  | exercises a non-default container-lifecycle policy (the `E3` comparisons) |
+//! | `shedding`   | exercises a non-default admission policy (rejections/sheds expected) |
 //!
 //! The corpus-wide invariant suite (`tests/scenario_corpus.rs`) runs every
 //! entry at two seeds and asserts conservation and accounting consistency,
@@ -26,11 +27,11 @@
 
 use crate::{Scenario, ScenarioBuilder};
 use sesemi::cluster::{
-    AutoscaleConfig, ClusterConfig, LifecycleKind, SchedulerKind, SimulationResult,
+    AdmissionKind, AutoscaleConfig, ClusterConfig, LifecycleKind, SchedulerKind, SimulationResult,
 };
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
 use sesemi_sim::{SimDuration, SimTime};
-use sesemi_workload::ArrivalProcess;
+use sesemi_workload::{ArrivalProcess, Tier};
 use std::collections::BTreeSet;
 
 /// A seed-parameterised [`ScenarioBuilder`] factory.
@@ -639,6 +640,120 @@ fn corpus_entries() -> Vec<CorpusEntry> {
                         idle_ticks: 4,
                         ..AutoscaleConfig::new(2, 4)
                     })
+            },
+        },
+        CorpusEntry {
+            id: "shedding-tiered-burst",
+            description: "Tiered over-capacity MMPP burst through deadline-aware admission: a \
+                          premium 8 rps stream and a batch 15↔30 rps burst share one ~15 rps \
+                          container under a 2 s SLO — doomed arrivals are rejected and queued \
+                          batch work is shed before premium.",
+            tags: &[
+                "quick",
+                "shedding",
+                "burst",
+                "mmpp",
+                "saturation",
+                "single-model",
+            ],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("shedding-tiered-burst")
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1))
+                    .admission(AdmissionKind::DeadlineAware)
+                    .model(model.clone(), profile)
+                    .traffic_tiered(
+                        model.clone(),
+                        0,
+                        ArrivalProcess::Poisson { rate_per_sec: 8.0 },
+                        Tier::Premium,
+                        Some(SimDuration::from_secs(2)),
+                    )
+                    .traffic_tiered(
+                        model,
+                        1,
+                        ArrivalProcess::Mmpp {
+                            rates_per_sec: vec![15.0, 30.0],
+                            mean_dwell: SimDuration::from_secs(10),
+                        },
+                        Tier::Batch,
+                        Some(SimDuration::from_secs(2)),
+                    )
+                    .duration(SimDuration::from_secs(40))
+            },
+        },
+        CorpusEntry {
+            id: "shedding-deadline-mix",
+            description: "Deadline-aware admission over a mixed SLO population: a deadline-less \
+                          standard stream keeps one container saturated while tight-SLO premium \
+                          and batch streams arrive doomed — only the deadline-carrying traffic \
+                          is ever turned away.",
+            tags: &["quick", "shedding", "saturation", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("shedding-deadline-mix")
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1))
+                    .admission(AdmissionKind::DeadlineAware)
+                    .model(model.clone(), profile)
+                    .traffic(
+                        model.clone(),
+                        0,
+                        ArrivalProcess::Poisson { rate_per_sec: 10.0 },
+                    )
+                    .traffic_tiered(
+                        model.clone(),
+                        1,
+                        ArrivalProcess::Poisson { rate_per_sec: 6.0 },
+                        Tier::Premium,
+                        Some(SimDuration::from_millis(1500)),
+                    )
+                    .traffic_tiered(
+                        model,
+                        2,
+                        ArrivalProcess::Poisson { rate_per_sec: 8.0 },
+                        Tier::Batch,
+                        Some(SimDuration::from_millis(1500)),
+                    )
+                    .duration(SimDuration::from_secs(40))
+            },
+        },
+        CorpusEntry {
+            id: "shedding-autoscale-interplay",
+            description: "Queue-bound admission on an elastic 1→3-node pool under a 6↔14 rps \
+                          DSNET burst: early bursts bounce off the 2 s wait bound while the \
+                          pool is small, then scale-out absorbs the load and admission opens \
+                          back up.",
+            tags: &["shedding", "autoscale", "burst", "mmpp", "single-model"],
+            builder: |seed| {
+                let (model, profile) = dsnet();
+                Scenario::builder("shedding-autoscale-interplay")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1) * 2)
+                    .keep_alive(SimDuration::from_secs(30))
+                    .autoscale(AutoscaleConfig {
+                        idle_ticks: 4,
+                        ..AutoscaleConfig::new(1, 3)
+                    })
+                    .admission(AdmissionKind::QueueBound)
+                    .model(model.clone(), profile)
+                    .traffic(
+                        model,
+                        0,
+                        ArrivalProcess::Mmpp {
+                            rates_per_sec: vec![6.0, 14.0],
+                            mean_dwell: SimDuration::from_secs(20),
+                        },
+                    )
+                    .duration(SimDuration::from_secs(120))
             },
         },
     ]

@@ -3,6 +3,41 @@
 use sesemi_inference::ModelId;
 use sesemi_sim::{SimDuration, SimRng, SimTime};
 
+/// Priority tier of a request, consulted by admission-control policies under
+/// saturation.  Ordered: `Batch < Standard < Premium`, so "prefer shedding
+/// lower tiers" is a plain `Ord` comparison.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Tier {
+    /// Best-effort background traffic — first to be shed.
+    Batch,
+    /// Ordinary interactive traffic.
+    #[default]
+    Standard,
+    /// Latency-critical traffic — shed last.
+    Premium,
+}
+
+impl Tier {
+    /// All tiers, lowest priority first.
+    pub const ALL: [Tier; 3] = [Tier::Batch, Tier::Standard, Tier::Premium];
+
+    /// Label used in tables and backlog breakdowns.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Tier::Batch => "batch",
+            Tier::Standard => "standard",
+            Tier::Premium => "premium",
+        }
+    }
+
+    /// Dense index (position in [`Tier::ALL`]) for per-tier counters.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+}
+
 /// One generated request arrival.
 #[derive(Clone, Debug, PartialEq)]
 pub struct RequestArrival {
@@ -13,6 +48,41 @@ pub struct RequestArrival {
     /// Index of the user issuing it (mapped to registered users by the
     /// harness).
     pub user_index: usize,
+    /// Priority tier, read by admission-control policies (default
+    /// [`Tier::Standard`]).
+    pub tier: Tier,
+    /// Absolute completion deadline, if the stream carries an SLO.  `None`
+    /// means the request never expires.
+    pub deadline: Option<SimTime>,
+}
+
+impl RequestArrival {
+    /// An arrival with the default tier and no deadline — what every
+    /// generator produces; streams with SLOs decorate afterwards.
+    #[must_use]
+    pub fn new(at: SimTime, model: ModelId, user_index: usize) -> Self {
+        RequestArrival {
+            at,
+            model,
+            user_index,
+            tier: Tier::default(),
+            deadline: None,
+        }
+    }
+
+    /// Sets the priority tier.
+    #[must_use]
+    pub fn with_tier(mut self, tier: Tier) -> Self {
+        self.tier = tier;
+        self
+    }
+
+    /// Sets an absolute completion deadline.
+    #[must_use]
+    pub fn with_deadline(mut self, deadline: SimTime) -> Self {
+        self.deadline = Some(deadline);
+        self
+    }
 }
 
 /// An open-loop arrival process for a single model / user stream.
@@ -79,11 +149,7 @@ impl ArrivalProcess {
             ArrivalProcess::Poisson { rate_per_sec } => {
                 let mut t = SimTime::ZERO + rng.exponential(*rate_per_sec);
                 while t < horizon {
-                    arrivals.push(RequestArrival {
-                        at: t,
-                        model: model.clone(),
-                        user_index,
-                    });
+                    arrivals.push(RequestArrival::new(t, model.clone(), user_index));
                     t += rng.exponential(*rate_per_sec);
                 }
             }
@@ -107,22 +173,14 @@ impl ArrivalProcess {
                         state = (state + 1) % rates_per_sec.len();
                         state_ends += rng.exponential(dwell_rate);
                     }
-                    arrivals.push(RequestArrival {
-                        at: t,
-                        model: model.clone(),
-                        user_index,
-                    });
+                    arrivals.push(RequestArrival::new(t, model.clone(), user_index));
                 }
             }
             ArrivalProcess::Constant { interval } => {
                 assert!(*interval > SimDuration::ZERO, "interval must be positive");
                 let mut t = SimTime::ZERO + *interval;
                 while t < horizon {
-                    arrivals.push(RequestArrival {
-                        at: t,
-                        model: model.clone(),
-                        user_index,
-                    });
+                    arrivals.push(RequestArrival::new(t, model.clone(), user_index));
                     t += *interval;
                 }
             }
@@ -154,11 +212,7 @@ impl ArrivalProcess {
                     }
                     let rate = base_rate * (1.0 + amplitude * (omega * t.as_secs_f64()).sin());
                     if rng.chance(rate / peak) {
-                        arrivals.push(RequestArrival {
-                            at: t,
-                            model: model.clone(),
-                            user_index,
-                        });
+                        arrivals.push(RequestArrival::new(t, model.clone(), user_index));
                     }
                 }
             }

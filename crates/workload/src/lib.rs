@@ -19,5 +19,5 @@
 pub mod arrivals;
 pub mod interactive;
 
-pub use arrivals::{ArrivalProcess, RequestArrival};
+pub use arrivals::{ArrivalProcess, RequestArrival, Tier};
 pub use interactive::InteractiveSession;

@@ -1,0 +1,63 @@
+//! Golden-file lockstep proof for the admission-control layer: the E1/E2/E3
+//! experiment JSON at two fixed seeds, byte-for-byte.
+//!
+//! The two golden files were captured from the `experiments` binary
+//! (`--seed N --json --only E1,E2,E3`) built *before* the admission layer
+//! existed.  Every simulation run now consults an
+//! [`AdmissionPolicy`](sesemi::cluster::AdmissionPolicy) — the default
+//! `AdmitAll` — on its saturated path, so matching these bytes proves the
+//! default policy reproduces the pre-admission simulator exactly: same
+//! event order, same counters, same formatted latencies.
+//!
+//! If an *intentional* behaviour change moves these numbers, regenerate
+//! with `UPDATE_GOLDEN=1 cargo test -p sesemi_bench --test
+//! golden_experiments` and explain the drift in the commit — this file is
+//! the place where silent simulator drift gets loud.
+
+/// Renders exactly what the binary prints for
+/// `--seed <seed> --json --only E1,E2,E3` (including the trailing newline
+/// `println!` appends).
+fn rendered(seed: u64) -> String {
+    let only: Vec<String> = ["E1", "E2", "E3"].iter().map(|s| s.to_string()).collect();
+    let reports = sesemi_bench::run_selected(seed, Some(&only));
+    assert_eq!(reports.len(), 3, "E1/E2/E3 must all run");
+    let rendered: Vec<String> = reports.iter().map(sesemi_bench::Report::to_json).collect();
+    format!("[{}]\n", rendered.join(",\n"))
+}
+
+fn assert_matches_golden(seed: u64, golden_path: &str) {
+    let actual = rendered(seed);
+    if std::env::var_os("UPDATE_GOLDEN").is_some() {
+        std::fs::write(golden_path, &actual).expect("write golden");
+        return;
+    }
+    let expected = std::fs::read_to_string(golden_path).expect("golden file is checked in");
+    assert_eq!(
+        actual, expected,
+        "seed {seed}: E1/E2/E3 output drifted from the pre-admission-layer capture; \
+         the default AdmitAll policy must stay byte-identical (regenerate with \
+         UPDATE_GOLDEN=1 only for an intentional simulator change)"
+    );
+}
+
+#[test]
+fn admit_all_reproduces_the_pre_admission_experiments_at_seed_7() {
+    assert_matches_golden(
+        7,
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden/experiments_e123_seed7.json"
+        ),
+    );
+}
+
+#[test]
+fn admit_all_reproduces_the_pre_admission_experiments_at_seed_42() {
+    assert_matches_golden(
+        42,
+        concat!(
+            env!("CARGO_MANIFEST_DIR"),
+            "/../../tests/golden/experiments_e123_seed42.json"
+        ),
+    );
+}

@@ -9,9 +9,11 @@
 //! there is no per-scenario test to forget.
 
 use proptest::prelude::*;
-use sesemi::cluster::{LifecycleKind, SimulationResult};
+use sesemi::cluster::{AdmissionKind, LifecycleKind, SimulationResult};
+use sesemi_inference::{Framework, ModelKind, ModelProfile};
 use sesemi_scenario::{Scenario, ScenarioBuilder, ScenarioRegistry};
-use sesemi_sim::SimTime;
+use sesemi_sim::{SimDuration, SimTime};
+use sesemi_workload::{ArrivalProcess, Tier};
 
 const CONFORMANCE_SEEDS: [u64; 2] = [11, 17];
 
@@ -72,6 +74,14 @@ fn assert_internally_consistent(id: &str, seed: u64, result: &SimulationResult) 
         result.premigrated <= result.auxiliary_cold_starts,
         "{id} (seed {seed}): pre-migrations are auxiliary cold starts"
     );
+    // Shed victims were admitted first, so they are accounted as drops:
+    // `shed` can never exceed `dropped` without breaking conservation.
+    assert!(
+        result.shed <= result.dropped,
+        "{id} (seed {seed}): shed {} exceeds dropped {}",
+        result.shed,
+        result.dropped
+    );
 }
 
 /// Corpus conformance: every registered scenario, at two seeds, completes
@@ -130,10 +140,25 @@ fn every_corpus_scenario_conserves_requests_at_two_seeds() {
                     entry.id
                 );
             }
-            if !entry.has_tag("sessions") {
-                // Open-loop traces are generated inside the horizon; only
-                // closed-loop session follow-ups can be refused at admission.
+            if entry.has_tag("shedding") {
+                // Shedding scenarios run a non-default admission policy
+                // against intentional over-capacity: the policy must
+                // actually turn work away or the scenario is mislabelled.
+                assert!(
+                    result.rejected > 0,
+                    "{} (seed {seed}) is tagged `shedding` but rejected nothing",
+                    entry.id
+                );
+            } else if !entry.has_tag("sessions") {
+                // Open-loop traces are generated inside the horizon and the
+                // default policy admits everything; only closed-loop session
+                // follow-ups can be refused at admission.
                 assert_eq!(result.rejected, 0, "{}: unexpected rejections", entry.id);
+                assert_eq!(
+                    result.shed, 0,
+                    "{}: shed without a shedding policy",
+                    entry.id
+                );
             }
         }
     }
@@ -269,6 +294,136 @@ fn crash_bearing_corpus_scenarios_are_deterministic() {
     assert!((a.node_gb_seconds - b.node_gb_seconds).abs() < 1e-12);
 }
 
+/// Under-capacity control for the admission layer: on a comfortably
+/// provisioned scenario no policy ever has anything to refuse — admission
+/// is only consulted for requests the cluster cannot serve immediately, so
+/// every [`AdmissionKind`] reproduces the admit-all run exactly.  This is
+/// the corpus-level proof that no policy can reject while a free warm slot
+/// exists.
+#[test]
+fn admission_policies_admit_everything_under_capacity() {
+    let registry = ScenarioRegistry::corpus();
+    let entry = registry.get("steady-poisson").expect("corpus entry");
+    let baseline = entry.builder(5).build().run();
+    assert_eq!(baseline.rejected, 0);
+    for kind in AdmissionKind::ALL {
+        let run = entry.builder(5).admission(kind).build().run();
+        assert_eq!(run.rejected, 0, "{} rejected under capacity", kind.label());
+        assert_eq!(run.shed, 0, "{} shed under capacity", kind.label());
+        assert_eq!(run.admitted, baseline.admitted, "{}", kind.label());
+        assert_eq!(run.completed, baseline.completed, "{}", kind.label());
+        assert_eq!(run.cold_starts, baseline.cold_starts, "{}", kind.label());
+        assert_eq!(
+            run.mean_latency(),
+            baseline.mean_latency(),
+            "{}",
+            kind.label()
+        );
+        assert!((run.gb_seconds - baseline.gb_seconds).abs() < 1e-12);
+    }
+}
+
+/// Accounting purity of rejection: a refused request must leave no trace —
+/// no latency sample, no per-model total, no dispatch.  Pinned against the
+/// deadline-mix corpus scenario (heavy rejections) and its admit-all twin,
+/// which admits the identical trace.
+#[test]
+fn rejected_requests_leave_no_accounting_trace() {
+    let registry = ScenarioRegistry::corpus();
+    let entry = registry.get("shedding-deadline-mix").expect("corpus entry");
+    let run = entry.run(5);
+    let twin = entry
+        .builder(5)
+        .admission(AdmissionKind::AdmitAll)
+        .build()
+        .run();
+    assert!(run.rejected > 0, "the deadline mix rejected nothing");
+    assert_eq!(twin.rejected, 0, "admit-all refused open-loop work");
+    // The two runs admit the same generated trace: every arrival is either
+    // admitted or rejected, never both and never dropped on the floor.
+    assert_eq!(run.admitted + run.rejected, twin.admitted);
+    // No latency sample and no per-model total for anything but completions.
+    assert_eq!(run.latency.count() as u64, run.completed);
+    let per_model: usize = run
+        .per_model_latency
+        .values()
+        .map(sesemi_sim::LatencyStats::count)
+        .sum();
+    assert_eq!(per_model as u64, run.completed);
+    // Rejected and shed requests are never dispatched, so on this
+    // fault-free run every dispatch maps to a distinct admitted request.
+    assert_eq!(run.requeued_inflight, 0);
+    assert!(
+        run.dispatched <= run.admitted,
+        "a refused request was dispatched"
+    );
+    // Rejection is deterministic: the same seed reproduces bit-for-bit.
+    let again = entry.run(5);
+    assert_eq!(again.rejected, run.rejected);
+    assert_eq!(again.shed, run.shed);
+    assert_eq!(again.completed, run.completed);
+    assert_eq!(again.mean_latency(), run.mean_latency());
+}
+
+/// The rejection path unwinds adaptive-router state: an over-capacity
+/// queue-bound run routed by FnPacker (whose per-model pending counters a
+/// leak would poison) still conserves requests and keeps its accounting
+/// consistent while turning work away.
+#[test]
+fn queue_bound_rejection_unwinds_fnpacker_routing_state() {
+    let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+    let model = ModelKind::MbNet.default_id();
+    let result = Scenario::builder("fnpacker-queue-bound")
+        .seed(5)
+        .nodes(1)
+        .tcs_per_container(1)
+        .invoker_memory_bytes(one_container_budget(&profile))
+        .routing(sesemi_fnpacker::RoutingStrategy::FnPacker)
+        .admission(AdmissionKind::QueueBound)
+        .model(model.clone(), profile)
+        .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 30.0 })
+        .duration(SimDuration::from_secs(30))
+        .build()
+        .run();
+    assert!(
+        result.rejected > 0,
+        "30 rps on one slot must overflow the bound"
+    );
+    assert!(result.conserves_requests());
+    assert_eq!(result.latency.count() as u64, result.completed);
+    assert!(result.dispatched <= result.admitted);
+}
+
+/// Shedding-tagged corpus scenarios reproduce bit-for-bit — the corpus
+/// determinism guard for the admission layer (CI pins the experiment JSON
+/// the same way).
+#[test]
+fn shedding_corpus_scenarios_are_deterministic() {
+    let registry = ScenarioRegistry::corpus();
+    let shedding = registry.with_tag("shedding");
+    assert!(
+        shedding.len() >= 3,
+        "want at least three shedding scenarios"
+    );
+    for entry in shedding {
+        let a = entry.run(9);
+        let b = entry.run(9);
+        assert_eq!(a.admitted, b.admitted, "{}", entry.id);
+        assert_eq!(a.rejected, b.rejected, "{}", entry.id);
+        assert_eq!(a.shed, b.shed, "{}", entry.id);
+        assert_eq!(a.dropped, b.dropped, "{}", entry.id);
+        assert_eq!(a.completed, b.completed, "{}", entry.id);
+        assert_eq!(a.mean_latency(), b.mean_latency(), "{}", entry.id);
+    }
+}
+
+/// Memory budget that fits exactly one single-threaded container of
+/// `profile` on a node (the registry's over-capacity scenarios use the
+/// same arithmetic).
+fn one_container_budget(profile: &ModelProfile) -> u64 {
+    sesemi_platform::PlatformConfig::round_memory_budget(profile.enclave_bytes_for_concurrency(1))
+}
+
 // ---------------------------------------------------------------------------
 // Random fault plans (property tests with shrinking)
 // ---------------------------------------------------------------------------
@@ -383,6 +538,132 @@ proptest! {
                 false,
                 "scenario {id} (seed {seed}) failed under a random fault plan: {reason}\n\
                  minimal failing plan: {minimal:?}"
+            );
+        }
+    }
+}
+
+/// The one-node MMPP probe the admission property tests run: a single
+/// MBNET container offered a `low ↔ high` rps modulated stream of `tier`
+/// requests (optionally SLO-bearing) through the given admission policy.
+fn admission_probe(
+    seed: u64,
+    kind: AdmissionKind,
+    low: f64,
+    high: f64,
+    dwell_s: u64,
+    tier: Tier,
+    slo: Option<SimDuration>,
+) -> ScenarioBuilder {
+    let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+    let model = ModelKind::MbNet.default_id();
+    Scenario::builder("admission-probe")
+        .seed(seed)
+        .nodes(1)
+        .tcs_per_container(1)
+        .invoker_memory_bytes(one_container_budget(&profile))
+        .admission(kind)
+        .model(model.clone(), profile)
+        .traffic_tiered(
+            model,
+            0,
+            ArrivalProcess::Mmpp {
+                rates_per_sec: vec![low, high],
+                mean_dwell: SimDuration::from_secs(dwell_s),
+            },
+            tier,
+            slo,
+        )
+        .duration(SimDuration::from_secs(20))
+}
+
+/// Runs the probe under `kind` and its admit-all twin (identical trace,
+/// identical faults) and checks the admission accounting identities;
+/// `Err` carries the reason for the shrinker.
+#[allow(clippy::too_many_arguments)]
+fn run_admission_probe(
+    seed: u64,
+    kind: AdmissionKind,
+    low: f64,
+    high: f64,
+    dwell_s: u64,
+    tier: Tier,
+    slo: Option<SimDuration>,
+    faults: &[PlanFault],
+) -> Result<(), String> {
+    let run_kind = |k: AdmissionKind| {
+        let scenario = apply_plan(
+            admission_probe(seed, k, low, high, dwell_s, tier, slo),
+            faults,
+        );
+        std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| scenario.run()))
+            .map_err(|_| format!("the simulator panicked under {}", k.label()))
+    };
+    let result = run_kind(kind)?;
+    let baseline = run_kind(AdmissionKind::AdmitAll)?;
+    if !result.conserves_requests() {
+        return Err(format!(
+            "conservation violated: admitted {} != completed {} + dropped {}",
+            result.admitted, result.completed, result.dropped
+        ));
+    }
+    if result.latency.count() as u64 != result.completed {
+        return Err("latency samples != completions".to_string());
+    }
+    if result.shed > result.dropped {
+        return Err(format!(
+            "shed {} exceeds dropped {}",
+            result.shed, result.dropped
+        ));
+    }
+    if baseline.rejected != 0 {
+        return Err("admit-all rejected open-loop work".to_string());
+    }
+    // Every generated arrival is exactly one of admitted or rejected: the
+    // policy partitions the admit-all trace, it never loses or double-counts.
+    if result.admitted + result.rejected != baseline.admitted {
+        return Err(format!(
+            "admitted {} + rejected {} != the trace's {} arrivals",
+            result.admitted, result.rejected, baseline.admitted
+        ));
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random over-capacity MMPP bursts x random admission policies x small
+    /// random fault plans uphold the admission accounting identities:
+    /// conservation, one latency sample per completion, `shed <= dropped`,
+    /// and `admitted + rejected ==` the admit-all twin's arrival count.
+    /// Failures shrink to a 1-minimal fault plan.
+    #[test]
+    fn random_admission_policies_uphold_accounting(
+        seed in 0u64..1_000,
+        kind_index in 0usize..3,
+        low in 1u32..15,
+        high in 10u32..45,
+        dwell_s in 2u64..12,
+        tier_index in 0usize..3,
+        // 0 encodes a deadline-less stream; anything else is an SLO in ms.
+        slo_ms in 0u64..4_000,
+        raw in proptest::collection::vec(0u64..u64::MAX, 0..3)
+    ) {
+        let kind = AdmissionKind::ALL[kind_index];
+        let tier = Tier::ALL[tier_index];
+        let slo = (slo_ms >= 400).then(|| SimDuration::from_millis(slo_ms));
+        let faults: Vec<PlanFault> = raw.iter().map(|r| decode_fault(*r)).collect();
+        let probe = |plan: &[PlanFault]| {
+            run_admission_probe(seed, kind, f64::from(low), f64::from(high), dwell_s, tier, slo, plan)
+        };
+        if let Err(reason) = probe(&faults) {
+            let minimal = shrink_to_minimal(&faults, &|plan| probe(plan).is_err());
+            prop_assert!(
+                false,
+                "admission probe (seed {seed}, {}) failed: {reason}\n\
+                 minimal failing plan: {minimal:?}",
+                kind.label()
             );
         }
     }
