@@ -6,6 +6,8 @@
 //!     [-- --seed 42] [--json] [--only F13,F14]
 //!     [--scenario steady-poisson,node-crash-mid-run] [--tag lifecycle]
 //!     [--list-scenarios]
+//!     [--bench-json BENCH_sim_engine.json] [--bench-requests 1000000]
+//!     [--bench-sweep 7,42,99]
 //! ```
 //!
 //! `--only` filters by report id (comma-separated, e.g. `F13,T3`); the CI
@@ -16,6 +18,15 @@
 //! with the known-tag list, exactly as an unknown `--scenario` id does),
 //! and `--list-scenarios` prints the corpus (ids, tags, descriptions) and
 //! exits — its output is pinned by `tests/golden/scenarios.txt`.
+//!
+//! `--bench-json PATH` runs the self-timing benchmark trace (sized by
+//! `--bench-requests`, default one million) and writes the full
+//! `BENCH_sim_engine.json` — wall-clock phases, events/sec, requests/sec,
+//! peak-RSS proxy — to PATH; CI uploads it as the perf-trajectory artifact.
+//! `--bench-sweep SEEDS` runs the same trace for every listed seed on the
+//! worker pool and prints each seed's *deterministic* JSON slice to stdout
+//! (no wall-clock fields), so two sweep invocations — even with the seed
+//! list shuffled — are byte-comparable per seed.
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -24,6 +35,9 @@ fn main() {
     let mut only: Option<Vec<String>> = None;
     let mut scenarios: Option<Vec<String>> = None;
     let mut tag: Option<String> = None;
+    let mut bench_json: Option<String> = None;
+    let mut bench_requests = 1_000_000u64;
+    let mut bench_sweep: Option<Vec<u64>> = None;
     let mut iter = args.iter().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -51,10 +65,35 @@ fn main() {
                 print!("{}", sesemi_scenario::ScenarioRegistry::corpus().listing());
                 return;
             }
+            "--bench-json" => {
+                bench_json = Some(
+                    iter.next()
+                        .expect("--bench-json needs an output path")
+                        .to_string(),
+                );
+            }
+            "--bench-requests" => {
+                bench_requests = iter
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .expect("--bench-requests needs an integer value");
+            }
+            "--bench-sweep" => {
+                let seeds = iter
+                    .next()
+                    .expect("--bench-sweep needs a comma-separated seed list");
+                bench_sweep = Some(
+                    seeds
+                        .split(',')
+                        .map(|s| s.trim().parse().expect("--bench-sweep seeds are integers"))
+                        .collect(),
+                );
+            }
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--seed N] [--json] [--only IDS] \
-                     [--scenario IDS] [--tag TAG] [--list-scenarios]"
+                     [--scenario IDS] [--tag TAG] [--list-scenarios] \
+                     [--bench-json PATH] [--bench-requests N] [--bench-sweep SEEDS]"
                 );
                 return;
             }
@@ -63,6 +102,46 @@ fn main() {
                 std::process::exit(2);
             }
         }
+    }
+
+    if let Some(seeds) = &bench_sweep {
+        let workers = std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(2)
+            .min(4);
+        eprintln!(
+            "sweeping bench trace ({bench_requests} requests) over seeds {seeds:?} \
+             on {workers} workers ..."
+        );
+        let runs = sesemi_bench::sims::sweep(bench_requests, seeds, workers);
+        let rendered: Vec<String> = runs.iter().map(|r| r.deterministic_json()).collect();
+        println!("[{}]", rendered.join(",\n"));
+        for run in &runs {
+            eprintln!(
+                "seed {}: {:.1}s sim, {:.0} events/s, {:.0} requests/s",
+                run.seed,
+                run.simulate_seconds,
+                run.events_per_sec(),
+                run.requests_per_sec()
+            );
+        }
+        return;
+    }
+    if let Some(path) = &bench_json {
+        eprintln!("running self-timing bench trace ({bench_requests} requests, seed {seed}) ...");
+        let run = sesemi_bench::sims::bench_trace(bench_requests, seed);
+        std::fs::write(path, run.bench_json()).expect("write bench json");
+        eprintln!(
+            "wrote {path}: {:.1}s generate + {:.1}s simulate + {:.1}s report, \
+             {:.0} events/s, {:.0} requests/s, peak RSS {} MiB",
+            run.generate_seconds,
+            run.simulate_seconds,
+            run.report_seconds,
+            run.events_per_sec(),
+            run.requests_per_sec(),
+            run.peak_rss_bytes / (1024 * 1024)
+        );
+        return;
     }
 
     let reports = if let Some(tag) = &tag {

@@ -205,6 +205,11 @@ pub struct ClusterSimulation {
     busy_integral_at_tick: f64,
     last_autoscale_tick: SimTime,
     autoscaler: Option<Autoscaler>,
+    /// Scratch buffers reused across hot-path calls so per-event work stays
+    /// allocation-free once the buffers reach steady-state capacity.
+    retry_kept: VecDeque<(ActionName, SimRequest)>,
+    retry_failed_actions: Vec<ActionName>,
+    admission_queued_scratch: Vec<QueuedRequest>,
     // results
     latency: LatencyStats,
     per_model_latency: HashMap<ModelId, LatencyStats>,
@@ -226,6 +231,7 @@ pub struct ClusterSimulation {
     evictions_drain: u64,
     dispatched: u64,
     cold_dispatches: u64,
+    events_processed: u64,
     per_model_warm_hits: HashMap<ModelId, u64>,
     auxiliary_cold_starts: u64,
     premigrated: u64,
@@ -353,6 +359,9 @@ impl ClusterSimulation {
             busy_integral_at_tick: 0.0,
             last_autoscale_tick: SimTime::ZERO,
             autoscaler,
+            retry_kept: VecDeque::new(),
+            retry_failed_actions: Vec::new(),
+            admission_queued_scratch: Vec::new(),
             latency: LatencyStats::new(),
             per_model_latency: HashMap::new(),
             latency_series: TimeSeries::new(),
@@ -373,6 +382,7 @@ impl ClusterSimulation {
             evictions_drain: 0,
             dispatched: 0,
             cold_dispatches: 0,
+            events_processed: 0,
             per_model_warm_hits: HashMap::new(),
             auxiliary_cold_starts: 0,
             premigrated: 0,
@@ -778,15 +788,16 @@ impl ClusterSimulation {
     /// Consults the admission policy for one arrival the cluster cannot
     /// serve immediately, assembling the placement context it decides on.
     fn admission_verdict(&mut self, request: &SimRequest, now: SimTime) -> AdmissionVerdict {
-        let queued: Vec<QueuedRequest> = self
-            .saturated
-            .iter()
-            .map(|(_, queued)| QueuedRequest {
-                tier: queued.tier,
-                deadline: queued.deadline,
-                submitted: queued.submitted,
-            })
-            .collect();
+        // Reuses a persistent scratch vector for the queue snapshot: the
+        // consult runs once per arrival under saturation, and rebuilding the
+        // snapshot in place keeps the allocator out of the admission path.
+        let mut queued = std::mem::take(&mut self.admission_queued_scratch);
+        queued.clear();
+        queued.extend(self.saturated.iter().map(|(_, queued)| QueuedRequest {
+            tier: queued.tier,
+            deadline: queued.deadline,
+            submitted: queued.submitted,
+        }));
         // Mean busy-slot time one request consumes, from the busy-time
         // integral (brought forward to `now` read-only — accruing here
         // would be harmless but this keeps the consult side-effect free).
@@ -807,7 +818,10 @@ impl ClusterSimulation {
             execution_slots: self.controller.active_node_count() * self.slots_per_node,
             mean_service,
         };
-        self.admission.decide(&ctx)
+        let verdict = self.admission.decide(&ctx);
+        drop(ctx);
+        self.admission_queued_scratch = queued;
+        verdict
     }
 
     /// Applies a shed verdict: drops the queued request at `victim` (an
@@ -844,9 +858,15 @@ impl ClusterSimulation {
     /// would walk the whole (possibly thousands deep) queue on every
     /// single completion just to rediscover that nothing fits.
     fn retry_saturated(&mut self, now: SimTime) {
-        let mut failed_actions: Vec<ActionName> = Vec::new();
+        // The pass runs after nearly every event, so its working buffers are
+        // persistent scratch: `pending` drains into `kept`, `kept` becomes
+        // the new saturated queue, and the drained deque is parked for the
+        // next pass — steady state allocates nothing.
+        let mut failed_actions = std::mem::take(&mut self.retry_failed_actions);
+        failed_actions.clear();
         let mut pending = std::mem::take(&mut self.saturated);
-        let mut kept: VecDeque<(ActionName, SimRequest)> = VecDeque::new();
+        let mut kept = std::mem::take(&mut self.retry_kept);
+        kept.clear();
         while let Some((action, request)) = pending.pop_front() {
             if failed_actions.contains(&action) {
                 kept.push_back((action, request));
@@ -868,6 +888,8 @@ impl ClusterSimulation {
             }
         }
         self.saturated = kept;
+        self.retry_kept = pending;
+        self.retry_failed_actions = failed_actions;
     }
 
     fn record_cluster_state(&mut self, now: SimTime) {
@@ -1010,10 +1032,10 @@ impl ClusterSimulation {
     /// (later completed or counted `dropped`) instead of breaking the
     /// conservation invariant.  `requeued_waiting` counts the rescues so
     /// tests can prove the path ran (or stayed cold).
-    fn cleanup_evicted(&mut self, evicted: Vec<SandboxId>) -> Vec<(ActionName, SimRequest)> {
+    fn cleanup_evicted(&mut self, evicted: &[SandboxId]) -> Vec<(ActionName, SimRequest)> {
         let mut rescued = Vec::new();
         for id in evicted {
-            if let Some(mut state) = self.sandbox_state.remove(&id) {
+            if let Some(mut state) = self.sandbox_state.remove(id) {
                 self.node_enclave_bytes[state.node] =
                     self.node_enclave_bytes[state.node].saturating_sub(state.enclave_bytes);
                 while let Some(request) = state.waiting.pop_front() {
@@ -1071,7 +1093,7 @@ impl ClusterSimulation {
                 rescued.push((action, request));
             }
         }
-        rescued.extend(self.cleanup_evicted(killed.to_vec()));
+        rescued.extend(self.cleanup_evicted(killed));
         self.requeue_rescued(rescued);
     }
 
@@ -1226,7 +1248,7 @@ impl ClusterSimulation {
             .reclaim_sandboxes(&evicted)
             .expect("lifecycle policies evict only live idle candidates");
         let freed = !evicted.is_empty();
-        let rescued = self.cleanup_evicted(evicted);
+        let rescued = self.cleanup_evicted(&evicted);
         self.requeue_rescued(rescued);
         if self.autoscaler.is_some() {
             self.retire_drained_nodes(now);
@@ -1320,7 +1342,7 @@ impl ClusterSimulation {
             .drain_node(victim)
             .expect("victim is active");
         self.evictions_drain += evicted.len() as u64;
-        let rescued = self.cleanup_evicted(evicted);
+        let rescued = self.cleanup_evicted(&evicted);
         self.requeue_rescued(rescued);
         self.scheduler
             .on_membership_change(&self.controller.active_nodes());
@@ -1506,6 +1528,7 @@ impl ClusterSimulation {
         });
 
         while let Some((now, event)) = self.queue.pop() {
+            self.events_processed += 1;
             match event {
                 Event::Arrival(request) => {
                     if request.at_or_before(end) {
@@ -1600,6 +1623,10 @@ impl ClusterSimulation {
             self.cold_dispatches + self.auxiliary_cold_starts,
             "cold-start ledger out of balance"
         );
+        let gb_seconds = self.metering.cluster_gb_seconds(final_time);
+        let node_gb_seconds = self.metering.node_gb_seconds(final_time);
+        let peak_memory_bytes = self.metering.peak_memory_bytes();
+        let (memory_series, sandbox_series, node_series) = self.metering.into_series();
         SimulationResult {
             latency: self.latency,
             per_model_latency: self.per_model_latency,
@@ -1612,10 +1639,10 @@ impl ClusterSimulation {
             shed: self.shed,
             cold_starts: self.controller.cold_start_count(),
             peak_sandboxes: self.peak_sandboxes,
-            gb_seconds: self.metering.cluster_gb_seconds(final_time),
-            node_gb_seconds: self.metering.node_gb_seconds(final_time),
+            gb_seconds,
+            node_gb_seconds,
             per_action_gb_seconds,
-            peak_memory_bytes: self.metering.peak_memory_bytes(),
+            peak_memory_bytes,
             peak_nodes: self.peak_nodes,
             scale_out_events: self.scale_out_events,
             scale_in_events: self.scale_in_events,
@@ -1631,9 +1658,10 @@ impl ClusterSimulation {
             per_model_warm_hits,
             auxiliary_cold_starts: self.auxiliary_cold_starts,
             premigrated: self.premigrated,
-            sandbox_series: self.metering.sandbox_series().clone(),
-            memory_series: self.metering.memory_series().clone(),
-            node_series: self.metering.node_series().clone(),
+            events_processed: self.events_processed,
+            sandbox_series,
+            memory_series,
+            node_series,
             session_latencies: self.session_latencies,
         }
     }

@@ -227,6 +227,9 @@ pub struct SimulationResult {
     /// Replacement containers the warm-value drain pre-migrated onto
     /// surviving nodes before retiring a victim's warm pool.
     pub premigrated: u64,
+    /// Discrete events the run's event loop processed — the denominator of
+    /// the self-timing harness's events/sec figure.
+    pub events_processed: u64,
     /// Sandbox-count time series (total, serving).
     pub sandbox_series: TimeSeries,
     /// Committed-memory time series in GB.

@@ -19,14 +19,20 @@ const FORMAT_VERSION: u32 = 1;
 /// used as the routing / access-control key throughout the system.  Model ids
 /// are public information (FnPacker routes on them), only the parameters are
 /// confidential.
+///
+/// The id is interned behind an `Arc<str>`: the simulator clones model ids on
+/// nearly every dispatch decision, and a refcount bump is what keeps those
+/// clones off the allocator.  Comparison, hashing and ordering all delegate
+/// to the underlying `str`, so maps and sorts behave exactly as they did when
+/// the inner type was `String`.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ModelId(String);
+pub struct ModelId(std::sync::Arc<str>);
 
 impl ModelId {
     /// Creates a model id.
     #[must_use]
     pub fn new(id: impl Into<String>) -> Self {
-        ModelId(id.into())
+        ModelId(id.into().into())
     }
 
     /// String form of the id.

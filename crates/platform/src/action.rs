@@ -5,14 +5,19 @@ use sesemi_sim::{SimDuration, SimTime};
 use std::fmt;
 
 /// Name of a deployed action (an OpenWhisk "action" / function endpoint).
+///
+/// Interned behind an `Arc<str>`: action names are cloned on every routing,
+/// queueing and metering step of the simulator's hot path, and the refcount
+/// bump keeps those clones allocation-free.  `Eq` / `Hash` / `Ord` delegate
+/// to the underlying `str`, so the change is invisible to collections.
 #[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct ActionName(String);
+pub struct ActionName(std::sync::Arc<str>);
 
 impl ActionName {
     /// Creates an action name.
     #[must_use]
     pub fn new(name: impl Into<String>) -> Self {
-        ActionName(name.into())
+        ActionName(name.into().into())
     }
 
     /// String form.

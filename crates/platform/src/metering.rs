@@ -124,6 +124,14 @@ impl Metering {
         &self.serving_series
     }
 
+    /// Consumes the meter and hands back the `(memory, sandbox, node)` time
+    /// series without cloning them — a long trace records millions of points
+    /// per series, and the result build is the last reader.
+    #[must_use]
+    pub fn into_series(self) -> (TimeSeries, TimeSeries, TimeSeries) {
+        (self.memory_series, self.sandbox_series, self.node_series)
+    }
+
     /// Number of activations recorded.
     #[must_use]
     pub fn activation_count(&self) -> u64 {

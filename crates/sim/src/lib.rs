@@ -33,6 +33,7 @@
 #![warn(missing_docs)]
 
 pub mod metrics;
+pub mod pool;
 pub mod queue;
 pub mod rng;
 pub mod time;

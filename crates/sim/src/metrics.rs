@@ -10,12 +10,30 @@
 //! * [`GbSecondMeter`] — the GB·second cost integral used for the serverless
 //!   cost comparison in §VI-C.
 
+use std::cell::RefCell;
+
 use crate::time::{SimDuration, SimTime};
 
+/// Lazily maintained sorted view of the samples, shared by every percentile
+/// query.  Samples are append-only (`record` / `merge` never remove), so a
+/// length mismatch with the live sample vector is a complete staleness test.
+#[derive(Clone, Debug, Default)]
+struct SortCache {
+    sorted: Vec<SimDuration>,
+    sorts: u64,
+}
+
 /// Collects duration samples and answers mean / percentile queries.
+///
+/// Percentile queries sort lazily and cache the sorted order, so a report
+/// that asks for p50/p95/p99 over the same samples pays for a single sort.
+/// The cache lives behind a [`RefCell`] (queries take `&self`), which makes
+/// the type `Send` but not `Sync`; simulation results are moved across
+/// threads, never shared, so this costs nothing in practice.
 #[derive(Clone, Debug, Default)]
 pub struct LatencyStats {
     samples: Vec<SimDuration>,
+    cache: RefCell<SortCache>,
 }
 
 impl LatencyStats {
@@ -72,10 +90,23 @@ impl LatencyStats {
         if self.samples.is_empty() {
             return SimDuration::ZERO;
         }
-        let mut sorted = self.samples.clone();
-        sorted.sort_unstable();
-        let rank = ((sorted.len() as f64 - 1.0) * q).round() as usize;
-        sorted[rank.min(sorted.len() - 1)]
+        let mut cache = self.cache.borrow_mut();
+        if cache.sorted.len() != self.samples.len() {
+            cache.sorted.clear();
+            cache.sorted.extend_from_slice(&self.samples);
+            cache.sorted.sort_unstable();
+            cache.sorts += 1;
+        }
+        let rank = ((cache.sorted.len() as f64 - 1.0) * q).round() as usize;
+        cache.sorted[rank.min(cache.sorted.len() - 1)]
+    }
+
+    /// Number of sorts performed by percentile queries so far — the cached
+    /// order is rebuilt only when samples arrived since the last query, so a
+    /// full percentile report over settled samples counts exactly one sort.
+    #[must_use]
+    pub fn sorts_performed(&self) -> u64 {
+        self.cache.borrow().sorts
     }
 
     /// Median latency.
@@ -178,24 +209,33 @@ impl TimeSeries {
         }
         let mut sorted = self.points.clone();
         sorted.sort_by_key(|(t, _)| *t);
+        let window_nanos = window.as_nanos();
         let mut out = Vec::new();
-        let mut window_start = SimTime::ZERO;
+        let mut bucket = 0u64;
         let mut sum = 0.0;
         let mut count = 0usize;
         for (t, v) in sorted {
-            while t >= window_start + window {
-                if count > 0 {
-                    out.push((window_start, sum / count as f64));
-                }
-                window_start += window;
+            // Bucket index computed arithmetically: a sparse series jumps
+            // straight to the next occupied window instead of stepping over
+            // every empty one in between.
+            let b = t.as_nanos() / window_nanos;
+            if b != bucket && count > 0 {
+                out.push((
+                    SimTime::from_nanos(bucket * window_nanos),
+                    sum / count as f64,
+                ));
                 sum = 0.0;
                 count = 0;
             }
+            bucket = b;
             sum += v;
             count += 1;
         }
         if count > 0 {
-            out.push((window_start, sum / count as f64));
+            out.push((
+                SimTime::from_nanos(bucket * window_nanos),
+                sum / count as f64,
+            ));
         }
         out
     }
@@ -258,9 +298,11 @@ impl GbSecondMeter {
         self.peak_bytes = self.peak_bytes.max(bytes);
     }
 
-    /// Adds `bytes` to the tracked total at time `now`.
+    /// Adds `bytes` to the tracked total at time `now`.  Saturates at
+    /// `u64::MAX`, mirroring [`GbSecondMeter::release_memory`]'s floor at
+    /// zero, so an accounting bug degrades instead of panicking mid-run.
     pub fn add_memory(&mut self, now: SimTime, bytes: u64) {
-        let new_total = self.current_bytes + bytes;
+        let new_total = self.current_bytes.saturating_add(bytes);
         self.set_memory(now, new_total);
     }
 
@@ -442,6 +484,69 @@ mod tests {
         // 0.5 GB * 2s + 1 GB * 2s = 3 GB-s
         let total = meter.finish(SimTime::from_secs(10));
         assert!((total - 3.0).abs() < 1e-9, "total = {total}");
+    }
+
+    #[test]
+    fn a_million_sample_percentile_report_sorts_exactly_once() {
+        // Regression for the clone-and-sort-per-query percentile path: a
+        // full p50/p95/p99/max report over a settled million-sample
+        // collector must reuse one cached sorted order.
+        let mut stats = LatencyStats::new();
+        for i in 0u64..1_000_000 {
+            stats.record(SimDuration::from_nanos(
+                i.wrapping_mul(2_654_435_761) % 1_000_000,
+            ));
+        }
+        assert_eq!(stats.sorts_performed(), 0);
+        let p50 = stats.p50();
+        let p95 = stats.p95();
+        let p99 = stats.p99();
+        assert!(p50 <= p95 && p95 <= p99);
+        assert_eq!(stats.sorts_performed(), 1);
+        // New samples invalidate the cache: the next query pays one more
+        // sort, and only one.
+        stats.record(SimDuration::from_millis(1));
+        let _ = stats.p50();
+        let _ = stats.p99();
+        assert_eq!(stats.sorts_performed(), 2);
+    }
+
+    #[test]
+    fn merged_samples_invalidate_the_percentile_cache() {
+        let mut a = LatencyStats::new();
+        a.record(SimDuration::from_millis(10));
+        assert_eq!(a.p99(), SimDuration::from_millis(10));
+        let mut b = LatencyStats::new();
+        b.record(SimDuration::from_millis(30));
+        a.merge(&b);
+        assert_eq!(a.p99(), SimDuration::from_millis(30));
+        assert_eq!(a.sorts_performed(), 2);
+    }
+
+    #[test]
+    fn windowed_mean_skips_empty_windows_arithmetically() {
+        // A two-point series spanning ~32 years with a 1 ms window: the old
+        // one-empty-window-at-a-time loop would iterate ~10^12 times here.
+        let mut series = TimeSeries::new();
+        series.record(SimTime::ZERO, 4.0);
+        series.record(SimTime::from_secs(1_000_000_000), 8.0);
+        let windows = series.windowed_mean(SimDuration::from_millis(1));
+        assert_eq!(
+            windows,
+            vec![
+                (SimTime::ZERO, 4.0),
+                (SimTime::from_secs(1_000_000_000), 8.0),
+            ]
+        );
+    }
+
+    #[test]
+    fn add_memory_saturates_instead_of_overflowing() {
+        let mut meter = GbSecondMeter::new();
+        meter.add_memory(SimTime::ZERO, u64::MAX - 10);
+        meter.add_memory(SimTime::from_secs(1), 1_000);
+        assert_eq!(meter.current_bytes(), u64::MAX);
+        assert_eq!(meter.peak_bytes(), u64::MAX);
     }
 
     #[test]

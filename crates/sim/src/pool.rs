@@ -1,0 +1,95 @@
+//! A minimal fixed-size worker pool for embarrassingly parallel simulation
+//! jobs (multi-seed sweeps).
+//!
+//! Workers steal job indices from a shared counter — whichever thread is
+//! free next claims the next unclaimed job — so wall-clock time tracks the
+//! slowest *job*, not the slowest static partition.  Results land in slots
+//! keyed by input index, which is what makes a parallel sweep deterministic
+//! per seed regardless of which worker ran which job, or in what order the
+//! jobs finished.
+//!
+//! Built on the vendored `parking_lot` shim (non-poisoning `Mutex`) and
+//! `std::thread::scope`; a panicking job propagates out of [`run_indexed`]
+//! like any scoped-thread panic.
+
+use parking_lot::Mutex;
+
+/// Runs every job across at most `workers` threads and returns the results
+/// **in input order**.
+///
+/// `workers` is clamped to `1..=jobs.len()`; with one worker (or one job)
+/// this degenerates to sequential execution on a spawned thread.
+///
+/// # Panics
+/// Propagates the first panic raised by a job.
+pub fn run_indexed<T, F>(workers: usize, jobs: Vec<F>) -> Vec<T>
+where
+    T: Send,
+    F: FnOnce() -> T + Send,
+{
+    let n = jobs.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    let workers = workers.clamp(1, n);
+    // Each job is claimed exactly once: the shared counter hands out the
+    // index, the per-job slot hands out the closure.
+    let jobs: Vec<Mutex<Option<F>>> = jobs.into_iter().map(|job| Mutex::new(Some(job))).collect();
+    let results: Vec<Mutex<Option<T>>> = (0..n).map(|_| Mutex::new(None)).collect();
+    let next = Mutex::new(0usize);
+    std::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|| loop {
+                let index = {
+                    let mut guard = next.lock();
+                    let index = *guard;
+                    if index >= n {
+                        break;
+                    }
+                    *guard += 1;
+                    index
+                };
+                let job = jobs[index].lock().take().expect("job claimed once");
+                *results[index].lock() = Some(job());
+            });
+        }
+    });
+    results
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every job ran"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_input_order() {
+        // Jobs deliberately finish out of order (later jobs sleep less).
+        let jobs: Vec<_> = (0..8u64)
+            .map(|i| {
+                move || {
+                    std::thread::sleep(std::time::Duration::from_millis(8 - i));
+                    i * 10
+                }
+            })
+            .collect();
+        let results = run_indexed(4, jobs);
+        assert_eq!(results, vec![0, 10, 20, 30, 40, 50, 60, 70]);
+    }
+
+    #[test]
+    fn single_worker_and_empty_inputs_work() {
+        let results = run_indexed(1, vec![|| 1, || 2]);
+        assert_eq!(results, vec![1, 2]);
+        let empty: Vec<i32> = run_indexed(4, Vec::<fn() -> i32>::new());
+        assert!(empty.is_empty());
+    }
+
+    #[test]
+    fn more_workers_than_jobs_is_fine() {
+        let results = run_indexed(64, vec![|| "a", || "b"]);
+        assert_eq!(results, vec!["a", "b"]);
+    }
+}

@@ -1,0 +1,74 @@
+//! Guards for the self-timing benchmark harness (`sims::bench_trace` /
+//! `sims::sweep`).
+//!
+//! Two properties are pinned:
+//!
+//! 1. **Determinism per seed, not per sweep order** — running seeds
+//!    sequentially and running them through the parallel worker pool in a
+//!    shuffled order must produce byte-identical deterministic JSON for
+//!    every seed.  This is what lets CI compare two sweep invocations.
+//! 2. **Well-formedness of `BENCH_sim_engine.json`** — the emitted document
+//!    must carry a nonzero `requests_per_sec`, so the perf trajectory never
+//!    silently records an empty run.
+//!
+//! The request count is kept small: these run under `cargo test` (debug
+//! profile), where a million-request trace would dominate the suite.  The
+//! release-profile million-request run is exercised by CI's bench step.
+
+use sesemi_bench::sims::{bench_trace, sweep};
+
+const REQUESTS: u64 = 10_000;
+
+#[test]
+fn sweep_order_does_not_change_per_seed_results() {
+    let seeds = [7u64, 42, 99];
+    let sequential: Vec<String> = seeds
+        .iter()
+        .map(|&seed| bench_trace(REQUESTS, seed).deterministic_json())
+        .collect();
+    // Shuffled input order, parallel workers: results must come back in the
+    // (shuffled) input order with per-seed output byte-identical to the
+    // sequential runs.
+    let shuffled_seeds = [99u64, 7, 42];
+    let parallel = sweep(REQUESTS, &shuffled_seeds, 3);
+    let order: Vec<u64> = parallel.iter().map(|run| run.seed).collect();
+    assert_eq!(order, shuffled_seeds, "sweep preserves input order");
+    for (i, &seed) in seeds.iter().enumerate() {
+        let from_sweep = parallel
+            .iter()
+            .find(|run| run.seed == seed)
+            .expect("every swept seed comes back");
+        assert_eq!(
+            sequential[i],
+            from_sweep.deterministic_json(),
+            "seed {seed}: parallel sweep diverged from the sequential run"
+        );
+    }
+}
+
+#[test]
+fn bench_json_parses_with_nonzero_requests_per_sec() {
+    let run = bench_trace(REQUESTS, 7);
+    assert!(run.completed > 0, "bench trace completed nothing");
+    assert!(run.events_processed > run.completed);
+    let json = run.bench_json();
+    assert!(json.contains("\"bench\": \"sim_engine\""));
+    // Extract the rendered requests_per_sec figure and require it nonzero —
+    // the field CI dashboards chart.
+    let line = json
+        .lines()
+        .find(|line| line.contains("\"requests_per_sec\":"))
+        .expect("bench json carries requests_per_sec");
+    let value: f64 = line
+        .split(':')
+        .nth(1)
+        .expect("requests_per_sec has a value")
+        .trim()
+        .trim_end_matches(',')
+        .parse()
+        .expect("requests_per_sec renders as a number");
+    assert!(value > 0.0, "requests_per_sec must be nonzero: {json}");
+    // The deterministic slice embeds cleanly too.
+    assert!(json.contains("\"events_processed\""));
+    assert!(json.contains("\"peak_rss_bytes\""));
+}
