@@ -23,6 +23,7 @@
 //! | E2  | [`sims::crash_resilience`] | Failure injection — fixed vs autoscaled pool under a node crash |
 //! | E3  | [`sims::lifecycle_policies`] | Keep-alive ablation follow-on — age-only vs warm-value lifecycle |
 //! | E4  | [`sims::admission_policies`] | Admission control — p99 of admitted traffic through an over-capacity burst |
+//! | E5  | [`sims::batching_throughput`] | Batched execution — throughput and GB·s through an over-capacity burst |
 //! | T2  | [`micro::table2_isolation`] | Table II — strong isolation overhead |
 //! | T3  | [`sims::table3_fnpacker_poisson`] | Table III — Poisson multi-model latency |
 //! | T4  | [`sims::table4_fnpacker_sessions`] | Table IV — interactive session latency |
@@ -43,7 +44,7 @@ pub use report::Report;
 
 /// The experiment registry: `(report id, runner)` in presentation order.
 /// The runners take the experiment seed (closed-form experiments ignore it).
-pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 20] = [
+pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 21] = [
     ("T1", |_| micro::table1_models()),
     ("F8", |_| micro::fig8_stage_ratio()),
     ("F9", |_| micro::fig9_invocation_paths()),
@@ -56,6 +57,7 @@ pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 20] = [
     ("E2", sims::crash_resilience),
     ("E3", sims::lifecycle_policies),
     ("E4", sims::admission_policies),
+    ("E5", sims::batching_throughput),
     ("T2", |_| micro::table2_isolation()),
     ("T3", sims::table3_fnpacker_poisson),
     ("T4", sims::table4_fnpacker_sessions),
@@ -107,7 +109,7 @@ mod tests {
             // simulation ones are covered by their own tests and the binary.
             if matches!(
                 id,
-                "F12" | "F13" | "F14" | "E1" | "E2" | "E3" | "E4" | "T3" | "T4"
+                "F12" | "F13" | "F14" | "E1" | "E2" | "E3" | "E4" | "E5" | "T3" | "T4"
             ) {
                 continue;
             }

@@ -81,6 +81,21 @@ pub trait Scheduler {
         let _ = active_nodes;
     }
 
+    /// Whether the dispatch layer may coalesce compatible (same user, same
+    /// model) queued requests for `model` into one batched invocation on a
+    /// ready warm container.  This is the placement half of the batching
+    /// window: routing already concentrates a model's pending traffic onto
+    /// one endpoint (FnPacker's stickiness rule), placement keeps its
+    /// containers on few nodes, and this signal lets a policy veto the final
+    /// coalescing step.  All shipped policies consent — batching is gated by
+    /// [`BatchingConfig`](crate::cluster::BatchingConfig), not by placement —
+    /// but a policy that spreads a model wide (and so never accumulates a
+    /// same-endpoint queue worth batching) can opt out here.
+    fn coalesce(&self, model: &ModelId) -> bool {
+        let _ = model;
+        true
+    }
+
     /// How much a warm container of `model` on `node` is worth keeping, in
     /// `[0, 1]` — the locality signal container-lifecycle policies score
     /// eviction and drain candidates by.  Placement-blind policies return

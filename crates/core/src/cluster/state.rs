@@ -41,6 +41,10 @@ pub(super) enum Event {
         node: usize,
         action: ActionName,
         request: SimRequest,
+        /// Requests coalesced into this dispatch behind `request` (the batch
+        /// head).  Empty — and allocation-free — on every unbatched run;
+        /// each member gets its own completion accounting in `handle_done`.
+        extra: Vec<SimRequest>,
         path: InvocationPath,
         enclave_was_initialized: bool,
         started: SimTime,
@@ -227,6 +231,16 @@ pub struct SimulationResult {
     /// Replacement containers the warm-value drain pre-migrated onto
     /// surviving nodes before retiring a victim's warm pool.
     pub premigrated: u64,
+    /// Batched dispatches that coalesced two or more same-⟨user, model⟩
+    /// requests into one invocation.  Always 0 when
+    /// [`BatchingConfig`](crate::cluster::BatchingConfig) is disabled (the
+    /// default) — asserted by the batching test corpus.
+    pub batches_formed: u64,
+    /// Requests served as members of a multi-request batch (the head
+    /// included), so `batched_requests >= 2 * batches_formed`.
+    pub batched_requests: u64,
+    /// Widest batch formed during the run; bounded by the configured window.
+    pub max_batch: usize,
     /// Discrete events the run's event loop processed — the denominator of
     /// the self-timing harness's events/sec figure.
     pub events_processed: u64,

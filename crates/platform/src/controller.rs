@@ -292,23 +292,32 @@ impl Controller {
     /// assignments, warm or cold.
     #[must_use]
     pub fn warm_candidates(&self, action: &ActionName) -> Vec<WarmCandidate> {
-        let mut candidates: Vec<WarmCandidate> = self
-            .sandboxes
-            .values()
-            .filter(|s| {
-                &s.action == action
-                    && s.has_free_slot()
-                    && self.nodes[s.node].state == NodeState::Active
-            })
-            .map(|s| WarmCandidate {
-                sandbox: s.id,
-                node: s.node,
-                last_used: s.last_used,
-                still_starting: s.state == SandboxState::Starting,
-            })
-            .collect();
-        candidates.sort_unstable_by_key(|candidate| candidate.sandbox);
+        let mut candidates = Vec::new();
+        self.warm_candidates_into(action, &mut candidates);
         candidates
+    }
+
+    /// Allocation-free variant of [`Controller::warm_candidates`]: clears
+    /// `out` and fills it in place, so a hot scheduling loop can reuse one
+    /// persistent buffer instead of allocating a fresh vector per dispatch.
+    pub fn warm_candidates_into(&self, action: &ActionName, out: &mut Vec<WarmCandidate>) {
+        out.clear();
+        out.extend(
+            self.sandboxes
+                .values()
+                .filter(|s| {
+                    &s.action == action
+                        && s.has_free_slot()
+                        && self.nodes[s.node].state == NodeState::Active
+                })
+                .map(|s| WarmCandidate {
+                    sandbox: s.id,
+                    node: s.node,
+                    last_used: s.last_used,
+                    still_starting: s.state == SandboxState::Starting,
+                }),
+        );
+        out.sort_unstable_by_key(|candidate| candidate.sandbox);
     }
 
     /// Assigns one invocation to a previously inspected warm candidate.
@@ -402,29 +411,33 @@ impl Controller {
     /// `fits() == false`.
     #[must_use]
     pub fn node_snapshots(&self, action: &ActionName) -> Vec<NodeSnapshot> {
-        let mut snapshots: Vec<NodeSnapshot> = self
-            .nodes
-            .iter()
-            .enumerate()
-            .map(|(node, n)| NodeSnapshot {
-                node,
-                memory_capacity: n.memory_capacity,
-                memory_used: n.memory_used,
-                total_sandboxes: 0,
-                action_sandboxes: 0,
-                active_invocations: 0,
-                schedulable: n.state == NodeState::Active,
-            })
-            .collect();
+        let mut snapshots = Vec::new();
+        self.node_snapshots_into(action, &mut snapshots);
+        snapshots
+    }
+
+    /// Allocation-free variant of [`Controller::node_snapshots`]: clears
+    /// `out` and fills it in place for callers that keep a persistent
+    /// scratch buffer across placement decisions.
+    pub fn node_snapshots_into(&self, action: &ActionName, out: &mut Vec<NodeSnapshot>) {
+        out.clear();
+        out.extend(self.nodes.iter().enumerate().map(|(node, n)| NodeSnapshot {
+            node,
+            memory_capacity: n.memory_capacity,
+            memory_used: n.memory_used,
+            total_sandboxes: 0,
+            action_sandboxes: 0,
+            active_invocations: 0,
+            schedulable: n.state == NodeState::Active,
+        }));
         for sandbox in self.sandboxes.values() {
-            let snapshot = &mut snapshots[sandbox.node];
+            let snapshot = &mut out[sandbox.node];
             snapshot.total_sandboxes += 1;
             snapshot.active_invocations += sandbox.active;
             if &sandbox.action == action {
                 snapshot.action_sandboxes += 1;
             }
         }
-        snapshots
     }
 
     /// Marks a cold-started sandbox as ready to execute.

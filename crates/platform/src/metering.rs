@@ -15,6 +15,15 @@ pub struct Metering {
     sandbox_series: TimeSeries,
     serving_series: TimeSeries,
     node_series: TimeSeries,
+    // Last value pushed to each cluster-state series.  The simulator records
+    // cluster state after every event, but most events change nothing — a
+    // million-request trace would otherwise pin millions of identical points
+    // per series in memory.  Step series lose no information by skipping
+    // repeats; the GB·s integrals run off `cluster_memory`, which still sees
+    // every call.
+    last_memory_point: Option<f64>,
+    last_sandbox_point: Option<f64>,
+    last_serving_point: Option<f64>,
     activations: u64,
     cold_starts: u64,
 }
@@ -40,6 +49,9 @@ impl Metering {
 
     /// Records the cluster state at `now`: total memory committed to
     /// sandboxes, total sandbox count, and the number currently serving.
+    /// Each series is a step function, so a point is pushed only when the
+    /// value actually changed since the previous call — repeated identical
+    /// observations coalesce into the one point that opened the step.
     pub fn record_cluster_state(
         &mut self,
         now: SimTime,
@@ -48,10 +60,21 @@ impl Metering {
         serving_sandboxes: usize,
     ) {
         self.cluster_memory.set_memory(now, committed_bytes);
-        self.memory_series
-            .record(now, committed_bytes as f64 / (1024.0 * 1024.0 * 1024.0));
-        self.sandbox_series.record(now, total_sandboxes as f64);
-        self.serving_series.record(now, serving_sandboxes as f64);
+        let memory_gb = committed_bytes as f64 / (1024.0 * 1024.0 * 1024.0);
+        if self.last_memory_point != Some(memory_gb) {
+            self.memory_series.record(now, memory_gb);
+            self.last_memory_point = Some(memory_gb);
+        }
+        let sandboxes = total_sandboxes as f64;
+        if self.last_sandbox_point != Some(sandboxes) {
+            self.sandbox_series.record(now, sandboxes);
+            self.last_sandbox_point = Some(sandboxes);
+        }
+        let serving = serving_sandboxes as f64;
+        if self.last_serving_point != Some(serving) {
+            self.serving_series.record(now, serving);
+            self.last_serving_point = Some(serving);
+        }
     }
 
     /// Records a change in the provisioned node capacity (the invoker memory
@@ -204,6 +227,28 @@ mod tests {
         assert_eq!(metering.memory_series().len(), 2);
         assert_eq!(metering.sandbox_series().len(), 2);
         assert_eq!(metering.serving_series().len(), 2);
+    }
+
+    #[test]
+    fn repeated_cluster_states_coalesce_into_one_series_point() {
+        let mut metering = Metering::new();
+        // A burst of no-change observations (the common case: most simulator
+        // events leave the cluster shape untouched) pins exactly one point.
+        for second in 0..1_000 {
+            metering.record_cluster_state(SimTime::from_secs(second), 2 * GB, 2, 1);
+        }
+        assert_eq!(metering.memory_series().len(), 1);
+        assert_eq!(metering.sandbox_series().len(), 1);
+        assert_eq!(metering.serving_series().len(), 1);
+        // A change in any one signal extends only that series.
+        metering.record_cluster_state(SimTime::from_secs(1_000), 2 * GB, 2, 2);
+        assert_eq!(metering.memory_series().len(), 1);
+        assert_eq!(metering.sandbox_series().len(), 1);
+        assert_eq!(metering.serving_series().len(), 2);
+        // The time-weighted memory integral still covers the whole span —
+        // coalescing drops repeated points, not billed time.
+        let total = metering.cluster_gb_seconds(SimTime::from_secs(2_000));
+        assert!((total - 2.147483648 * 2_000.0).abs() < 1e-6);
     }
 
     #[test]

@@ -31,6 +31,13 @@ pub enum RuntimeError {
     /// Concurrency is disabled (sequential mode) and another request is in
     /// flight.
     SequentialModeBusy,
+    /// A multi-request batch was submitted to a configuration that refuses
+    /// it: strong isolation (which never coalesces requests, §V), a batch
+    /// wider than the configured window, or a batch mixing users or models.
+    BatchRefused {
+        /// Why the batch was refused.
+        reason: String,
+    },
 }
 
 impl fmt::Display for RuntimeError {
@@ -48,6 +55,9 @@ impl fmt::Display for RuntimeError {
             ),
             RuntimeError::SequentialModeBusy => {
                 write!(f, "sequential mode: another request is executing")
+            }
+            RuntimeError::BatchRefused { reason } => {
+                write!(f, "batch refused: {reason}")
             }
         }
     }

@@ -17,7 +17,7 @@ use sesemi_enclave::enclave::HeapAllocation;
 use sesemi_enclave::{CodeIdentity, Enclave, EnclaveConfig, Measurement, SgxPlatform};
 use sesemi_inference::{Framework, LoadedModel, ModelId, ModelRuntime};
 use sesemi_keyservice::PartyId;
-use sesemi_sim::SimDuration;
+use sesemi_sim::{SimDuration, SimTime};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -42,6 +42,14 @@ pub struct SemirtConfig {
     /// Optionally pin the instance to a single model id ("SeMIRT can be
     /// configured to fix the model", §V).
     pub pinned_model: Option<ModelId>,
+    /// Maximum number of compatible requests a worker may execute as one
+    /// batch.  `1` (the default) disables batching entirely; like the
+    /// concurrency level, the window is part of the measured configuration so
+    /// owners and users grant access to a *batching* image knowingly.
+    pub batch_window: usize,
+    /// How long an open batching window may hold its first request while
+    /// waiting for more to coalesce before it must flush.
+    pub batch_max_wait: SimDuration,
     /// Version string of the SeMIRT code.
     pub version: String,
 }
@@ -56,15 +64,43 @@ impl SemirtConfig {
             tcs_count,
             strong_isolation: false,
             pinned_model: None,
+            batch_window: 1,
+            batch_max_wait: SimDuration::ZERO,
             version: "1.0".to_string(),
         }
     }
 
-    /// Enables the strong-isolation settings (forces TCS count to 1).
+    /// Enables the strong-isolation settings (forces TCS count to 1 and
+    /// disables the batching window — strong isolation never coalesces
+    /// requests, §V).
     #[must_use]
     pub fn with_strong_isolation(mut self) -> Self {
         self.strong_isolation = true;
         self.tcs_count = 1;
+        self.batch_window = 1;
+        self.batch_max_wait = SimDuration::ZERO;
+        self
+    }
+
+    /// Enables the batching window: up to `window` compatible requests may
+    /// execute as one batch, and an open window waits at most `max_wait` for
+    /// peers before flushing.
+    ///
+    /// # Panics
+    /// Panics if `window` is zero or if strong isolation is enabled (the two
+    /// settings are contradictory by construction).
+    #[must_use]
+    pub fn with_batching(mut self, window: usize, max_wait: SimDuration) -> Self {
+        assert!(
+            window >= 1,
+            "the batching window holds at least one request"
+        );
+        assert!(
+            !self.strong_isolation || window == 1,
+            "strong isolation refuses request coalescing (§V)"
+        );
+        self.batch_window = window;
+        self.batch_max_wait = max_wait;
         self
     }
 
@@ -86,7 +122,9 @@ impl SemirtConfig {
         )
         .with_setting("tcs_count", self.tcs_count)
         .with_setting("strong_isolation", self.strong_isolation)
-        .with_setting("framework", self.framework.label());
+        .with_setting("framework", self.framework.label())
+        .with_setting("batch_window", self.batch_window)
+        .with_setting("batch_max_wait_ns", self.batch_max_wait.as_nanos());
         if let Some(model) = &self.pinned_model {
             identity = identity.with_setting("pinned_model", model.as_str());
         }
@@ -444,6 +482,60 @@ impl SemirtInstance {
         ))
     }
 
+    /// Serves a batch of compatible requests on one worker, amortizing the
+    /// shared serving stages (key fetch, model load, runtime init) across the
+    /// batch: only the first item can pay them, the rest ride the caches the
+    /// first item filled.
+    ///
+    /// A batch is *refused* — [`RuntimeError::BatchRefused`], no item is
+    /// served — when it is empty, wider than the configured
+    /// [`SemirtConfig::batch_window`], mixes users or models, or when strong
+    /// isolation is enabled and the batch holds more than one request
+    /// (isolation never coalesces requests across trust boundaries, §V).
+    pub fn handle_batch(
+        &self,
+        worker_id: usize,
+        requests: &[InferenceRequest],
+    ) -> Result<Vec<(InferenceResponse, InvocationReport)>, RuntimeError> {
+        if requests.is_empty() {
+            return Err(RuntimeError::BatchRefused {
+                reason: "empty batch".to_string(),
+            });
+        }
+        if self.config.strong_isolation && requests.len() > 1 {
+            return Err(RuntimeError::BatchRefused {
+                reason: "strong isolation never coalesces requests".to_string(),
+            });
+        }
+        if requests.len() > self.config.batch_window {
+            return Err(RuntimeError::BatchRefused {
+                reason: format!(
+                    "batch of {} exceeds the configured window of {}",
+                    requests.len(),
+                    self.config.batch_window
+                ),
+            });
+        }
+        let head = &requests[0];
+        for request in &requests[1..] {
+            if request.user != head.user {
+                return Err(RuntimeError::BatchRefused {
+                    reason: "batch mixes users".to_string(),
+                });
+            }
+            if request.model != head.model {
+                return Err(RuntimeError::BatchRefused {
+                    reason: "batch mixes models".to_string(),
+                });
+            }
+        }
+        let mut results = Vec::with_capacity(requests.len());
+        for request in requests {
+            results.push(self.handle_request(worker_id, request)?);
+        }
+        Ok(results)
+    }
+
     /// `EC_CLEAR_EXEC_CTX`: releases the worker's thread-local runtime buffer
     /// (the untrusted dispatcher calls this when it retires a worker thread).
     pub fn clear_worker(&self, worker_id: usize) {
@@ -453,6 +545,100 @@ impl SemirtInstance {
     /// Destroys the enclave; all subsequent requests fail.
     pub fn shutdown(&self) {
         self.enclave.destroy();
+    }
+}
+
+/// The untrusted dispatcher's batching window: accumulates queued requests
+/// that are *compatible* (same user, same model) and flushes a batch for
+/// [`SemirtInstance::handle_batch`] when the window fills, an incompatible
+/// request arrives, or the oldest queued request has waited
+/// [`SemirtConfig::batch_max_wait`].
+///
+/// The window itself lives outside the enclave — it only ever sees
+/// ciphertext plus the routing envelope (user, model) that the dispatcher
+/// needs anyway — so coalescing adds no new information flow.
+#[derive(Debug)]
+pub struct BatchWindow {
+    window: usize,
+    max_wait: SimDuration,
+    pending: Vec<InferenceRequest>,
+    opened_at: Option<SimTime>,
+}
+
+impl BatchWindow {
+    /// Creates a window sized from the instance configuration.
+    #[must_use]
+    pub fn new(config: &SemirtConfig) -> Self {
+        BatchWindow {
+            window: config.batch_window,
+            max_wait: config.batch_max_wait,
+            pending: Vec::new(),
+            opened_at: None,
+        }
+    }
+
+    /// Number of requests currently waiting in the window.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.pending.len()
+    }
+
+    /// True when no request is waiting.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.pending.is_empty()
+    }
+
+    /// Offers a request to the window at time `now`.  Returns a flushed batch
+    /// when the offer forces one out: either the incoming request is
+    /// incompatible with the waiting batch (the old batch flushes and the new
+    /// request opens a fresh window), or accepting it fills the window.
+    pub fn offer(
+        &mut self,
+        now: SimTime,
+        request: InferenceRequest,
+    ) -> Option<Vec<InferenceRequest>> {
+        let incompatible = self
+            .pending
+            .first()
+            .is_some_and(|head| head.user != request.user || head.model != request.model);
+        if incompatible {
+            let flushed = self.flush();
+            self.pending.push(request);
+            self.opened_at = Some(now);
+            return flushed;
+        }
+        if self.pending.is_empty() {
+            self.opened_at = Some(now);
+        }
+        self.pending.push(request);
+        if self.pending.len() >= self.window {
+            return self.flush();
+        }
+        None
+    }
+
+    /// Flushes the window if the oldest queued request has waited `max_wait`
+    /// or longer by `now`.
+    pub fn flush_due(&mut self, now: SimTime) -> Option<Vec<InferenceRequest>> {
+        let due = self
+            .opened_at
+            .is_some_and(|opened| now.duration_since(opened) >= self.max_wait);
+        if due {
+            self.flush()
+        } else {
+            None
+        }
+    }
+
+    /// Unconditionally flushes whatever is waiting.
+    pub fn flush(&mut self) -> Option<Vec<InferenceRequest>> {
+        self.opened_at = None;
+        if self.pending.is_empty() {
+            None
+        } else {
+            Some(std::mem::take(&mut self.pending))
+        }
     }
 }
 
@@ -804,6 +990,165 @@ mod tests {
             .handle_request(0, &make_request(&world, 2))
             .unwrap_err();
         assert!(matches!(err, RuntimeError::Enclave(_)));
+    }
+
+    #[test]
+    fn batch_of_compatible_requests_amortizes_shared_stages() {
+        let world = build_world(Framework::Tvm, ModelKind::MbNet, |c| {
+            c.with_batching(8, SimDuration::from_millis(5))
+        });
+        let instance = launch(&world);
+        let batch: Vec<InferenceRequest> = (0..4).map(|i| make_request(&world, i)).collect();
+        let results = instance.handle_batch(0, &batch).unwrap();
+        assert_eq!(results.len(), 4);
+        // Only the head of the batch pays the shared stages; every other item
+        // rides the caches it filled and runs hot.
+        assert_eq!(results[0].1.path, InvocationPath::Cold);
+        for (response, report) in &results[1..] {
+            assert_eq!(report.path, InvocationPath::Hot);
+            assert!(report.key_cache_hit && report.model_cache_hit && report.runtime_reused);
+            response.decrypt(&world.request_key).unwrap();
+        }
+        assert_eq!(instance.stats().total(), 4);
+    }
+
+    #[test]
+    fn strong_isolation_refuses_multi_request_batches() {
+        let world = build_world(
+            Framework::Tvm,
+            ModelKind::MbNet,
+            SemirtConfig::with_strong_isolation,
+        );
+        let instance = launch(&world);
+        let batch = vec![make_request(&world, 1), make_request(&world, 2)];
+        let err = instance.handle_batch(0, &batch).unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::BatchRefused { reason } if reason.contains("isolation")),
+            "unexpected error: {err}"
+        );
+        assert_eq!(
+            instance.stats().total(),
+            0,
+            "no item of a refused batch runs"
+        );
+        // A single-request "batch" is just sequential mode and is served.
+        let results = instance.handle_batch(0, &batch[..1]).unwrap();
+        assert_eq!(results.len(), 1);
+    }
+
+    #[test]
+    fn mixed_user_or_model_batches_are_refused() {
+        let world = build_world(Framework::Tvm, ModelKind::MbNet, |c| {
+            c.with_batching(8, SimDuration::ZERO)
+        });
+        let instance = launch(&world);
+        let mut rng = SessionRng::from_seed(77);
+        let features = vec![0.0f32; world.input_dim];
+
+        let other_user = PartyId::from_identity_key(&AeadKey::from_bytes([9u8; 16]));
+        let foreign = InferenceRequest::encrypt(
+            other_user,
+            world.model_id.clone(),
+            &features,
+            &world.request_key,
+            &mut rng,
+        );
+        let err = instance
+            .handle_batch(0, &[make_request(&world, 1), foreign])
+            .unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::BatchRefused { reason } if reason.contains("users")),
+            "unexpected error: {err}"
+        );
+
+        let other_model = InferenceRequest::encrypt(
+            world.user,
+            ModelId::new("some-other-model"),
+            &features,
+            &world.request_key,
+            &mut rng,
+        );
+        let err = instance
+            .handle_batch(0, &[make_request(&world, 1), other_model])
+            .unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::BatchRefused { reason } if reason.contains("models")),
+            "unexpected error: {err}"
+        );
+        assert_eq!(instance.stats().total(), 0);
+    }
+
+    #[test]
+    fn batch_wider_than_the_window_is_refused() {
+        // The default configuration has a window of 1: batching off.
+        let world = build_world(Framework::Tvm, ModelKind::MbNet, |c| c);
+        let instance = launch(&world);
+        let batch = vec![make_request(&world, 1), make_request(&world, 2)];
+        let err = instance.handle_batch(0, &batch).unwrap_err();
+        assert!(
+            matches!(&err, RuntimeError::BatchRefused { reason } if reason.contains("window")),
+            "unexpected error: {err}"
+        );
+        let err = instance.handle_batch(0, &[]).unwrap_err();
+        assert!(matches!(err, RuntimeError::BatchRefused { .. }));
+    }
+
+    #[test]
+    fn batching_window_is_part_of_the_measured_config() {
+        let base = SemirtConfig::new(Framework::Tvm, 256 * MB, 4);
+        let batching = base.clone().with_batching(8, SimDuration::from_millis(5));
+        assert_ne!(base.measurement(), batching.measurement());
+        // Same window, different max-wait: still a different image.
+        let patient = base.clone().with_batching(8, SimDuration::from_millis(50));
+        assert_ne!(batching.measurement(), patient.measurement());
+        // Strong isolation forces the window shut again.
+        let isolated = batching.with_strong_isolation();
+        assert_eq!(isolated.batch_window, 1);
+        assert_eq!(isolated.batch_max_wait, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn batch_window_coalesces_flushes_on_fill_incompatibility_and_max_wait() {
+        let world = build_world(Framework::Tvm, ModelKind::MbNet, |c| {
+            c.with_batching(3, SimDuration::from_millis(10))
+        });
+        let config = world.semirt_config.clone();
+        let mut window = BatchWindow::new(&config);
+        let t0 = SimTime::ZERO;
+
+        // Fill to the window cap: the third offer flushes all three.
+        assert!(window.offer(t0, make_request(&world, 1)).is_none());
+        assert!(window.offer(t0, make_request(&world, 2)).is_none());
+        let full = window.offer(t0, make_request(&world, 3)).unwrap();
+        assert_eq!(full.len(), 3);
+        assert!(window.is_empty());
+
+        // An incompatible request flushes the waiting batch and opens a new
+        // window for itself.
+        let mut rng = SessionRng::from_seed(5);
+        let features = vec![0.0f32; world.input_dim];
+        let other_user = PartyId::from_identity_key(&AeadKey::from_bytes([9u8; 16]));
+        let foreign = InferenceRequest::encrypt(
+            other_user,
+            world.model_id.clone(),
+            &features,
+            &world.request_key,
+            &mut rng,
+        );
+        assert!(window.offer(t0, make_request(&world, 4)).is_none());
+        let flushed = window.offer(t0, foreign).unwrap();
+        assert_eq!(flushed.len(), 1);
+        assert_eq!(flushed[0].user, world.user);
+        assert_eq!(window.len(), 1, "the foreign request opened a new window");
+
+        // Max-wait: not due before the deadline, due at it.
+        assert!(window.flush_due(t0 + SimDuration::from_millis(9)).is_none());
+        let timed_out = window.flush_due(t0 + SimDuration::from_millis(10)).unwrap();
+        assert_eq!(timed_out.len(), 1);
+        assert!(
+            window.flush().is_none(),
+            "empty window has nothing to flush"
+        );
     }
 
     #[test]

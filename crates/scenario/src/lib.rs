@@ -50,8 +50,8 @@ pub use registry::{CorpusEntry, ScenarioRegistry};
 
 use sesemi::baseline::ServingStrategy;
 use sesemi::cluster::{
-    AdmissionKind, AutoscaleConfig, ClusterConfig, ClusterSimulation, FaultPlan, LifecycleKind,
-    SchedulerKind, SimulationResult,
+    AdmissionKind, AutoscaleConfig, BatchingConfig, ClusterConfig, ClusterSimulation, FaultPlan,
+    LifecycleKind, SchedulerKind, SimulationResult,
 };
 use sesemi_enclave::SgxVersion;
 use sesemi_fnpacker::RoutingStrategy;
@@ -298,6 +298,16 @@ impl ScenarioBuilder {
     #[must_use]
     pub fn admission(mut self, admission: AdmissionKind) -> Self {
         self.config.admission = admission;
+        self
+    }
+
+    /// The batched-execution window: a warm container absorbs up to
+    /// `window` compatible same-⟨user, model⟩ requests from the saturated
+    /// queue into one execution (default window 1 — batching off, the
+    /// behaviour-preserving pre-batching engine).
+    #[must_use]
+    pub fn batching(mut self, batching: BatchingConfig) -> Self {
+        self.config.batching = batching;
         self
     }
 

@@ -20,6 +20,7 @@
 //! | `elasticity` | one side of the fixed-vs-elastic `E2` comparison |
 //! | `lifecycle`  | exercises a non-default container-lifecycle policy (the `E3` comparisons) |
 //! | `shedding`   | exercises a non-default admission policy (rejections/sheds expected) |
+//! | `batching`   | runs with a batched-execution window > 1 (the `E5` comparisons) |
 //!
 //! The corpus-wide invariant suite (`tests/scenario_corpus.rs`) runs every
 //! entry at two seeds and asserts conservation and accounting consistency,
@@ -27,7 +28,8 @@
 
 use crate::{Scenario, ScenarioBuilder};
 use sesemi::cluster::{
-    AdmissionKind, AutoscaleConfig, ClusterConfig, LifecycleKind, SchedulerKind, SimulationResult,
+    AdmissionKind, AutoscaleConfig, BatchingConfig, ClusterConfig, LifecycleKind, SchedulerKind,
+    SimulationResult,
 };
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
 use sesemi_sim::{SimDuration, SimTime};
@@ -721,6 +723,66 @@ fn corpus_entries() -> Vec<CorpusEntry> {
                         Some(SimDuration::from_millis(1500)),
                     )
                     .duration(SimDuration::from_secs(40))
+            },
+        },
+        CorpusEntry {
+            id: "batching-saturated-burst",
+            description: "The burst-over-capacity shape with a 4-wide batching window: the \
+                          lone warm container absorbs compatible queued peers into shared \
+                          executions instead of serving the backlog one by one.",
+            tags: &[
+                "quick",
+                "batching",
+                "burst",
+                "mmpp",
+                "saturation",
+                "single-model",
+            ],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                Scenario::builder("batching-saturated-burst")
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1))
+                    .batching(BatchingConfig::window(4))
+                    .model(model.clone(), profile)
+                    .prewarm(model.clone(), 0, 1)
+                    .traffic(
+                        model,
+                        0,
+                        ArrivalProcess::Mmpp {
+                            rates_per_sec: vec![25.0, 40.0],
+                            mean_dwell: SimDuration::from_secs(10),
+                        },
+                    )
+                    .duration(SimDuration::from_secs(30))
+            },
+        },
+        CorpusEntry {
+            id: "batching-multi-user-mix",
+            description: "An 8-wide batching window against a three-user mix on one MBNET \
+                          container: batches only ever coalesce within a user's own stream, \
+                          so the window amortizes each user's backlog separately.",
+            tags: &["quick", "batching", "saturation", "single-model"],
+            builder: |seed| {
+                let (model, profile) = mbnet();
+                let mut builder = Scenario::builder("batching-multi-user-mix")
+                    .seed(seed)
+                    .nodes(1)
+                    .tcs_per_container(1)
+                    .invoker_memory_bytes(budget(&profile, 1))
+                    .batching(BatchingConfig::window(8))
+                    .model(model.clone(), profile)
+                    .prewarm(model.clone(), 0, 1);
+                for user in 0..3 {
+                    builder = builder.traffic(
+                        model.clone(),
+                        user,
+                        ArrivalProcess::Poisson { rate_per_sec: 8.0 },
+                    );
+                }
+                builder.duration(SimDuration::from_secs(40))
             },
         },
         CorpusEntry {
