@@ -24,6 +24,7 @@
 //! | E3  | [`sims::lifecycle_policies`] | Keep-alive ablation follow-on — age-only vs warm-value lifecycle |
 //! | E4  | [`sims::admission_policies`] | Admission control — p99 of admitted traffic through an over-capacity burst |
 //! | E5  | [`sims::batching_throughput`] | Batched execution — throughput and GB·s through an over-capacity burst |
+//! | E6  | [`sims::keyservice_resilience`] | Replicated KeyService — cold-start storm p99 vs replicas, with a mid-storm crash |
 //! | T2  | [`micro::table2_isolation`] | Table II — strong isolation overhead |
 //! | T3  | [`sims::table3_fnpacker_poisson`] | Table III — Poisson multi-model latency |
 //! | T4  | [`sims::table4_fnpacker_sessions`] | Table IV — interactive session latency |
@@ -44,7 +45,7 @@ pub use report::Report;
 
 /// The experiment registry: `(report id, runner)` in presentation order.
 /// The runners take the experiment seed (closed-form experiments ignore it).
-pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 21] = [
+pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 22] = [
     ("T1", |_| micro::table1_models()),
     ("F8", |_| micro::fig8_stage_ratio()),
     ("F9", |_| micro::fig9_invocation_paths()),
@@ -58,6 +59,7 @@ pub const EXPERIMENTS: [(&str, fn(u64) -> Report); 21] = [
     ("E3", sims::lifecycle_policies),
     ("E4", sims::admission_policies),
     ("E5", sims::batching_throughput),
+    ("E6", sims::keyservice_resilience),
     ("T2", |_| micro::table2_isolation()),
     ("T3", sims::table3_fnpacker_poisson),
     ("T4", sims::table4_fnpacker_sessions),
@@ -109,7 +111,7 @@ mod tests {
             // simulation ones are covered by their own tests and the binary.
             if matches!(
                 id,
-                "F12" | "F13" | "F14" | "E1" | "E2" | "E3" | "E4" | "E5" | "T3" | "T4"
+                "F12" | "F13" | "F14" | "E1" | "E2" | "E3" | "E4" | "E5" | "E6" | "T3" | "T4"
             ) {
                 continue;
             }

@@ -5,8 +5,8 @@
 use crate::report::{secs, Report};
 use sesemi::baseline::ServingStrategy;
 use sesemi::cluster::{
-    AdmissionKind, AutoscaleConfig, ClusterConfig, ClusterSimulation, LifecycleKind,
-    SimulationResult,
+    AdmissionKind, AutoscaleConfig, ClusterConfig, ClusterSimulation, KeyServiceConfig,
+    LifecycleKind, SimulationResult,
 };
 use sesemi_fnpacker::RoutingStrategy;
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
@@ -770,6 +770,159 @@ pub fn batching_throughput(seed: u64) -> Report {
     report
 }
 
+/// Per-provision service time the E6 storm charges at the KeyService — the
+/// remote-attestation verification plus key lookup and RA-TLS send of
+/// `KEY_PROVISIONING` (Algorithm 1), held constant across every E6 row so the
+/// rows differ only in pool width and faults.
+const E6_PROVISION: SimDuration = SimDuration::from_millis(100);
+
+/// When the E6 fault rows lose replica 0: the first boot wave finishes at
+/// ~0.65 s and a narrow provisioning pool is still draining its backlog at
+/// 2.5 s, so the crash catches provisions queued on the dead replica in
+/// flight while leaving the survivors enough of the run to absorb them.
+const E6_CRASH_AT: SimDuration = SimDuration::from_millis(2500);
+
+/// The E6 cold-start storm, before any fault plan: 24 single-user MBNET
+/// endpoints on the eight-node SGX2 pool, each offered 1 rps of Poisson
+/// traffic with a 2 s keep-alive — short enough that inter-arrival gaps keep
+/// re-colding the sandboxes, so the trust plane sees a ~24-wide provision
+/// burst at t≈0 and recurring cold waves after each eviction pass.  Every
+/// cold start pays the sandbox boot and then queues for a KeyService TCS
+/// slot before its sandbox can serve, so the provisioning pool's width is
+/// directly visible in the cold-path tail.
+fn keyservice_storm_builder(
+    seed: u64,
+    keyservice: KeyServiceConfig,
+) -> sesemi_scenario::ScenarioBuilder {
+    const ENDPOINTS: usize = 24;
+    let profile = ModelProfile::paper(ModelKind::MbNet, Framework::Tvm);
+    let single_thread_budget = sesemi_platform::PlatformConfig::round_memory_budget(
+        profile.enclave_bytes_for_concurrency(1),
+    );
+    let mut builder = Scenario::builder(format!("e6/replicas{}", keyservice.replicas))
+        .cluster(ClusterConfig::multi_node_sgx2())
+        .seed(seed)
+        .tcs_per_container(1)
+        // Sixteen single-thread sandbox slots per node: the dispatcher boots
+        // duplicate sandboxes for a model whose boot is still provisioning,
+        // so a storm needs memory headroom well past one slot per endpoint —
+        // compute must never be the bottleneck if the tail is to read as
+        // pure trust plane.
+        .invoker_memory_bytes(single_thread_budget * 16)
+        .keep_alive(SimDuration::from_secs(2))
+        .keyservice(keyservice)
+        .duration(SimDuration::from_secs(40));
+    for user in 0..ENDPOINTS {
+        let model = ModelId::new(format!("storm-m{user}"));
+        builder = builder.model(model.clone(), profile).traffic(
+            model,
+            user,
+            ArrivalProcess::Poisson { rate_per_sec: 1.0 },
+        );
+    }
+    builder
+}
+
+/// One E6 row: the storm against `keyservice`, optionally losing `crash`
+/// mid-storm at [`E6_CRASH_AT`].
+fn keyservice_storm_run(
+    seed: u64,
+    keyservice: KeyServiceConfig,
+    crash: Option<usize>,
+) -> SimulationResult {
+    let mut builder = keyservice_storm_builder(seed, keyservice);
+    if let Some(replica) = crash {
+        builder = builder.keyservice_crash(SimTime::ZERO + E6_CRASH_AT, replica);
+    }
+    builder.build().run()
+}
+
+/// E6: trust-plane resilience — the identical cold-start storm through a
+/// queued KeyService at 1, 2 and 4 replicas, with and without losing replica
+/// 0 mid-storm.  The reference row is an overprovisioned 8-replica × 8-TCS
+/// pool (effectively zero queueing), so the `p99 / reference` column isolates
+/// what the trust plane adds to the cold-path tail.  Replicated pools fail
+/// over in-flight and later provisions to survivors and stay within the
+/// acceptance budget; crashing the only replica of a singleton pool is a
+/// total trust-plane outage — later cold starts can never be provisioned and
+/// are dropped, but the conservation invariant still holds.
+#[must_use]
+pub fn keyservice_resilience(seed: u64) -> Report {
+    let mut report = Report::new(
+        "E6",
+        "Replicated KeyService — cold-start storm p99 vs replicas, with a mid-storm crash",
+        &[
+            "Pool",
+            "Fault",
+            "Admitted",
+            "Completed",
+            "Dropped",
+            "Cold",
+            "Provisions",
+            "Failovers",
+            "Mean KS wait (s)",
+            "Mean (s)",
+            "p99 (s)",
+            "p99 / reference",
+        ],
+    );
+    let reference = keyservice_storm_run(seed, KeyServiceConfig::queued(8, E6_PROVISION, 8), None);
+    let push_row = |report: &mut Report, pool: &str, fault: &str, result: &SimulationResult| {
+        report.push_row(vec![
+            pool.to_string(),
+            fault.to_string(),
+            result.admitted.to_string(),
+            result.completed.to_string(),
+            result.dropped.to_string(),
+            result.cold_dispatches.to_string(),
+            result.provisioned_keys.to_string(),
+            result.keyservice_failovers.to_string(),
+            secs(result.mean_keyservice_wait()),
+            secs(result.mean_latency()),
+            secs(result.p99_latency()),
+            format!(
+                "{:.2}",
+                result.p99_latency().as_secs_f64() / reference.p99_latency().as_secs_f64()
+            ),
+        ]);
+    };
+    push_row(&mut report, "8 x 8 TCS (reference)", "none", &reference);
+    let mut outage = None;
+    for replicas in [1usize, 2, 4] {
+        let pool = format!("{replicas} x 1 TCS");
+        let config = KeyServiceConfig::queued(replicas, E6_PROVISION, 1);
+        let healthy = keyservice_storm_run(seed, config, None);
+        push_row(&mut report, &pool, "none", &healthy);
+        let crashed = keyservice_storm_run(seed, config, Some(0));
+        let fault = if replicas == 1 {
+            "replica 0 crash (total outage)"
+        } else {
+            "replica 0 crash @2.5s"
+        };
+        push_row(&mut report, &pool, fault, &crashed);
+        if replicas == 1 {
+            outage = Some(crashed);
+        }
+    }
+    if let Some(outage) = outage {
+        report.push_note(format!(
+            "Losing the only replica of the singleton pool is a total trust-plane outage: \
+             {} requests whose sandboxes were waiting on — or later needed — a provision \
+             can never be served and are dropped (warm sandboxes keep serving), yet \
+             admitted == completed + dropped still holds.  Every replicated row fails its \
+             in-flight and later provisions over to survivors with zero drops.",
+            outage.dropped,
+        ));
+    }
+    report.push_note(format!(
+        "All rows replay the identical seeded storm (24 endpoints x 1 rps, 2 s keep-alive, \
+         {} per provision); only the KeyService pool shape and the fault plan differ, so the \
+         p99 ratio is purely trust-plane queueing plus failover re-resolution.",
+        secs(E6_PROVISION),
+    ));
+    report
+}
+
 /// Runs the named corpus scenarios at `seed` and tabulates their accounting
 /// (`--scenario id[,id...]` in the experiments binary).  Returns `Err` with
 /// the offending id if one is not in the corpus.
@@ -1426,6 +1579,94 @@ mod tests {
                 assert!(result.conserves_requests());
                 assert_eq!(result.latency.count() as u64, result.completed);
             }
+        }
+    }
+
+    /// The E6 acceptance bar: through the cold-start storm, every pool of
+    /// 2+ replicas holds the cold-path p99 within 2× of the overprovisioned
+    /// reference — with or without losing replica 0 mid-storm — and
+    /// `admitted == completed + dropped` holds under every KeyService fault
+    /// plan.  Crashing the only replica of a singleton pool is the one case
+    /// allowed (and required) to drop requests: a total trust-plane outage
+    /// leaves later cold starts unprovisionable, but still conserved.
+    #[test]
+    fn e6_replicated_keyservice_holds_the_cold_tail_through_a_crash() {
+        for seed in [42, 7] {
+            let reference =
+                keyservice_storm_run(seed, KeyServiceConfig::queued(8, E6_PROVISION, 8), None);
+            assert!(reference.conserves_requests());
+            assert_eq!(reference.dropped, 0, "seed {seed}: reference must not drop");
+            assert!(
+                reference.provisioned_keys > 0,
+                "seed {seed}: the storm must exercise the trust plane"
+            );
+            assert_eq!(
+                reference.provisioned_keys, reference.cold_dispatches,
+                "seed {seed}: every cold dispatch provisions exactly once"
+            );
+            let budget = reference.p99_latency().mul_f64(2.0);
+            for replicas in [2usize, 4] {
+                for crash in [None, Some(0)] {
+                    let result = keyservice_storm_run(
+                        seed,
+                        KeyServiceConfig::queued(replicas, E6_PROVISION, 1),
+                        crash,
+                    );
+                    let label = format!("seed {seed}, {replicas} replicas, crash {crash:?}");
+                    assert!(result.conserves_requests(), "{label}");
+                    assert_eq!(result.dropped, 0, "{label}: failover must not drop");
+                    assert_eq!(
+                        result.admitted, reference.admitted,
+                        "{label}: identical seeded trace on every row"
+                    );
+                    assert!(
+                        result.p99_latency() <= budget,
+                        "{label}: p99 {} must stay within 2x of the reference {}",
+                        secs(result.p99_latency()),
+                        secs(reference.p99_latency())
+                    );
+                    if crash.is_some() {
+                        assert_eq!(result.keyservice_crashes, 1, "{label}");
+                        assert!(
+                            result.keyservice_failovers > 0,
+                            "{label}: the mid-storm crash must catch provisions in flight"
+                        );
+                    } else {
+                        assert_eq!(result.keyservice_crashes, 0, "{label}");
+                        assert_eq!(result.keyservice_failovers, 0, "{label}");
+                    }
+                }
+            }
+            let single =
+                keyservice_storm_run(seed, KeyServiceConfig::queued(1, E6_PROVISION, 1), None);
+            assert!(single.conserves_requests());
+            assert_eq!(
+                single.dropped, 0,
+                "seed {seed}: a healthy singleton pool is slow, not lossy"
+            );
+            assert!(
+                single.mean_keyservice_wait() > reference.mean_keyservice_wait(),
+                "seed {seed}: one TCS slot must queue deeper than the 64-slot reference"
+            );
+            assert!(
+                single.p99_latency() > budget,
+                "seed {seed}: the singleton pool must show the queueing cliff the \
+                 replicated pools avoid (p99 {} vs budget {})",
+                secs(single.p99_latency()),
+                secs(budget)
+            );
+            let outage =
+                keyservice_storm_run(seed, KeyServiceConfig::queued(1, E6_PROVISION, 1), Some(0));
+            assert!(outage.conserves_requests());
+            assert_eq!(outage.keyservice_crashes, 1);
+            assert!(
+                outage.dropped > 0,
+                "seed {seed}: a total trust-plane outage must drop later cold starts"
+            );
+            assert!(
+                outage.completed > 0,
+                "seed {seed}: requests served before the outage still complete"
+            );
         }
     }
 

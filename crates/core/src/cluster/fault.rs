@@ -5,11 +5,12 @@
 //! alongside its workload — so the same corpus entry can run with and
 //! without failures and new failure scenarios need no simulator changes.
 //! [`crate::cluster::ClusterSimulation::add_fault_plan`] compiles the plan
-//! into `Event::NodeCrash` / `Event::ContainerKill` simulator events; the
-//! crash handlers reuse the eviction/re-queue machinery, so a
-//! killed request is re-queued (or counted `dropped`), never lost — the
-//! conservation invariant `admitted == completed + dropped` holds under
-//! every fault plan.
+//! into `Event::NodeCrash` / `Event::ContainerKill` /
+//! `Event::KeyServiceCrash` simulator events; the crash handlers reuse the
+//! eviction/re-queue machinery, so a killed request is re-queued (or counted
+//! `dropped`), never lost — the conservation invariant
+//! `admitted == completed + dropped` holds under every fault plan,
+//! compute-plane and trust-plane alike.
 
 use sesemi_inference::ModelId;
 use sesemi_platform::NodeId;
@@ -39,6 +40,20 @@ pub enum Fault {
         /// The model whose containers die.
         model: ModelId,
     },
+    /// A KeyService replica dies at `at` — the first fault class attacking
+    /// the trust plane rather than the compute plane.  Provisions in flight
+    /// on the victim re-resolve against a surviving peer in deterministic
+    /// failover order; with no survivor the affected cold starts never
+    /// complete and their requests are counted `dropped` (conservation
+    /// holds either way).  A no-op unless the simulator models provisioning
+    /// (see [`KeyServiceConfig`](crate::cluster::KeyServiceConfig)).
+    KeyServiceCrash {
+        /// When the replica fails.
+        at: SimTime,
+        /// The replica that fails (ignored at runtime if out of range or
+        /// already dead — fault plans are data).
+        replica: usize,
+    },
 }
 
 impl Fault {
@@ -46,7 +61,9 @@ impl Fault {
     #[must_use]
     pub fn at(&self) -> SimTime {
         match self {
-            Fault::NodeCrash { at, .. } | Fault::ContainerKill { at, .. } => *at,
+            Fault::NodeCrash { at, .. }
+            | Fault::ContainerKill { at, .. }
+            | Fault::KeyServiceCrash { at, .. } => *at,
         }
     }
 }
@@ -90,6 +107,13 @@ impl FaultPlan {
         self
     }
 
+    /// Adds a KeyService replica crash at `at`.
+    #[must_use]
+    pub fn keyservice_crash(mut self, at: SimTime, replica: usize) -> Self {
+        self.faults.push(Fault::KeyServiceCrash { at, replica });
+        self
+    }
+
     /// Appends an already-constructed fault.
     #[must_use]
     pub fn with(mut self, fault: Fault) -> Self {
@@ -124,7 +148,7 @@ impl FaultPlan {
             .iter()
             .filter_map(|fault| match fault {
                 Fault::NodeCrash { node, .. } => Some(*node),
-                Fault::ContainerKill { .. } => None,
+                _ => None,
             })
             .max()
     }
@@ -134,8 +158,22 @@ impl FaultPlan {
     pub fn kill_targets(&self) -> impl Iterator<Item = &ModelId> {
         self.faults.iter().filter_map(|fault| match fault {
             Fault::ContainerKill { model, .. } => Some(model),
-            Fault::NodeCrash { .. } => None,
+            _ => None,
         })
+    }
+
+    /// The highest replica index any [`Fault::KeyServiceCrash`] targets, if
+    /// the plan attacks the trust plane at all — what build-time replica
+    /// bounds validation checks against.
+    #[must_use]
+    pub fn max_keyservice_crash_target(&self) -> Option<usize> {
+        self.faults
+            .iter()
+            .filter_map(|fault| match fault {
+                Fault::KeyServiceCrash { replica, .. } => Some(*replica),
+                _ => None,
+            })
+            .max()
     }
 }
 
@@ -148,18 +186,21 @@ mod tests {
         let plan = FaultPlan::new()
             .node_crash(SimTime::from_secs(10), 3)
             .container_kill(SimTime::from_secs(20), ModelId::new("m0"))
+            .keyservice_crash(SimTime::from_secs(25), 1)
             .with(Fault::NodeCrash {
                 at: SimTime::from_secs(30),
                 node: 1,
             });
-        assert_eq!(plan.len(), 3);
+        assert_eq!(plan.len(), 4);
         assert!(!plan.is_empty());
         assert_eq!(plan.max_crash_target(), Some(3));
+        assert_eq!(plan.max_keyservice_crash_target(), Some(1));
         assert_eq!(
             plan.kill_targets().collect::<Vec<_>>(),
             vec![&ModelId::new("m0")]
         );
         assert_eq!(plan.faults()[0].at(), SimTime::from_secs(10));
+        assert_eq!(plan.faults()[2].at(), SimTime::from_secs(25));
     }
 
     #[test]
@@ -167,6 +208,7 @@ mod tests {
         let plan = FaultPlan::new();
         assert!(plan.is_empty());
         assert_eq!(plan.max_crash_target(), None);
+        assert_eq!(plan.max_keyservice_crash_target(), None);
         assert_eq!(plan.kill_targets().count(), 0);
     }
 }

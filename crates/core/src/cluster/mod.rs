@@ -40,6 +40,7 @@
 pub mod admission;
 pub mod autoscale;
 pub mod fault;
+pub mod keyservice;
 pub mod lifecycle;
 pub mod scheduler;
 mod state;
@@ -50,6 +51,7 @@ pub use admission::{
 };
 pub use autoscale::{AutoscaleConfig, Autoscaler, ClusterSignals, ScaleDecision};
 pub use fault::{Fault, FaultPlan};
+pub use keyservice::KeyServiceConfig;
 pub use lifecycle::{
     AgeOnlyLifecycle, DrainCandidate, DrainContext, DrainVerdict, EvictionCandidate,
     EvictionContext, EvictionReason, EvictionVerdict, LifecycleKind, LifecyclePolicy,
@@ -62,6 +64,7 @@ pub use scheduler::{
 pub use state::SimulationResult;
 
 use crate::baseline::{SandboxWarmth, ServingStrategy};
+use keyservice::KeyServiceSim;
 use sesemi_enclave::{EnclaveCostModel, SgxVersion};
 use sesemi_fnpacker::{FnPool, Router, RoutingStrategy};
 use sesemi_inference::{ModelId, ModelProfile};
@@ -172,6 +175,10 @@ pub struct ClusterConfig {
     /// batched dispatch.  The default window of 1 disables batching and is
     /// byte-identical to the unbatched engine.
     pub batching: BatchingConfig,
+    /// KeyService provisioning model: cold dispatches queue behind a pool
+    /// of replicated, TCS-bound KeyService enclaves.  The default disables
+    /// the model and is byte-identical to the pre-trust-plane engine.
+    pub keyservice: KeyServiceConfig,
     /// Experiment seed.
     pub seed: u64,
 }
@@ -194,6 +201,7 @@ impl Default for ClusterConfig {
             admission: AdmissionKind::AdmitAll,
             autoscale: None,
             batching: BatchingConfig::default(),
+            keyservice: KeyServiceConfig::default(),
             seed: 42,
         }
     }
@@ -268,6 +276,8 @@ pub struct ClusterSimulation {
     admission_queued_scratch: Vec<QueuedRequest>,
     warm_candidates_scratch: Vec<sesemi_platform::WarmCandidate>,
     node_snapshots_scratch: Vec<sesemi_platform::NodeSnapshot>,
+    /// The simulated KeyService pool cold dispatches provision against.
+    keyservice: KeyServiceSim,
     // results
     latency: LatencyStats,
     per_model_latency: HashMap<ModelId, LatencyStats>,
@@ -292,6 +302,10 @@ pub struct ClusterSimulation {
     batches_formed: u64,
     batched_requests: u64,
     max_batch: usize,
+    provisioned_keys: u64,
+    keyservice_wait: SimDuration,
+    keyservice_crashes: u64,
+    keyservice_failovers: u64,
     events_processed: u64,
     per_model_warm_hits: HashMap<ModelId, u64>,
     auxiliary_cold_starts: u64,
@@ -425,6 +439,7 @@ impl ClusterSimulation {
             admission_queued_scratch: Vec::new(),
             warm_candidates_scratch: Vec::new(),
             node_snapshots_scratch: Vec::new(),
+            keyservice: KeyServiceSim::new(config.keyservice),
             latency: LatencyStats::new(),
             per_model_latency: HashMap::new(),
             latency_series: TimeSeries::new(),
@@ -448,6 +463,10 @@ impl ClusterSimulation {
             batches_formed: 0,
             batched_requests: 0,
             max_batch: 0,
+            provisioned_keys: 0,
+            keyservice_wait: SimDuration::ZERO,
+            keyservice_crashes: 0,
+            keyservice_failovers: 0,
             events_processed: 0,
             per_model_warm_hits: HashMap::new(),
             auxiliary_cold_starts: 0,
@@ -512,6 +531,10 @@ impl ClusterSimulation {
                             model: model.clone(),
                         },
                     );
+                }
+                Fault::KeyServiceCrash { at, replica } => {
+                    self.queue
+                        .push(*at, Event::KeyServiceCrash { replica: *replica });
                 }
             }
         }
@@ -861,11 +884,29 @@ impl ClusterSimulation {
         });
         if is_cold {
             self.node_enclave_bytes[node] += entry.enclave_bytes;
+            let user_index = request.user_index;
             entry.waiting.push_back(request);
-            self.queue.push(
-                now + self.config.sandbox_cold_start,
-                Event::SandboxReady(sandbox_id),
-            );
+            let boot_done = now + self.config.sandbox_cold_start;
+            if self.keyservice.enabled() {
+                // The freshly booted enclave attests to the KeyService pool
+                // and fetches its keys before serving: the sandbox is ready
+                // only once its provision drains the user's home replica —
+                // cold-path latency is now a function of KeyService load.
+                match self.keyservice.provision(sandbox_id, user_index, boot_done) {
+                    Some((provisioned, wait)) => {
+                        self.provisioned_keys += 1;
+                        self.keyservice_wait += wait;
+                        self.queue
+                            .push(provisioned, Event::SandboxReady(sandbox_id));
+                    }
+                    // Total trust-plane outage: the sandbox never becomes
+                    // ready and its parked requests are counted `dropped`
+                    // at the horizon — conservation, not liveness.
+                    None => {}
+                }
+            } else {
+                self.queue.push(boot_done, Event::SandboxReady(sandbox_id));
+            }
         } else if !entry.ready {
             // Assigned to a container that is still starting.
             debug_assert!(extras.is_empty(), "batches only form on ready containers");
@@ -1205,6 +1246,7 @@ impl ClusterSimulation {
     }
 
     fn handle_sandbox_ready(&mut self, sandbox_id: SandboxId, now: SimTime) {
+        self.keyservice.complete(sandbox_id);
         if self.controller.sandbox_ready(sandbox_id).is_err() {
             return; // evicted before it became ready
         }
@@ -1234,6 +1276,7 @@ impl ClusterSimulation {
     fn cleanup_evicted(&mut self, evicted: &[SandboxId]) -> Vec<(ActionName, SimRequest)> {
         let mut rescued = Vec::new();
         for id in evicted {
+            self.keyservice.complete(*id);
             if let Some(mut state) = self.sandbox_state.remove(id) {
                 self.node_enclave_bytes[state.node] =
                     self.node_enclave_bytes[state.node].saturating_sub(state.enclave_bytes);
@@ -1365,6 +1408,39 @@ impl ClusterSimulation {
         }
         self.kill_sandboxes(&victims, now);
         self.retry_saturated(now);
+        self.record_cluster_state(now);
+    }
+
+    /// Failure injection: a KeyService replica dies.  Provisions the victim
+    /// was still serving re-resolve against a surviving peer — the affected
+    /// sandboxes' pending `SandboxReady` events are pulled from the queue
+    /// and re-scheduled at the failover replica's completion time (queueing
+    /// from scratch at `now`, so a crash is pure added latency, never lost
+    /// work).  With no survivor the sandboxes never become ready and their
+    /// parked requests drain into `dropped` at the horizon.  The
+    /// [`KeyServiceSim`] is the single authority on whether the target can
+    /// crash: out-of-range and already-dead replicas are no-ops, as is any
+    /// crash while provisioning is un-modeled.
+    fn handle_keyservice_crash(&mut self, replica: usize, now: SimTime) {
+        let Some(victims) = self.keyservice.crash(replica, now) else {
+            return;
+        };
+        self.keyservice_crashes += 1;
+        if !victims.is_empty() {
+            let _ = self.queue.extract(|_, event| {
+                matches!(event, Event::SandboxReady(sandbox)
+                    if victims.iter().any(|(victim, _)| victim == sandbox))
+            });
+            for (sandbox, user_index) in victims {
+                if let Some((provisioned, wait)) =
+                    self.keyservice.provision(sandbox, user_index, now)
+                {
+                    self.keyservice_failovers += 1;
+                    self.keyservice_wait += wait;
+                    self.queue.push(provisioned, Event::SandboxReady(sandbox));
+                }
+            }
+        }
         self.record_cluster_state(now);
     }
 
@@ -1728,7 +1804,13 @@ impl ClusterSimulation {
         // the billing clock, so it is discarded here rather than skipped
         // when popped.
         let _ = self.queue.extract(|at, event| {
-            at > end && matches!(event, Event::NodeCrash { .. } | Event::ContainerKill { .. })
+            at > end
+                && matches!(
+                    event,
+                    Event::NodeCrash { .. }
+                        | Event::ContainerKill { .. }
+                        | Event::KeyServiceCrash { .. }
+                )
         });
 
         while let Some((now, event)) = self.queue.pop() {
@@ -1774,6 +1856,7 @@ impl ClusterSimulation {
                 // window.
                 Event::NodeCrash { node } => self.handle_node_crash(node, now),
                 Event::ContainerKill { model } => self.handle_container_kill(&model, now),
+                Event::KeyServiceCrash { replica } => self.handle_keyservice_crash(replica, now),
                 Event::NodeProvisioned => {
                     if now <= end {
                         self.handle_node_provisioned(now);
@@ -1867,6 +1950,10 @@ impl ClusterSimulation {
             batches_formed: self.batches_formed,
             batched_requests: self.batched_requests,
             max_batch: self.max_batch,
+            provisioned_keys: self.provisioned_keys,
+            keyservice_wait: self.keyservice_wait,
+            keyservice_crashes: self.keyservice_crashes,
+            keyservice_failovers: self.keyservice_failovers,
             events_processed: self.events_processed,
             sandbox_series,
             memory_series,
@@ -2968,5 +3055,101 @@ mod tests {
         assert_eq!(a.evictions_drain, b.evictions_drain);
         assert_eq!(a.mean_latency(), b.mean_latency());
         assert!((a.node_gb_seconds - b.node_gb_seconds).abs() < 1e-12);
+    }
+
+    #[test]
+    fn keyservice_queueing_stretches_cold_paths_and_counts_every_provision() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let run = |keyservice: KeyServiceConfig| {
+            let config = ClusterConfig {
+                keyservice,
+                ..ClusterConfig::single_node_sgx2()
+            };
+            let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile.clone())]);
+            sim.add_arrivals(poisson_trace(&model, 2.0, 30, 3));
+            sim.run(SimDuration::from_secs(30))
+        };
+        let flat = run(KeyServiceConfig::default());
+        let queued = run(KeyServiceConfig::queued(
+            1,
+            SimDuration::from_millis(300),
+            1,
+        ));
+        // Off is really off: no provisioning accounting at all.
+        assert_eq!(flat.provisioned_keys, 0);
+        assert_eq!(flat.keyservice_wait, SimDuration::ZERO);
+        // On, every cold dispatch provisions exactly once (no auxiliary
+        // paths in this config), and the added service time is visible in
+        // the mean latency of the identical trace.
+        assert!(queued.cold_dispatches >= 1);
+        assert_eq!(queued.provisioned_keys, queued.cold_dispatches);
+        assert!(
+            queued.mean_latency() > flat.mean_latency(),
+            "provisioning must stretch cold paths: {} vs {}",
+            queued.mean_latency(),
+            flat.mean_latency()
+        );
+        assert!(queued.conserves_requests());
+        assert_eq!(queued.completed, flat.completed);
+    }
+
+    #[test]
+    fn a_keyservice_crash_fails_inflight_provisions_over_to_the_survivor() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig {
+            nodes: 2,
+            keyservice: KeyServiceConfig::queued(2, SimDuration::from_millis(500), 1),
+            ..ClusterConfig::multi_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        // Every arrival is user 0 — home replica 0 — and the slow single-TCS
+        // replica guarantees a queue of in-flight provisions at crash time.
+        sim.add_arrivals(poisson_trace(&model, 10.0, 20, 7));
+        sim.add_fault_plan(&FaultPlan::new().keyservice_crash(SimTime::from_secs(1), 0));
+        let result = sim.run(SimDuration::from_secs(20));
+        assert_eq!(result.keyservice_crashes, 1);
+        assert!(
+            result.keyservice_failovers >= 1,
+            "the burst keeps provisions in flight at crash time"
+        );
+        assert!(result.conserves_requests());
+        assert!(result.completed > 0, "the survivor keeps provisioning");
+        assert_eq!(result.dropped, 0, "failover loses no work");
+    }
+
+    #[test]
+    fn a_total_keyservice_outage_drops_parked_work_but_conserves_requests() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let config = ClusterConfig {
+            keyservice: KeyServiceConfig::queued(1, SimDuration::from_millis(100), 1),
+            ..ClusterConfig::single_node_sgx2()
+        };
+        let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
+        sim.add_arrivals(poisson_trace(&model, 2.0, 10, 5));
+        // The only replica dies before the first arrival: no cold start can
+        // ever finish, so every admitted request parks and drains into
+        // `dropped` — conservation survives a total trust-plane outage.
+        sim.add_fault_plan(&FaultPlan::new().keyservice_crash(SimTime::ZERO, 0));
+        let result = sim.run(SimDuration::from_secs(10));
+        assert_eq!(result.keyservice_crashes, 1);
+        assert_eq!(result.provisioned_keys, 0);
+        assert_eq!(result.completed, 0);
+        assert!(result.dropped > 0);
+        assert!(result.conserves_requests());
+    }
+
+    #[test]
+    fn keyservice_crashes_are_noops_when_provisioning_is_unmodeled() {
+        let (model, profile) = profile(ModelKind::MbNet, Framework::Tvm);
+        let mut sim = ClusterSimulation::new(
+            ClusterConfig::single_node_sgx2(),
+            vec![(model.clone(), profile)],
+        );
+        sim.add_arrivals(poisson_trace(&model, 2.0, 10, 5));
+        sim.add_fault_plan(&FaultPlan::new().keyservice_crash(SimTime::from_secs(1), 0));
+        let result = sim.run(SimDuration::from_secs(10));
+        assert_eq!(result.keyservice_crashes, 0);
+        assert_eq!(result.dropped, 0);
+        assert!(result.completed > 0);
     }
 }

@@ -69,6 +69,13 @@ pub(super) enum Event {
         /// The model whose containers die.
         model: ModelId,
     },
+    /// Failure injection: a KeyService replica dies — the first fault class
+    /// targeting the trust plane instead of the compute plane.  In-flight
+    /// provisions re-resolve against a surviving peer.
+    KeyServiceCrash {
+        /// The replica that fails.
+        replica: usize,
+    },
 }
 
 /// Cached enclave state of one simulated sandbox.
@@ -241,6 +248,21 @@ pub struct SimulationResult {
     pub batched_requests: u64,
     /// Widest batch formed during the run; bounded by the configured window.
     pub max_batch: usize,
+    /// Provisioning requests served by the simulated KeyService pool — one
+    /// per cold dispatch while the queued model is enabled.  Always 0 under
+    /// the default [`KeyServiceConfig`](crate::cluster::KeyServiceConfig)
+    /// (provisioning un-modeled), pinned by the pre-trust-plane goldens.
+    pub provisioned_keys: u64,
+    /// Total time cold dispatches spent queued behind the KeyService pool's
+    /// TCS slots (the FIFO wait, excluding the service time itself).
+    pub keyservice_wait: SimDuration,
+    /// Injected KeyService replica crashes that actually took an alive
+    /// replica down (out-of-range or already-dead targets are no-ops, as is
+    /// any crash while provisioning is un-modeled).
+    pub keyservice_crashes: u64,
+    /// In-flight provisions whose replica died and that were re-resolved
+    /// against a surviving peer in deterministic failover order.
+    pub keyservice_failovers: u64,
     /// Discrete events the run's event loop processed — the denominator of
     /// the self-timing harness's events/sec figure.
     pub events_processed: u64,
@@ -320,5 +342,18 @@ impl SimulationResult {
     #[must_use]
     pub fn evictions_total(&self) -> u64 {
         self.evictions_expired + self.evictions_pressure + self.evictions_drain
+    }
+
+    /// Mean KeyService queue wait per provisioned key (zero when
+    /// provisioning is un-modeled or nothing cold-started).
+    #[must_use]
+    pub fn mean_keyservice_wait(&self) -> SimDuration {
+        if self.provisioned_keys == 0 {
+            SimDuration::ZERO
+        } else {
+            SimDuration::from_secs_f64(
+                self.keyservice_wait.as_secs_f64() / self.provisioned_keys as f64,
+            )
+        }
     }
 }

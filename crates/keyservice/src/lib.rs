@@ -25,6 +25,8 @@
 //!   TCS accounting, latency model for provisioning calls.
 //! * [`client`] — owner-side and user-side helpers that build the encrypted
 //!   payloads and drive the registration workflow.
+//! * [`replicated`] — a mesh of mutually attested KeyService replicas with
+//!   sealed-state sync, user sharding and deterministic failover.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -33,9 +35,11 @@ pub mod client;
 pub mod error;
 pub mod keystore;
 pub mod messages;
+pub mod replicated;
 pub mod service;
 
 pub use client::{OwnerClient, UserClient};
 pub use error::KeyServiceError;
 pub use keystore::{KeyStore, PartyId};
+pub use replicated::ReplicatedKeyService;
 pub use service::KeyService;

@@ -20,6 +20,7 @@ use sesemi_enclave::{Enclave, Measurement, QuoteVerifier};
 use sesemi_inference::ModelId;
 use sesemi_sim::SimDuration;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
 /// Identifier of an open connection to the KeyService.
@@ -91,8 +92,12 @@ pub struct KeyService {
     enclave: Arc<Enclave>,
     verifier: QuoteVerifier,
     store: Mutex<KeyStore>,
-    connections: Mutex<HashMap<u64, Connection>>,
-    next_connection: Mutex<u64>,
+    /// Connections are individually locked so records on different
+    /// connections are handled concurrently (the paper's thread-per-TCS
+    /// model, §V); the outer map lock is held only to look a connection up,
+    /// insert one, or close one — never across keystore dispatch.
+    connections: Mutex<HashMap<u64, Arc<Mutex<Connection>>>>,
+    next_connection: AtomicU64,
     provisioning_compute: SimDuration,
 }
 
@@ -105,7 +110,7 @@ impl KeyService {
             verifier,
             store: Mutex::new(KeyStore::new()),
             connections: Mutex::new(HashMap::new()),
-            next_connection: Mutex::new(0),
+            next_connection: AtomicU64::new(0),
             provisioning_compute: SimDuration::from_millis(3),
         }
     }
@@ -131,42 +136,74 @@ impl KeyService {
         hello: &InitiatorHello,
         rng: &mut R,
     ) -> Result<(ResponderHello, ConnectionId, SimDuration), KeyServiceError> {
+        // `tcs` is a scoped token: if `respond` rejects the handshake the
+        // early return drops it and the TCS is released — a failed
+        // attestation must never leak enclave concurrency.
         let tcs = self.enclave.enter().map_err(KeyServiceError::from)?;
         let result = respond(hello, &self.enclave, &self.verifier, rng)?;
-        let id = {
-            let mut next = self.next_connection.lock();
-            let id = *next;
-            *next += 1;
-            id
-        };
+        let id = self.next_connection.fetch_add(1, Ordering::Relaxed);
         self.connections.lock().insert(
             id,
-            Connection {
+            Arc::new(Mutex::new(Connection {
                 channel: result.channel,
                 peer_measurement: result.initiator_measurement,
                 _tcs: tcs,
-            },
+            })),
         );
         Ok((result.hello, ConnectionId(id), result.quote_latency))
     }
 
+    /// Accepts a connection from a *peer replica*: like
+    /// [`KeyService::accept_connection`], but the initiator must present a
+    /// quote whose measurement equals `expected` — a mesh only admits peers
+    /// running identical KeyService code.
+    pub fn accept_peer_connection<R: RngCore>(
+        &self,
+        hello: &InitiatorHello,
+        expected: &Measurement,
+        rng: &mut R,
+    ) -> Result<(ResponderHello, ConnectionId, SimDuration), KeyServiceError> {
+        match hello.quote.as_ref().map(|quote| quote.measurement) {
+            Some(measurement) if measurement == *expected => self.accept_connection(hello, rng),
+            Some(_) => Err(KeyServiceError::AttestationFailed(
+                "peer measurement does not match the replica set".to_string(),
+            )),
+            None => Err(KeyServiceError::AttestationFailed(
+                "peer replicas must attest".to_string(),
+            )),
+        }
+    }
+
     /// Handles one encrypted record on a connection and returns the encrypted
     /// response record plus the simulated in-enclave processing latency.
+    ///
+    /// A record that authenticates but carries a malformed request yields an
+    /// encrypted [`Response::Error`] record, not an `Err`: `recv` has already
+    /// advanced the channel's receive sequence, so swallowing the exchange
+    /// would desync the channel and poison every later record on the
+    /// connection.  `Err` is reserved for an unknown connection and for
+    /// records that fail authentication (a failed `recv` does not advance
+    /// the sequence, so the channel stays usable).
     pub fn handle_record(
         &self,
         connection: ConnectionId,
         record: &[u8],
     ) -> Result<(Vec<u8>, SimDuration), KeyServiceError> {
-        let mut connections = self.connections.lock();
-        let conn = connections
-            .get_mut(&connection.0)
+        let conn = self
+            .connections
+            .lock()
+            .get(&connection.0)
+            .cloned()
             .ok_or_else(|| KeyServiceError::Channel("unknown connection".to_string()))?;
+        let mut conn = conn.lock();
         let plaintext = conn
             .channel
             .recv(record)
             .map_err(|e| KeyServiceError::Channel(e.to_string()))?;
-        let request = decode_request(&plaintext)?;
-        let response = self.dispatch(request, conn.peer_measurement);
+        let response = match decode_request(&plaintext) {
+            Ok(request) => self.dispatch(request, conn.peer_measurement),
+            Err(err) => Response::Error(err),
+        };
         let record = conn.channel.send(&encode_response(&response));
         Ok((record, self.provisioning_compute))
     }
@@ -496,5 +533,211 @@ mod tests {
         codes.sort_unstable();
         codes.dedup();
         assert_eq!(codes.len(), errors.len());
+    }
+
+    use sesemi_crypto::rng::SessionRng;
+    use sesemi_enclave::attest::{AttestationAuthority, AttestationScheme};
+    use sesemi_enclave::ratls::HandshakeInitiator;
+    use sesemi_enclave::{CodeIdentity, EnclaveConfig, SgxPlatform};
+
+    const MB: u64 = 1024 * 1024;
+
+    fn service_fixture() -> (KeyService, QuoteVerifier) {
+        let platform = SgxPlatform::paper_sgx2_node("ks-node");
+        let authority = AttestationAuthority::new(17);
+        authority.register_platform("ks-node", AttestationScheme::EcdsaDcap);
+        let enclave = Enclave::launch(
+            &platform,
+            &authority,
+            CodeIdentity::new("keyservice", b"keyservice code".to_vec(), "1.0"),
+            EnclaveConfig::new(64 * MB, 8),
+            1,
+        )
+        .unwrap()
+        .0;
+        let verifier = authority.verifier();
+        let service = KeyService::new(Arc::new(enclave), verifier.clone());
+        (service, verifier)
+    }
+
+    fn client_channel<R: RngCore>(
+        service: &KeyService,
+        verifier: &QuoteVerifier,
+        rng: &mut R,
+    ) -> (SecureChannel, ConnectionId) {
+        let initiator = HandshakeInitiator::new_client(rng);
+        let (responder_hello, connection, _) =
+            service.accept_connection(&initiator.hello(), rng).unwrap();
+        let channel = initiator
+            .finish(&responder_hello, verifier, &service.measurement())
+            .unwrap();
+        (channel, connection)
+    }
+
+    #[test]
+    fn a_malformed_request_yields_an_error_record_and_the_channel_stays_in_sync() {
+        // Regression: `handle_record` used to return an early `Err` after
+        // `recv` had already advanced the receive sequence, desyncing the
+        // channel — the peer's next exchange then failed on a sequence
+        // mismatch.  A malformed-but-authenticated request must produce an
+        // encrypted `Response::Error` record instead.
+        let (service, verifier) = service_fixture();
+        let mut rng = SessionRng::from_seed(11);
+        let (mut channel, connection) = client_channel(&service, &verifier, &mut rng);
+
+        // Tag 9 is no known request: authenticates fine, decodes to garbage.
+        let garbage = channel.send(&[9u8]);
+        let (response_record, _) = service
+            .handle_record(connection, &garbage)
+            .expect("a decode failure is answered, not swallowed");
+        let plaintext = channel.recv(&response_record).unwrap();
+        assert_eq!(
+            decode_response(&plaintext).unwrap(),
+            Response::Error(KeyServiceError::InvalidPayload)
+        );
+
+        // The same connection then completes a valid round-trip.
+        let register = channel.send(&encode_request(&Request::Register {
+            identity_key: AeadKey::from_bytes([7u8; 16]),
+        }));
+        let (response_record, _) = service.handle_record(connection, &register).unwrap();
+        let plaintext = channel.recv(&response_record).unwrap();
+        assert!(matches!(
+            decode_response(&plaintext).unwrap(),
+            Response::Registered(_)
+        ));
+    }
+
+    #[test]
+    fn a_record_that_fails_authentication_neither_answers_nor_desyncs() {
+        let (service, verifier) = service_fixture();
+        let mut rng = SessionRng::from_seed(12);
+        let (mut channel, connection) = client_channel(&service, &verifier, &mut rng);
+        // A forged record fails AEAD verification: `recv` does not advance
+        // the sequence, so an `Err` (no response record) is correct here.
+        assert!(service.handle_record(connection, b"not a record").is_err());
+        // The channel is still usable afterwards.
+        let register = channel.send(&encode_request(&Request::Register {
+            identity_key: AeadKey::from_bytes([8u8; 16]),
+        }));
+        assert!(service.handle_record(connection, &register).is_ok());
+    }
+
+    #[test]
+    fn connections_interleave_records_instead_of_serializing_on_one_lock() {
+        // Regression: `handle_record` used to hold the global connection-map
+        // mutex across keystore dispatch, serializing every connection
+        // through one lock.  Holding connection A's (private) per-connection
+        // lock must not stop connection B from completing a full round-trip.
+        let (service, verifier) = service_fixture();
+        let mut rng = SessionRng::from_seed(13);
+        let (_channel_a, connection_a) = client_channel(&service, &verifier, &mut rng);
+        let (mut channel_b, connection_b) = client_channel(&service, &verifier, &mut rng);
+
+        let conn_a = service
+            .connections
+            .lock()
+            .get(&connection_a.0)
+            .cloned()
+            .unwrap();
+        let _busy_a = conn_a.lock(); // connection A is mid-record
+        let record = channel_b.send(&encode_request(&Request::Register {
+            identity_key: AeadKey::from_bytes([9u8; 16]),
+        }));
+        let (tx, rx) = std::sync::mpsc::channel();
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                let result = service.handle_record(connection_b, &record);
+                tx.send(result).unwrap();
+            });
+            let response = rx
+                .recv_timeout(std::time::Duration::from_secs(5))
+                .expect("connection B must not wait behind connection A")
+                .unwrap();
+            let plaintext = channel_b.recv(&response.0).unwrap();
+            assert!(matches!(
+                decode_response(&plaintext).unwrap(),
+                Response::Registered(_)
+            ));
+        });
+    }
+
+    #[test]
+    fn concurrent_connections_complete_all_their_round_trips() {
+        let (service, verifier) = service_fixture();
+        let mut rng = SessionRng::from_seed(14);
+        let mut sessions = Vec::new();
+        for seed in 0..4u8 {
+            let (channel, connection) = client_channel(&service, &verifier, &mut rng);
+            sessions.push((channel, connection, seed));
+        }
+        std::thread::scope(|scope| {
+            for (mut channel, connection, seed) in sessions {
+                let service = &service;
+                scope.spawn(move || {
+                    for round in 0..25u8 {
+                        let record = channel.send(&encode_request(&Request::Register {
+                            identity_key: AeadKey::from_bytes([seed.wrapping_add(round); 16]),
+                        }));
+                        let (response, _) = service.handle_record(connection, &record).unwrap();
+                        let plaintext = channel.recv(&response).unwrap();
+                        assert!(matches!(
+                            decode_response(&plaintext).unwrap(),
+                            Response::Registered(_)
+                        ));
+                    }
+                });
+            }
+        });
+    }
+
+    #[test]
+    fn failed_attestations_do_not_leak_tcs_slots() {
+        // Regression pin for the `respond(...)` error path: each rejected
+        // handshake must release the TCS it entered, or repeated attestation
+        // failures would exhaust the enclave and lock every real client out.
+        let (service, verifier) = service_fixture();
+        let mut rng = SessionRng::from_seed(15);
+
+        // A rogue platform provisioned by a *different* authority: its quote
+        // does not verify under the service's root of trust.
+        let rogue_authority = AttestationAuthority::new(99);
+        rogue_authority.register_platform("rogue-node", AttestationScheme::EcdsaDcap);
+        let rogue_platform = SgxPlatform::paper_sgx2_node("rogue-node");
+        let rogue_enclave = Arc::new(
+            Enclave::launch(
+                &rogue_platform,
+                &rogue_authority,
+                CodeIdentity::new("rogue", b"rogue code".to_vec(), "1.0"),
+                EnclaveConfig::new(64 * MB, 8),
+                1,
+            )
+            .unwrap()
+            .0,
+        );
+        // Twice the TCS budget of failures: with the leak, slot 9 onwards
+        // could never have been entered.
+        for _ in 0..16 {
+            let (initiator, _) =
+                HandshakeInitiator::new_attested(&rogue_enclave, &mut rng).unwrap();
+            let result = service.accept_connection(&initiator.hello(), &mut rng);
+            assert!(matches!(result, Err(KeyServiceError::AttestationFailed(_))));
+        }
+        assert_eq!(service.open_connections(), 0);
+
+        // Exhaust/fail/retry lifecycle: all 8 TCSs still open cleanly, the
+        // ninth is refused, and closing one frees a slot.
+        let mut connections = Vec::new();
+        for _ in 0..8 {
+            let (_, connection) = client_channel(&service, &verifier, &mut rng);
+            connections.push(connection);
+        }
+        let initiator = HandshakeInitiator::new_client(&mut rng);
+        assert!(service
+            .accept_connection(&initiator.hello(), &mut rng)
+            .is_err());
+        service.close_connection(connections.pop().unwrap());
+        let (_, _connection) = client_channel(&service, &verifier, &mut rng);
+        assert_eq!(service.open_connections(), 8);
     }
 }

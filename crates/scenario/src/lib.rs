@@ -51,7 +51,7 @@ pub use registry::{CorpusEntry, ScenarioRegistry};
 use sesemi::baseline::ServingStrategy;
 use sesemi::cluster::{
     AdmissionKind, AutoscaleConfig, BatchingConfig, ClusterConfig, ClusterSimulation, FaultPlan,
-    LifecycleKind, SchedulerKind, SimulationResult,
+    KeyServiceConfig, LifecycleKind, SchedulerKind, SimulationResult,
 };
 use sesemi_enclave::SgxVersion;
 use sesemi_fnpacker::RoutingStrategy;
@@ -328,6 +328,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// The KeyService provisioning model: replicas, per-request service time
+    /// and per-replica TCS concurrency (default
+    /// [`KeyServiceConfig::default`] — provisioning un-modeled, cold paths
+    /// keep the flat `sandbox_cold_start`).
+    #[must_use]
+    pub fn keyservice(mut self, keyservice: KeyServiceConfig) -> Self {
+        self.config.keyservice = keyservice;
+        self
+    }
+
     /// Idle-container keep-alive window.
     #[must_use]
     pub fn keep_alive(mut self, keep_alive: SimDuration) -> Self {
@@ -430,6 +440,16 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Injects a KeyService replica crash at `at` (see
+    /// [`sesemi::cluster::Fault::KeyServiceCrash`]).  The scenario must
+    /// model provisioning ([`KeyServiceConfig::enabled`]) and the target
+    /// replica must exist — validated by [`ScenarioBuilder::build`].
+    #[must_use]
+    pub fn keyservice_crash(mut self, at: SimTime, replica: usize) -> Self {
+        self.faults = self.faults.keyservice_crash(at, replica);
+        self
+    }
+
     /// Drops every injected fault — turns a fault-bearing corpus entry into
     /// its failure-free control run.
     #[must_use]
@@ -490,6 +510,21 @@ impl ScenarioBuilder {
                 target < bound,
                 "scenario {:?} crashes node {target}, outside the configured \
                  pool bounds (valid node ids are 0..{bound})",
+                self.name
+            );
+        }
+        if let Some(target) = self.faults.max_keyservice_crash_target() {
+            assert!(
+                self.config.keyservice.enabled(),
+                "scenario {:?} crashes a KeyService replica but does not \
+                 model provisioning (set ScenarioBuilder::keyservice)",
+                self.name
+            );
+            let replicas = self.config.keyservice.replicas;
+            assert!(
+                target < replicas,
+                "scenario {:?} crashes KeyService replica {target}, outside \
+                 the configured replica set (valid replicas are 0..{replicas})",
                 self.name
             );
         }
@@ -730,6 +765,63 @@ mod tests {
             .model(model.clone(), profile)
             .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 1.0 })
             .node_crash(SimTime::from_secs(5), 2)
+            .build();
+    }
+
+    #[test]
+    fn keyservice_scenarios_queue_provisions_and_survive_replica_crashes() {
+        let (model, profile) = mbnet();
+        let run = |keyservice: KeyServiceConfig, crash: bool| {
+            let mut builder = Scenario::builder("keyservice-quick")
+                .seed(19)
+                .nodes(2)
+                .keyservice(keyservice)
+                .model(model.clone(), profile.clone())
+                .traffic(
+                    model.clone(),
+                    0,
+                    ArrivalProcess::Poisson { rate_per_sec: 6.0 },
+                )
+                .duration(SimDuration::from_secs(30));
+            if crash {
+                builder = builder.keyservice_crash(SimTime::from_secs(5), 0);
+            }
+            builder.build().run()
+        };
+        let queued = run(
+            KeyServiceConfig::queued(2, SimDuration::from_millis(100), 1),
+            false,
+        );
+        assert!(queued.provisioned_keys > 0);
+        assert_eq!(queued.keyservice_crashes, 0);
+        let crashed = run(
+            KeyServiceConfig::queued(2, SimDuration::from_millis(100), 1),
+            true,
+        );
+        assert_eq!(crashed.keyservice_crashes, 1);
+        assert!(crashed.conserves_requests());
+    }
+
+    #[test]
+    #[should_panic(expected = "does not model provisioning")]
+    fn keyservice_crashes_without_a_keyservice_model_are_rejected() {
+        let (model, profile) = mbnet();
+        let _ = Scenario::builder("bad-ks-crash")
+            .model(model.clone(), profile)
+            .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 1.0 })
+            .keyservice_crash(SimTime::from_secs(5), 0)
+            .build();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the configured replica set")]
+    fn keyservice_crashes_outside_the_replica_set_are_rejected() {
+        let (model, profile) = mbnet();
+        let _ = Scenario::builder("bad-ks-replica")
+            .keyservice(KeyServiceConfig::queued(2, SimDuration::from_millis(50), 4))
+            .model(model.clone(), profile)
+            .traffic(model, 0, ArrivalProcess::Poisson { rate_per_sec: 1.0 })
+            .keyservice_crash(SimTime::from_secs(5), 2)
             .build();
     }
 

@@ -21,6 +21,7 @@
 //! | `lifecycle`  | exercises a non-default container-lifecycle policy (the `E3` comparisons) |
 //! | `shedding`   | exercises a non-default admission policy (rejections/sheds expected) |
 //! | `batching`   | runs with a batched-execution window > 1 (the `E5` comparisons) |
+//! | `keyservice` | models the trust plane: cold paths queue through a replicated KeyService (the `E6` comparisons) |
 //!
 //! The corpus-wide invariant suite (`tests/scenario_corpus.rs`) runs every
 //! entry at two seeds and asserts conservation and accounting consistency,
@@ -28,8 +29,8 @@
 
 use crate::{Scenario, ScenarioBuilder};
 use sesemi::cluster::{
-    AdmissionKind, AutoscaleConfig, BatchingConfig, ClusterConfig, LifecycleKind, SchedulerKind,
-    SimulationResult,
+    AdmissionKind, AutoscaleConfig, BatchingConfig, ClusterConfig, KeyServiceConfig, LifecycleKind,
+    SchedulerKind, SimulationResult,
 };
 use sesemi_inference::{Framework, ModelId, ModelKind, ModelProfile};
 use sesemi_sim::{SimDuration, SimTime};
@@ -783,6 +784,73 @@ fn corpus_entries() -> Vec<CorpusEntry> {
                     );
                 }
                 builder.duration(SimDuration::from_secs(40))
+            },
+        },
+        CorpusEntry {
+            id: "keyservice-cold-storm",
+            description: "Eight cold MBNET endpoints arrive at once against a 2-replica \
+                          KeyService with one provisioning TCS each: every cold start queues \
+                          through the trust plane before its sandbox can serve.",
+            tags: &["quick", "keyservice", "cold-start", "multi-tenant"],
+            builder: |seed| {
+                let (_, profile) = mbnet();
+                let models: Vec<(ModelId, ModelProfile)> = (0..8)
+                    .map(|i| (ModelId::new(format!("m{i}")), profile))
+                    .collect();
+                let mut builder = Scenario::builder("keyservice-cold-storm")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(4)
+                    .tcs_per_container(1)
+                    .keep_alive(SimDuration::from_secs(8))
+                    .keyservice(KeyServiceConfig::queued(2, SimDuration::from_millis(80), 1))
+                    .models(models.clone());
+                for (index, (model, _)) in models.iter().enumerate() {
+                    builder = builder.traffic(
+                        model.clone(),
+                        index,
+                        ArrivalProcess::Poisson { rate_per_sec: 1.5 },
+                    );
+                }
+                builder.duration(SimDuration::from_secs(45))
+            },
+        },
+        CorpusEntry {
+            id: "keyservice-replica-crash",
+            description: "The cold-storm trust plane loses KeyService replica 0 at t=15 s: \
+                          in-flight provisions re-resolve against the surviving replica and \
+                          every later cold start fails over to it — no request is lost.",
+            tags: &[
+                "quick",
+                "keyservice",
+                "fault",
+                "crash",
+                "cold-start",
+                "multi-tenant",
+            ],
+            builder: |seed| {
+                let (_, profile) = mbnet();
+                let models: Vec<(ModelId, ModelProfile)> = (0..8)
+                    .map(|i| (ModelId::new(format!("m{i}")), profile))
+                    .collect();
+                let mut builder = Scenario::builder("keyservice-replica-crash")
+                    .cluster(ClusterConfig::multi_node_sgx2())
+                    .seed(seed)
+                    .nodes(4)
+                    .tcs_per_container(1)
+                    .keep_alive(SimDuration::from_secs(8))
+                    .keyservice(KeyServiceConfig::queued(2, SimDuration::from_millis(80), 1))
+                    .models(models.clone());
+                for (index, (model, _)) in models.iter().enumerate() {
+                    builder = builder.traffic(
+                        model.clone(),
+                        index,
+                        ArrivalProcess::Poisson { rate_per_sec: 1.5 },
+                    );
+                }
+                builder
+                    .keyservice_crash(SimTime::from_secs(15), 0)
+                    .duration(SimDuration::from_secs(45))
             },
         },
         CorpusEntry {

@@ -126,7 +126,7 @@ fn every_corpus_scenario_conserves_requests_at_two_seeds() {
             }
             if entry.has_tag("fault") {
                 assert!(
-                    result.node_crashes + result.containers_killed > 0,
+                    result.node_crashes + result.containers_killed + result.keyservice_crashes > 0,
                     "{} (seed {seed}) is tagged `fault` but nothing was injured",
                     entry.id
                 );
@@ -134,9 +134,39 @@ fn every_corpus_scenario_conserves_requests_at_two_seeds() {
                 assert_eq!(result.node_crashes, 0, "{}: phantom crash", entry.id);
                 assert_eq!(result.containers_killed, 0, "{}: phantom kill", entry.id);
                 assert_eq!(
+                    result.keyservice_crashes, 0,
+                    "{}: phantom KeyService crash",
+                    entry.id
+                );
+                assert_eq!(
                     result.requeued_inflight + result.requeued_waiting,
                     0,
                     "{} (seed {seed}): the forced-kill re-queue path ran on a fault-free run",
+                    entry.id
+                );
+            }
+            if entry.has_tag("keyservice") {
+                // The trust plane is actually in the loop: every cold
+                // dispatch paid a provisioning call.
+                assert!(
+                    result.provisioned_keys > 0,
+                    "{} (seed {seed}) is tagged `keyservice` but provisioned nothing",
+                    entry.id
+                );
+                assert_eq!(
+                    result.provisioned_keys, result.cold_dispatches,
+                    "{} (seed {seed}): every cold dispatch provisions exactly once",
+                    entry.id
+                );
+            } else {
+                assert_eq!(
+                    result.provisioned_keys, 0,
+                    "{}: phantom key provisioning",
+                    entry.id
+                );
+                assert_eq!(
+                    result.keyservice_failovers, 0,
+                    "{}: phantom KeyService failover",
                     entry.id
                 );
             }
@@ -292,6 +322,52 @@ fn crash_bearing_corpus_scenarios_are_deterministic() {
     assert_eq!(a.mean_latency(), b.mean_latency());
     assert_eq!(a.p95_latency(), b.p95_latency());
     assert!((a.node_gb_seconds - b.node_gb_seconds).abs() < 1e-12);
+}
+
+/// The KeyService crash corpus scenario actually exercises the trust-plane
+/// failover machinery — the crash lands mid-storm, so provisions in flight
+/// on the dead replica must re-resolve against the survivor — and both
+/// keyservice entries reproduce bit-for-bit at a second invocation (the
+/// corpus determinism guard for the new layer; CI pins the E6 JSON the
+/// same way).
+#[test]
+fn keyservice_corpus_scenarios_fail_over_and_are_deterministic() {
+    let registry = ScenarioRegistry::corpus();
+    let crashed = registry
+        .get("keyservice-replica-crash")
+        .expect("corpus entry")
+        .run(5);
+    assert_eq!(crashed.keyservice_crashes, 1);
+    assert_eq!(crashed.dropped, 0, "failover must lose no work");
+    assert!(crashed.conserves_requests());
+
+    // The crash-free control admits the identical trace and pays no
+    // failover re-provisions.
+    let control = registry
+        .get("keyservice-replica-crash")
+        .expect("corpus entry")
+        .builder(5)
+        .clear_faults()
+        .build()
+        .run();
+    assert_eq!(control.keyservice_crashes, 0);
+    assert_eq!(control.keyservice_failovers, 0);
+    assert_eq!(control.admitted, crashed.admitted, "identical trace");
+
+    for entry in registry.with_tag("keyservice") {
+        let a = entry.run(9);
+        let b = entry.run(9);
+        assert_eq!(a.completed, b.completed, "{}", entry.id);
+        assert_eq!(a.provisioned_keys, b.provisioned_keys, "{}", entry.id);
+        assert_eq!(a.keyservice_wait, b.keyservice_wait, "{}", entry.id);
+        assert_eq!(
+            a.keyservice_failovers, b.keyservice_failovers,
+            "{}",
+            entry.id
+        );
+        assert_eq!(a.mean_latency(), b.mean_latency(), "{}", entry.id);
+        assert_eq!(a.p95_latency(), b.p95_latency(), "{}", entry.id);
+    }
 }
 
 /// Under-capacity control for the admission layer: on a comfortably
