@@ -142,10 +142,34 @@ fn bench_fnpacker_ablation(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_schedule_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("schedule_dispatch");
+    group
+        .sample_size(20)
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_secs(2));
+
+    // The per-request dispatch hot path (warm schedule → finish) against a
+    // growing pool of parked unrelated-action containers.  With the
+    // incremental warm-candidate/occupancy views the cost must stay flat in
+    // the noise-pool size; the controller is built once per size so the
+    // measured loop is pure dispatch.
+    for noise in [0usize, 100, 1_000] {
+        let (mut controller, hot) = sesemi_bench::micro::dispatch_bench_controller(noise);
+        group.bench_with_input(
+            BenchmarkId::new("warm_cycles_512_noise", noise),
+            &noise,
+            |b, _| b.iter(|| sesemi_bench::micro::run_dispatch_cycles(&mut controller, &hot, 512)),
+        );
+    }
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_crypto,
     bench_end_to_end,
-    bench_fnpacker_ablation
+    bench_fnpacker_ablation,
+    bench_schedule_dispatch
 );
 criterion_main!(benches);

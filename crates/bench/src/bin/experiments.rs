@@ -19,14 +19,17 @@
 //! and `--list-scenarios` prints the corpus (ids, tags, descriptions) and
 //! exits — its output is pinned by `tests/golden/scenarios.txt`.
 //!
-//! `--bench-json PATH` runs the self-timing benchmark trace (sized by
-//! `--bench-requests`, default one million) and writes the full
-//! `BENCH_sim_engine.json` — wall-clock phases, events/sec, requests/sec,
-//! peak-RSS proxy — to PATH; CI uploads it as the perf-trajectory artifact.
-//! `--bench-sweep SEEDS` runs the same trace for every listed seed on the
-//! worker pool and prints each seed's *deterministic* JSON slice to stdout
-//! (no wall-clock fields), so two sweep invocations — even with the seed
-//! list shuffled — are byte-comparable per seed.
+//! `--bench-json PATH` runs both self-timing benchmark traces — the
+//! well-provisioned trace sized by `--bench-requests` (default one million)
+//! and the saturated over-capacity trace at a fifth of that — and writes the
+//! two-section `BENCH_sim_engine.json` (wall-clock phases, events/sec,
+//! requests/sec, peak-RSS proxy per section) to PATH; CI uploads it as the
+//! perf-trajectory artifact.  `--bench-sweep SEEDS` runs the
+//! well-provisioned trace for every listed seed on the worker pool and
+//! prints each seed's *deterministic* JSON slice to stdout (no wall-clock
+//! fields), so two sweep invocations — even with the seed list shuffled —
+//! are byte-comparable per seed; add `--bench-saturated` to sweep the
+//! saturated trace instead (sized directly by `--bench-requests`).
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
@@ -38,6 +41,7 @@ fn main() {
     let mut bench_json: Option<String> = None;
     let mut bench_requests = 1_000_000u64;
     let mut bench_sweep: Option<Vec<u64>> = None;
+    let mut bench_saturated = false;
     let mut iter = args.iter().skip(1);
     while let Some(arg) = iter.next() {
         match arg.as_str() {
@@ -89,11 +93,13 @@ fn main() {
                         .collect(),
                 );
             }
+            "--bench-saturated" => bench_saturated = true,
             "--help" | "-h" => {
                 println!(
                     "usage: experiments [--seed N] [--json] [--only IDS] \
                      [--scenario IDS] [--tag TAG] [--list-scenarios] \
-                     [--bench-json PATH] [--bench-requests N] [--bench-sweep SEEDS]"
+                     [--bench-json PATH] [--bench-requests N] [--bench-sweep SEEDS] \
+                     [--bench-saturated]"
                 );
                 return;
             }
@@ -109,11 +115,20 @@ fn main() {
             .map(std::num::NonZeroUsize::get)
             .unwrap_or(2)
             .min(4);
+        let variant = if bench_saturated {
+            "saturated bench trace"
+        } else {
+            "bench trace"
+        };
         eprintln!(
-            "sweeping bench trace ({bench_requests} requests) over seeds {seeds:?} \
+            "sweeping {variant} ({bench_requests} requests) over seeds {seeds:?} \
              on {workers} workers ..."
         );
-        let runs = sesemi_bench::sims::sweep(bench_requests, seeds, workers);
+        let runs = if bench_saturated {
+            sesemi_bench::sims::sweep_saturated(bench_requests, seeds, workers)
+        } else {
+            sesemi_bench::sims::sweep(bench_requests, seeds, workers)
+        };
         let rendered: Vec<String> = runs.iter().map(|r| r.deterministic_json()).collect();
         println!("[{}]", rendered.join(",\n"));
         for run in &runs {
@@ -128,19 +143,32 @@ fn main() {
         return;
     }
     if let Some(path) = &bench_json {
-        eprintln!("running self-timing bench trace ({bench_requests} requests, seed {seed}) ...");
-        let run = sesemi_bench::sims::bench_trace(bench_requests, seed);
-        std::fs::write(path, run.bench_json()).expect("write bench json");
+        // The saturated trace processes far more events per simulated second
+        // (every completion replays the deep retry queue), so a fifth of the
+        // request count keeps the two sections comparably sized in
+        // wall-clock terms.
+        let saturated_requests = (bench_requests / 5).max(1);
         eprintln!(
-            "wrote {path}: {:.1}s generate + {:.1}s simulate + {:.1}s report, \
-             {:.0} events/s, {:.0} requests/s, peak RSS {} MiB",
-            run.generate_seconds,
-            run.simulate_seconds,
-            run.report_seconds,
-            run.events_per_sec(),
-            run.requests_per_sec(),
-            run.peak_rss_bytes / (1024 * 1024)
+            "running self-timing bench traces ({bench_requests} well-provisioned + \
+             {saturated_requests} saturated requests, seed {seed}) ..."
         );
+        let well = sesemi_bench::sims::bench_trace(bench_requests, seed);
+        let saturated = sesemi_bench::sims::bench_saturated_trace(saturated_requests, seed);
+        std::fs::write(path, sesemi_bench::sims::bench_document(&well, &saturated))
+            .expect("write bench json");
+        for (label, run) in [("well_provisioned", &well), ("saturated", &saturated)] {
+            eprintln!(
+                "{label}: {:.1}s generate + {:.1}s simulate + {:.1}s report, \
+                 {:.0} events/s, {:.0} requests/s, peak RSS {} MiB",
+                run.generate_seconds,
+                run.simulate_seconds,
+                run.report_seconds,
+                run.events_per_sec(),
+                run.requests_per_sec(),
+                run.peak_rss_bytes / (1024 * 1024)
+            );
+        }
+        eprintln!("wrote {path}");
         return;
     }
 

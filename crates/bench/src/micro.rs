@@ -1,6 +1,7 @@
 //! Closed-form experiments: the micro-benchmarks and appendix figures that
 //! derive directly from the calibrated profiles and the enclave cost model
-//! (Tables I, II, V and Figs. 8–11, 15–18).
+//! (Tables I, II, V and Figs. 8–11, 15–18), plus the scheduler-dispatch
+//! workload driven by the `schedule_dispatch` criterion group.
 
 use crate::report::{pct, secs, Report};
 use sesemi::cluster::{concurrent_hot_latency, strong_isolation_hot_latency};
@@ -8,6 +9,8 @@ use sesemi_enclave::attest::AttestationScheme;
 use sesemi_enclave::costs::verification_latency;
 use sesemi_enclave::{EnclaveCostModel, SgxVersion};
 use sesemi_inference::{Framework, ModelKind, ModelProfile};
+use sesemi_platform::{ActionName, ActionSpec, Controller, PlatformConfig};
+use sesemi_sim::{SimDuration, SimTime};
 
 const MB: u64 = 1024 * 1024;
 
@@ -383,6 +386,74 @@ pub fn table5_config() -> Report {
     ]);
     report.push_note("Matches the defaults in sesemi-platform::PlatformConfig and SemirtConfig.");
     report
+}
+
+// ---------------------------------------------------------------------------
+// Scheduler dispatch workload — the `schedule_dispatch` criterion group
+// ---------------------------------------------------------------------------
+
+/// Builds the dispatch micro-benchmark controller: `noise_actions` parked
+/// warm single-container actions plus one hot action with a warm container,
+/// spread across 8 nodes.  The noise pool is what the incremental
+/// warm-candidate index makes irrelevant — pre-index, every dispatch paid a
+/// scan proportional to it.
+#[must_use]
+pub fn dispatch_bench_controller(noise_actions: usize) -> (Controller, ActionName) {
+    let nodes = 8;
+    let per_node_bytes = (noise_actions as u64 / nodes as u64 + 2) * 128 * MB;
+    let mut controller = Controller::new(
+        PlatformConfig::default().with_invoker_memory(per_node_bytes),
+        nodes,
+    );
+    let park_warm = |controller: &mut Controller, spec: ActionSpec| {
+        let name = spec.name.clone();
+        controller.register_action(spec).expect("fresh action name");
+        let outcome = controller
+            .schedule(&name, SimTime::ZERO)
+            .expect("the bench cluster has room for every parked container");
+        controller.sandbox_ready(outcome.sandbox()).expect("exists");
+        controller
+            .invocation_finished(outcome.sandbox(), SimTime::ZERO)
+            .expect("assigned at schedule time");
+        name
+    };
+    for index in 0..noise_actions {
+        park_warm(
+            &mut controller,
+            ActionSpec::new(
+                ActionName::new(format!("noise-{index}")),
+                "sesemi/semirt",
+                128 * MB,
+                1,
+            ),
+        );
+    }
+    let hot = park_warm(
+        &mut controller,
+        ActionSpec::new("hot", "sesemi/semirt", 128 * MB, 4),
+    );
+    (controller, hot)
+}
+
+/// Runs `cycles` warm schedule→finish cycles against the hot action — the
+/// per-request dispatch hot path, isolated from the event loop.  Every
+/// cycle returns the controller to its starting state, so repeated calls
+/// measure identical work.  Returns the cycle count so callers (criterion)
+/// keep the loop observable.
+pub fn run_dispatch_cycles(controller: &mut Controller, hot: &ActionName, cycles: u64) -> u64 {
+    let mut now = SimTime::ZERO;
+    let mut completed = 0;
+    for _ in 0..cycles {
+        now += SimDuration::from_millis(1);
+        let outcome = controller
+            .schedule(hot, now)
+            .expect("the hot action always has a warm free slot");
+        controller
+            .invocation_finished(outcome.sandbox(), now)
+            .expect("assigned at schedule time");
+        completed += 1;
+    }
+    completed
 }
 
 #[cfg(test)]

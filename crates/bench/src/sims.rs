@@ -1137,6 +1137,18 @@ const BENCH_DWELL: SimDuration = SimDuration::from_secs(30);
 /// Mean request rate across the two equally-dwelt states, used to size the
 /// virtual horizon so `bench_trace(n, _)` generates ~`n` arrivals.
 const BENCH_MEAN_RATE: f64 = 1_500.0;
+/// Warm-pool models parked on the saturated bench cluster.  Each gets one
+/// idle prewarmed container, pinning 56 of the cluster's 64 container slots
+/// so the hot model is left with 8 containers (32 execution slots, ~470 rps
+/// at TVM-MBNET's ~68 ms warm latency) against an offered load that never
+/// falls below 1000 rps — the retry queue stays deep for the whole trace
+/// while the warm-candidate and node-occupancy views stay wide.  The trace
+/// must stay shorter than the 180 s keep-alive or the pool gets reclaimed
+/// mid-run.
+const BENCH_SATURATED_POOL: usize = 56;
+/// Hot-model containers prewarmed on the saturated cluster: exactly the
+/// slots the pinned pool leaves free.
+const BENCH_SATURATED_HOT: usize = 8;
 
 /// One self-timed run of the fixed MMPP benchmark trace: the simulation
 /// outcome (deterministic per seed) plus the wall-clock measurements
@@ -1221,19 +1233,19 @@ impl BenchRun {
         )
     }
 
-    /// The full `BENCH_sim_engine.json` document: the deterministic slice
-    /// plus the per-phase wall-clock breakdown, throughput figures and the
-    /// peak-RSS proxy.
+    /// One provisioning regime's section of the bench document: the
+    /// deterministic slice plus the per-phase wall-clock breakdown,
+    /// throughput figures and the peak-RSS proxy.
     #[must_use]
-    pub fn bench_json(&self) -> String {
+    pub fn section_json(&self) -> String {
         let deterministic = indent_block(&self.deterministic_json(), "  ");
         format!(
-            "{{\n  \"bench\": \"sim_engine\",\n  \"deterministic\": {deterministic},\n  \
+            "{{\n  \"deterministic\": {deterministic},\n  \
              \"timing\": {{\n    \"generate_seconds\": {:.6},\n    \
              \"simulate_seconds\": {:.6},\n    \"report_seconds\": {:.6},\n    \
              \"total_seconds\": {:.6}\n  }},\n  \"throughput\": {{\n    \
              \"events_per_sec\": {:.1},\n    \"requests_per_sec\": {:.1}\n  }},\n  \
-             \"peak_rss_bytes\": {}\n}}\n",
+             \"peak_rss_bytes\": {}\n}}",
             self.generate_seconds,
             self.simulate_seconds,
             self.report_seconds,
@@ -1243,6 +1255,21 @@ impl BenchRun {
             self.peak_rss_bytes,
         )
     }
+}
+
+/// The full `BENCH_sim_engine.json` document: one section per provisioning
+/// regime.  `well_provisioned` is the headroom trace (the engine at speed on
+/// a cluster that absorbs the peak), `saturated` the over-capacity trace
+/// that keeps the retry queue deep and the warm pool wide — the regime the
+/// scheduler's incremental views exist for.
+#[must_use]
+pub fn bench_document(well_provisioned: &BenchRun, saturated: &BenchRun) -> String {
+    format!(
+        "{{\n  \"bench\": \"sim_engine\",\n  \"well_provisioned\": {},\n  \
+         \"saturated\": {}\n}}\n",
+        indent_block(&well_provisioned.section_json(), "  "),
+        indent_block(&saturated.section_json(), "  "),
+    )
 }
 
 /// Re-indents every line after the first of an embedded JSON block.
@@ -1295,6 +1322,47 @@ fn bench_cluster(seed: u64) -> (ClusterConfig, ModelId, ModelProfile) {
 #[must_use]
 pub fn bench_trace(requests: u64, seed: u64) -> BenchRun {
     let (config, model, profile) = bench_cluster(seed);
+    timed_bench_run(
+        requests,
+        seed,
+        config,
+        vec![(model.clone(), profile)],
+        &[(model, 64)],
+    )
+}
+
+/// Runs the saturated variant of the benchmark trace: the same cluster and
+/// MMPP process as [`bench_trace`], but with `BENCH_SATURATED_POOL` idle
+/// single-container warm pools pinned across the nodes so the hot model is
+/// permanently over capacity.  Every completion then replays a deep retry
+/// queue against a wide multi-action warm pool — the dispatch-rate regime
+/// that exercises the controller's incremental scheduling views rather than
+/// the event loop.
+#[must_use]
+pub fn bench_saturated_trace(requests: u64, seed: u64) -> BenchRun {
+    let (config, hot, profile) = bench_cluster(seed);
+    let mut models = vec![(hot.clone(), profile)];
+    let mut prewarm_plan = Vec::with_capacity(BENCH_SATURATED_POOL + 1);
+    for index in 0..BENCH_SATURATED_POOL {
+        let model = ModelId::new(format!("bench-pool-{index:02}"));
+        models.push((model.clone(), profile));
+        prewarm_plan.push((model, 1));
+    }
+    prewarm_plan.push((hot, BENCH_SATURATED_HOT));
+    timed_bench_run(requests, seed, config, models, &prewarm_plan)
+}
+
+/// Shared timed core of the bench traces: generates the MMPP trace for the
+/// first registered model, runs it on `config` under the given prewarm
+/// plan, and self-times the generate / simulate / report phases.
+fn timed_bench_run(
+    requests: u64,
+    seed: u64,
+    config: ClusterConfig,
+    models: Vec<(ModelId, ModelProfile)>,
+    prewarm_plan: &[(ModelId, usize)],
+) -> BenchRun {
+    let hot = models[0].0.clone();
     let duration = SimDuration::from_secs_f64(requests as f64 / BENCH_MEAN_RATE);
     let process = ArrivalProcess::Mmpp {
         rates_per_sec: BENCH_RATES.to_vec(),
@@ -1303,13 +1371,15 @@ pub fn bench_trace(requests: u64, seed: u64) -> BenchRun {
 
     let generate_started = std::time::Instant::now();
     let mut rng = SimRng::seed_from_u64(seed);
-    let arrivals = process.generate(&model, 0, duration, &mut rng);
+    let arrivals = process.generate(&hot, 0, duration, &mut rng);
     let generated = arrivals.len() as u64;
     let generate_seconds = generate_started.elapsed().as_secs_f64();
 
     let simulate_started = std::time::Instant::now();
-    let mut sim = ClusterSimulation::new(config, vec![(model.clone(), profile)]);
-    sim.prewarm(&model, 0, 64);
+    let mut sim = ClusterSimulation::new(config, models);
+    for (model, count) in prewarm_plan {
+        sim.prewarm(model, 0, *count);
+    }
     sim.add_arrivals(arrivals);
     let result = sim.run(duration);
     let simulate_seconds = simulate_started.elapsed().as_secs_f64();
@@ -1357,6 +1427,17 @@ pub fn sweep(requests: u64, seeds: &[u64], workers: usize) -> Vec<BenchRun> {
     let jobs: Vec<_> = seeds
         .iter()
         .map(|&seed| move || bench_trace(requests, seed))
+        .collect();
+    sesemi_sim::pool::run_indexed(workers, jobs)
+}
+
+/// [`sweep`], but over the saturated trace — the slice the determinism
+/// guard double-runs to pin the indexed scheduler's retry/dispatch order.
+#[must_use]
+pub fn sweep_saturated(requests: u64, seeds: &[u64], workers: usize) -> Vec<BenchRun> {
+    let jobs: Vec<_> = seeds
+        .iter()
+        .map(|&seed| move || bench_saturated_trace(requests, seed))
         .collect();
     sesemi_sim::pool::run_indexed(workers, jobs)
 }

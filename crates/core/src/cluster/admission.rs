@@ -143,6 +143,15 @@ pub trait AdmissionPolicy {
 
     /// Decides the fate of one saturated arrival.
     fn decide(&mut self, ctx: &AdmissionContext<'_>) -> AdmissionVerdict;
+
+    /// Whether [`AdmissionPolicy::decide`] reads [`AdmissionContext::queued`].
+    /// Assembling that snapshot copies the whole saturated queue — O(queue
+    /// depth) per consult, on a path that runs once per arrival under
+    /// saturation — so policies that never look at it (notably the default
+    /// admit-all) override this to `false` and receive an empty slice.
+    fn wants_queue_snapshot(&self) -> bool {
+        true
+    }
 }
 
 /// Which admission policy to run (the E4 experiment compares all three).
@@ -199,6 +208,10 @@ impl AdmissionPolicy for AdmitAllAdmission {
 
     fn decide(&mut self, _ctx: &AdmissionContext<'_>) -> AdmissionVerdict {
         AdmissionVerdict::Admit
+    }
+
+    fn wants_queue_snapshot(&self) -> bool {
+        false
     }
 }
 

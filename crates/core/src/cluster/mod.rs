@@ -252,6 +252,12 @@ pub struct ClusterSimulation {
     /// Requests admitted but waiting for cluster capacity, with the action
     /// the router bound them to at admission.
     saturated: VecDeque<(ActionName, SimRequest)>,
+    /// Per-action entry counts over `saturated`, maintained at every queue
+    /// mutation (entries are removed at zero).  [`retry_saturated`]'s
+    /// short-circuit reads them to learn how many queued requests a newly
+    /// unplaceable action strands in O(1), instead of re-walking the
+    /// (possibly thousands deep) queue once per failed action per pass.
+    saturated_action_counts: HashMap<ActionName, usize>,
     sessions: Vec<InteractiveSession>,
     users: Vec<PartyId>,
     node_active_exec: Vec<usize>,
@@ -423,6 +429,7 @@ impl ClusterSimulation {
             sandbox_state: HashMap::new(),
             queue: EventQueue::new(),
             saturated: VecDeque::new(),
+            saturated_action_counts: HashMap::new(),
             sessions: Vec::new(),
             users: Vec::new(),
             node_active_exec: vec![0; nodes],
@@ -943,6 +950,10 @@ impl ClusterSimulation {
                     // Cluster saturated: queue and retry when capacity
                     // frees up (the pre-admission-control behavior).
                     self.admitted += 1;
+                    *self
+                        .saturated_action_counts
+                        .entry(action.clone())
+                        .or_insert(0) += 1;
                     self.saturated.push_back((action, request));
                 }
                 AdmissionVerdict::Reject => {
@@ -955,6 +966,10 @@ impl ClusterSimulation {
                 AdmissionVerdict::AdmitShedding { victim } => {
                     self.shed_queued(victim);
                     self.admitted += 1;
+                    *self
+                        .saturated_action_counts
+                        .entry(action.clone())
+                        .or_insert(0) += 1;
                     self.saturated.push_back((action, request));
                 }
             },
@@ -970,11 +985,13 @@ impl ClusterSimulation {
         // snapshot in place keeps the allocator out of the admission path.
         let mut queued = std::mem::take(&mut self.admission_queued_scratch);
         queued.clear();
-        queued.extend(self.saturated.iter().map(|(_, queued)| QueuedRequest {
-            tier: queued.tier,
-            deadline: queued.deadline,
-            submitted: queued.submitted,
-        }));
+        if self.admission.wants_queue_snapshot() {
+            queued.extend(self.saturated.iter().map(|(_, queued)| QueuedRequest {
+                tier: queued.tier,
+                deadline: queued.deadline,
+                submitted: queued.submitted,
+            }));
+        }
         // Mean busy-slot time one request consumes, from the busy-time
         // integral (brought forward to `now` read-only — accruing here
         // would be harmless but this keeps the consult side-effect free).
@@ -1013,9 +1030,22 @@ impl ClusterSimulation {
             );
             return;
         };
+        Self::forget_saturated_entry(&mut self.saturated_action_counts, &action);
         self.dropped += 1;
         self.shed += 1;
         self.router.cancel(&request.model, &action);
+    }
+
+    /// Decrements the saturated-queue count of `action` (removing the entry
+    /// at zero) after one of its requests left the queue.
+    fn forget_saturated_entry(counts: &mut HashMap<ActionName, usize>, action: &ActionName) {
+        let count = counts
+            .get_mut(action)
+            .expect("saturated-queue counts out of sync with the queue");
+        *count -= 1;
+        if *count == 0 {
+            counts.remove(action);
+        }
     }
 
     /// Drains the cluster-saturated queue into whatever capacity is free
@@ -1042,9 +1072,28 @@ impl ClusterSimulation {
         let mut failed_actions = std::mem::take(&mut self.retry_failed_actions);
         failed_actions.clear();
         let mut pending = std::mem::take(&mut self.saturated);
+        let mut counts = std::mem::take(&mut self.saturated_action_counts);
         let mut kept = std::mem::take(&mut self.retry_kept);
         kept.clear();
-        while let Some((action, request)) = pending.pop_front() {
+        debug_assert_eq!(
+            counts.values().sum::<usize>(),
+            pending.len(),
+            "saturated-queue counts out of sync with the queue"
+        );
+        // Entries still in `pending` whose action has not failed this pass.
+        // The old exit condition — "everything still pending targets a
+        // failed action" — is exactly `unfailed_remaining == 0`, but the
+        // counter costs O(1) per update where re-deriving it walked the
+        // remaining queue once per newly failed action.  `counts` holds the
+        // per-action totals to subtract when an action fails: `kept` only
+        // ever receives failed-action entries, so at the moment an action
+        // first fails its whole count (minus the popped head, which is
+        // handled by the subtraction including it) is still in `pending`.
+        let mut unfailed_remaining = pending.len();
+        while unfailed_remaining > 0 {
+            let Some((action, request)) = pending.pop_front() else {
+                break;
+            };
             if failed_actions.contains(&action) {
                 kept.push_back((action, request));
                 continue;
@@ -1075,23 +1124,34 @@ impl ClusterSimulation {
                     } else {
                         Vec::new()
                     };
+                    unfailed_remaining -= 1 + extras.len();
+                    for _ in 0..=extras.len() {
+                        Self::forget_saturated_entry(&mut counts, &action);
+                    }
                     self.dispatch(&outcome, request, extras, now);
                 }
                 Err(_) => {
+                    // The head and every still-pending request of this
+                    // action stop counting; the entries themselves stay in
+                    // the queue (and in `counts`) for the next pass.
+                    unfailed_remaining -= counts.get(&action).copied().unwrap_or(0);
                     failed_actions.push(action.clone());
                     kept.push_back((action, request));
-                    // Only a failure can extend the unplaceable set, so the
-                    // short-circuit check is needed (and paid) only here:
-                    // at most once per distinct action per pass.
-                    if pending.iter().all(|(a, _)| failed_actions.contains(a)) {
-                        kept.append(&mut pending);
-                        break;
-                    }
                 }
             }
         }
-        self.saturated = kept;
-        self.retry_kept = pending;
+        // Reassemble as kept-then-pending by *prepending* the kept entries:
+        // `kept` holds only the popped failed-action entries (usually one —
+        // the head that could not fit) while `pending` still holds the rest
+        // of a possibly tens-of-thousands-deep queue, so prepending costs
+        // O(popped) where `kept.append(&mut pending)` memmoved the whole
+        // queue on every pass and kept saturated drains quadratic.
+        while let Some(entry) = kept.pop_back() {
+            pending.push_front(entry);
+        }
+        self.saturated = pending;
+        self.saturated_action_counts = counts;
+        self.retry_kept = kept;
         self.retry_failed_actions = failed_actions;
     }
 
@@ -1297,6 +1357,10 @@ impl ClusterSimulation {
     fn requeue_rescued(&mut self, mut rescued: Vec<(ActionName, SimRequest)>) {
         rescued.sort_by_key(|(_, request)| request.submitted);
         for entry in rescued.into_iter().rev() {
+            *self
+                .saturated_action_counts
+                .entry(entry.0.clone())
+                .or_insert(0) += 1;
             self.saturated.push_front(entry);
         }
     }

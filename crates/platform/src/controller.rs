@@ -20,7 +20,8 @@ use crate::config::PlatformConfig;
 use crate::error::PlatformError;
 use crate::sandbox::{Sandbox, SandboxId, SandboxState};
 use sesemi_sim::SimTime;
-use std::collections::HashMap;
+use std::cell::Cell;
+use std::collections::{BTreeSet, HashMap};
 
 /// Identifier of an invoker node (index into the cluster's node list).
 ///
@@ -44,12 +45,36 @@ pub enum NodeState {
     Retired,
 }
 
-/// One invoker node's bookkeeping.
+/// One invoker node's bookkeeping, including the incrementally maintained
+/// occupancy counters [`Controller::node_snapshots_into`] copies out: every
+/// sandbox lifecycle transition adjusts them in O(1), so a snapshot query
+/// never has to walk the sandbox map.
 #[derive(Clone, Debug)]
 struct InvokerNode {
     memory_capacity: u64,
     memory_used: u64,
     state: NodeState,
+    /// Live sandboxes (any action, any state) hosted by the node.
+    total_sandboxes: usize,
+    /// Activations currently in flight on the node.
+    active_invocations: usize,
+    /// Live sandbox count per action hosted by the node (entries are removed
+    /// when they reach zero, so the map stays proportional to the actions
+    /// actually present).
+    action_sandboxes: HashMap<ActionName, usize>,
+}
+
+impl InvokerNode {
+    fn fresh(memory_capacity: u64) -> Self {
+        InvokerNode {
+            memory_capacity,
+            memory_used: 0,
+            state: NodeState::Active,
+            total_sandboxes: 0,
+            active_invocations: 0,
+            action_sandboxes: HashMap::new(),
+        }
+    }
 }
 
 /// A point-in-time load/memory view of one invoker node, exposed so external
@@ -196,6 +221,19 @@ pub struct Controller {
     next_sandbox_id: u64,
     total_cold_starts: u64,
     total_invocations: u64,
+    /// Per-action warm-candidate index: exactly the sandboxes of the action
+    /// that hold a free concurrency slot on an Active node, ordered by
+    /// sandbox id (a `BTreeSet` iterates ascending, so the view keeps the
+    /// documented tie-break order without sorting).  Maintained at every
+    /// lifecycle transition; empty sets are removed so the map stays
+    /// proportional to the actions with live warm capacity.
+    warm_index: HashMap<ActionName, BTreeSet<SandboxId>>,
+    /// Sandboxes with at least one activation in flight — the
+    /// [`Controller::serving_sandbox_count`] view, maintained at
+    /// assign/finish/reclaim time.
+    serving_sandboxes: usize,
+    view_sandboxes_scanned: Cell<u64>,
+    index_ops: u64,
 }
 
 impl Controller {
@@ -204,11 +242,7 @@ impl Controller {
     pub fn new(config: PlatformConfig, node_count: usize) -> Self {
         assert!(node_count > 0, "a cluster needs at least one invoker");
         let nodes = (0..node_count)
-            .map(|_| InvokerNode {
-                memory_capacity: config.invoker_memory_bytes,
-                memory_used: 0,
-                state: NodeState::Active,
-            })
+            .map(|_| InvokerNode::fresh(config.invoker_memory_bytes))
             .collect();
         Controller {
             config,
@@ -218,6 +252,68 @@ impl Controller {
             next_sandbox_id: 0,
             total_cold_starts: 0,
             total_invocations: 0,
+            warm_index: HashMap::new(),
+            serving_sandboxes: 0,
+            view_sandboxes_scanned: Cell::new(0),
+            index_ops: 0,
+        }
+    }
+
+    /// Total sandbox records examined while serving scheduling-view queries
+    /// ([`Controller::warm_candidates_into`],
+    /// [`Controller::node_snapshots_into`], [`Controller::warm_candidate`])
+    /// since creation — the work counter the scaling regression test pins:
+    /// per-dispatch view cost must depend on the queried action's warm set,
+    /// never on how many sandboxes *other* actions keep alive.
+    #[must_use]
+    pub fn view_sandboxes_scanned(&self) -> u64 {
+        self.view_sandboxes_scanned.get()
+    }
+
+    /// Total incremental index-maintenance operations (insertions, removals
+    /// and occupancy-counter updates) performed at lifecycle transitions
+    /// since creation.
+    #[must_use]
+    pub fn index_ops(&self) -> u64 {
+        self.index_ops
+    }
+
+    /// Recomputes one live sandbox's warm-index membership after a lifecycle
+    /// transition (a concurrency slot taken or freed, its node drained).
+    /// O(log w) in the action's warm-set size.  The membership invariant:
+    /// a sandbox is indexed iff it has a free slot *and* its node is Active
+    /// — exactly the filter the fresh-scan view used to apply.
+    fn refresh_warm_membership(&mut self, id: SandboxId) {
+        let (action, eligible) = {
+            let sandbox = self.sandboxes.get(&id).expect("live sandbox");
+            (
+                sandbox.action.clone(),
+                sandbox.has_free_slot() && self.nodes[sandbox.node].state == NodeState::Active,
+            )
+        };
+        if eligible {
+            if self.warm_index.entry(action).or_default().insert(id) {
+                self.index_ops += 1;
+            }
+        } else if let Some(set) = self.warm_index.get_mut(&action) {
+            if set.remove(&id) {
+                self.index_ops += 1;
+            }
+            if set.is_empty() {
+                self.warm_index.remove(&action);
+            }
+        }
+    }
+
+    /// Drops one sandbox (being reclaimed) from the warm index.
+    fn forget_warm_membership(&mut self, action: &ActionName, id: SandboxId) {
+        if let Some(set) = self.warm_index.get_mut(action) {
+            if set.remove(&id) {
+                self.index_ops += 1;
+            }
+            if set.is_empty() {
+                self.warm_index.remove(action);
+            }
         }
     }
 
@@ -278,12 +374,30 @@ impl Controller {
 
     /// The most-recently-used warm container of `action` with a free
     /// concurrency slot, if any (read-only; the caller decides whether to
-    /// assign to it via [`Controller::assign_warm`]).
+    /// assign to it via [`Controller::assign_warm`]).  Served straight from
+    /// the warm index with zero allocation — O(w) in the action's warm set,
+    /// independent of every other action's pool.
     #[must_use]
     pub fn warm_candidate(&self, action: &ActionName) -> Option<WarmCandidate> {
-        self.warm_candidates(action)
-            .into_iter()
+        let set = self.warm_index.get(action)?;
+        self.view_sandboxes_scanned
+            .set(self.view_sandboxes_scanned.get() + set.len() as u64);
+        set.iter()
+            .map(|id| self.materialize_candidate(*id))
             .max_by_key(|candidate| (candidate.last_used, candidate.sandbox))
+    }
+
+    /// Builds the [`WarmCandidate`] view of one indexed sandbox (membership
+    /// is maintained incrementally; the volatile fields — `last_used`,
+    /// `still_starting` — are read fresh at query time).
+    fn materialize_candidate(&self, id: SandboxId) -> WarmCandidate {
+        let sandbox = &self.sandboxes[&id];
+        WarmCandidate {
+            sandbox: sandbox.id,
+            node: sandbox.node,
+            last_used: sandbox.last_used,
+            still_starting: sandbox.state == SandboxState::Starting,
+        }
     }
 
     /// Every warm container of `action` with a free concurrency slot, in
@@ -302,22 +416,15 @@ impl Controller {
     /// persistent buffer instead of allocating a fresh vector per dispatch.
     pub fn warm_candidates_into(&self, action: &ActionName, out: &mut Vec<WarmCandidate>) {
         out.clear();
-        out.extend(
-            self.sandboxes
-                .values()
-                .filter(|s| {
-                    &s.action == action
-                        && s.has_free_slot()
-                        && self.nodes[s.node].state == NodeState::Active
-                })
-                .map(|s| WarmCandidate {
-                    sandbox: s.id,
-                    node: s.node,
-                    last_used: s.last_used,
-                    still_starting: s.state == SandboxState::Starting,
-                }),
-        );
-        out.sort_unstable_by_key(|candidate| candidate.sandbox);
+        let Some(set) = self.warm_index.get(action) else {
+            return;
+        };
+        self.view_sandboxes_scanned
+            .set(self.view_sandboxes_scanned.get() + set.len() as u64);
+        // The index holds exactly the free-slot sandboxes on Active nodes,
+        // and a `BTreeSet` iterates in ascending id order — the documented
+        // tie-break order — so the copy needs neither filtering nor sorting.
+        out.extend(set.iter().map(|id| self.materialize_candidate(*id)));
     }
 
     /// Assigns one invocation to a previously inspected warm candidate.
@@ -346,7 +453,15 @@ impl Controller {
             .get_mut(&candidate.sandbox)
             .expect("candidate exists");
         let still_starting = sandbox.state == SandboxState::Starting;
+        let was_idle = sandbox.is_idle();
+        let node = sandbox.node;
         sandbox.assign(now);
+        self.nodes[node].active_invocations += 1;
+        if was_idle {
+            self.serving_sandboxes += 1;
+        }
+        self.index_ops += 1;
+        self.refresh_warm_membership(candidate.sandbox);
         ScheduleOutcome::Reused {
             sandbox: candidate.sandbox,
             still_starting,
@@ -389,7 +504,13 @@ impl Controller {
     ) -> ScheduleOutcome {
         let id = SandboxId(self.next_sandbox_id);
         self.next_sandbox_id += 1;
-        self.nodes[node].memory_used += spec.memory_budget_bytes;
+        let host = &mut self.nodes[node];
+        host.memory_used += spec.memory_budget_bytes;
+        host.total_sandboxes += 1;
+        host.active_invocations += 1;
+        *host.action_sandboxes.entry(spec.name.clone()).or_insert(0) += 1;
+        self.serving_sandboxes += 1;
+        self.index_ops += 1;
         let mut sandbox = Sandbox::new(
             id,
             spec.name.clone(),
@@ -401,6 +522,7 @@ impl Controller {
         sandbox.assign(now);
         self.sandboxes.insert(id, sandbox);
         self.total_cold_starts += 1;
+        self.refresh_warm_membership(id);
         ScheduleOutcome::ColdStart { sandbox: id, node }
     }
 
@@ -421,23 +543,18 @@ impl Controller {
     /// scratch buffer across placement decisions.
     pub fn node_snapshots_into(&self, action: &ActionName, out: &mut Vec<NodeSnapshot>) {
         out.clear();
+        // A pure copy of the per-node occupancy counters maintained at every
+        // lifecycle transition — no sandbox is examined, so snapshot cost is
+        // O(nodes) regardless of how many containers the cluster hosts.
         out.extend(self.nodes.iter().enumerate().map(|(node, n)| NodeSnapshot {
             node,
             memory_capacity: n.memory_capacity,
             memory_used: n.memory_used,
-            total_sandboxes: 0,
-            action_sandboxes: 0,
-            active_invocations: 0,
+            total_sandboxes: n.total_sandboxes,
+            action_sandboxes: n.action_sandboxes.get(action).copied().unwrap_or(0),
+            active_invocations: n.active_invocations,
             schedulable: n.state == NodeState::Active,
         }));
-        for sandbox in self.sandboxes.values() {
-            let snapshot = &mut out[sandbox.node];
-            snapshot.total_sandboxes += 1;
-            snapshot.active_invocations += sandbox.active;
-            if &sandbox.action == action {
-                snapshot.action_sandboxes += 1;
-            }
-        }
     }
 
     /// Marks a cold-started sandbox as ready to execute.
@@ -466,7 +583,15 @@ impl Controller {
                 reason: "no invocation in flight".to_string(),
             });
         }
+        let node = sandbox.node;
         sandbox.finish(now);
+        let now_idle = sandbox.is_idle();
+        self.nodes[node].active_invocations -= 1;
+        if now_idle {
+            self.serving_sandboxes -= 1;
+        }
+        self.index_ops += 1;
+        self.refresh_warm_membership(id);
         Ok(())
     }
 
@@ -554,9 +679,21 @@ impl Controller {
     fn reclaim(&mut self, ids: &[SandboxId]) {
         for id in ids {
             if let Some(sandbox) = self.sandboxes.remove(id) {
-                self.nodes[sandbox.node].memory_used = self.nodes[sandbox.node]
-                    .memory_used
-                    .saturating_sub(sandbox.memory_bytes);
+                let node = &mut self.nodes[sandbox.node];
+                node.memory_used = node.memory_used.saturating_sub(sandbox.memory_bytes);
+                node.total_sandboxes -= 1;
+                node.active_invocations -= sandbox.active;
+                if let Some(count) = node.action_sandboxes.get_mut(&sandbox.action) {
+                    *count -= 1;
+                    if *count == 0 {
+                        node.action_sandboxes.remove(&sandbox.action);
+                    }
+                }
+                if !sandbox.is_idle() {
+                    self.serving_sandboxes -= 1;
+                }
+                self.index_ops += 1;
+                self.forget_warm_membership(&sandbox.action, *id);
             }
         }
     }
@@ -565,11 +702,8 @@ impl Controller {
     /// The node is immediately schedulable.
     pub fn add_node(&mut self) -> NodeId {
         let id = self.nodes.len();
-        self.nodes.push(InvokerNode {
-            memory_capacity: self.config.invoker_memory_bytes,
-            memory_used: 0,
-            state: NodeState::Active,
-        });
+        self.nodes
+            .push(InvokerNode::fresh(self.config.invoker_memory_bytes));
         id
     }
 
@@ -598,6 +732,18 @@ impl Controller {
             }
         }
         self.nodes[node].state = NodeState::Draining;
+        // Every warm candidate on the node leaves the index at once — a
+        // draining node refuses warm assignments — including the busy-but-
+        // free-slot survivors the idle reclaim below does not touch.
+        let hosted: Vec<(ActionName, SandboxId)> = self
+            .sandboxes
+            .values()
+            .filter(|s| s.node == node)
+            .map(|s| (s.action.clone(), s.id))
+            .collect();
+        for (action, id) in &hosted {
+            self.forget_warm_membership(action, *id);
+        }
         let idle: Vec<SandboxId> = self
             .sandboxes
             .values()
@@ -669,7 +815,7 @@ impl Controller {
                 reason: format!("cannot remove a node in state {state:?}; drain it first"),
             });
         }
-        if self.sandboxes.values().any(|s| s.node == node) {
+        if self.nodes[node].total_sandboxes > 0 {
             return Err(PlatformError::InvalidNodeState {
                 node,
                 reason: "node still hosts sandboxes".to_string(),
@@ -686,9 +832,7 @@ impl Controller {
         self.nodes
             .iter()
             .enumerate()
-            .filter(|(node, n)| {
-                n.state == NodeState::Draining && !self.sandboxes.values().any(|s| s.node == *node)
-            })
+            .filter(|(_, n)| n.state == NodeState::Draining && n.total_sandboxes == 0)
             .map(|(node, _)| node)
             .collect()
     }
@@ -744,20 +888,12 @@ impl Controller {
     /// in node-id order — the view scale-in policies pick drain victims from.
     #[must_use]
     pub fn active_node_loads(&self) -> Vec<(NodeId, usize, usize)> {
-        let mut loads: Vec<(NodeId, usize, usize)> = self
-            .nodes
+        self.nodes
             .iter()
             .enumerate()
             .filter(|(_, n)| n.state == NodeState::Active)
-            .map(|(node, _)| (node, 0, 0))
-            .collect();
-        for sandbox in self.sandboxes.values() {
-            if let Some(entry) = loads.iter_mut().find(|(node, _, _)| *node == sandbox.node) {
-                entry.1 += 1;
-                entry.2 += sandbox.active;
-            }
-        }
-        loads
+            .map(|(node, n)| (node, n.total_sandboxes, n.active_invocations))
+            .collect()
     }
 
     /// Read access to a sandbox.
@@ -779,10 +915,11 @@ impl Controller {
         self.sandboxes.len()
     }
 
-    /// Number of sandboxes with at least one activation in flight.
+    /// Number of sandboxes with at least one activation in flight
+    /// (maintained incrementally at assign/finish/reclaim time).
     #[must_use]
     pub fn serving_sandbox_count(&self) -> usize {
-        self.sandboxes.values().filter(|s| !s.is_idle()).count()
+        self.serving_sandboxes
     }
 
     /// Total memory committed to containers across the cluster.
@@ -1518,6 +1655,59 @@ mod tests {
         c.drain_node(1).unwrap();
         c.remove_node(1).unwrap();
         assert_eq!(c.node_memory_pressure()[1], 0.0);
+    }
+
+    #[test]
+    fn dispatch_scan_cost_is_independent_of_unrelated_action_sandboxes() {
+        // The asymptotic contract behind the incremental scheduling views:
+        // serving one dispatch's worth of views for a hot action (its warm
+        // candidates plus the node snapshots a placement would consult) must
+        // scan work proportional to *that action's* warm set, regardless of
+        // how many idle sandboxes other actions keep alive.  On a fresh-scan
+        // controller this fails — every view walks the whole sandbox map.
+        let mut c = controller(8, 20 * 1024);
+        c.register_action(spec("hot", 128, 4)).unwrap();
+        c.register_action(spec("noise", 128, 1)).unwrap();
+        // Two warm hot containers with free slots.
+        for _ in 0..2 {
+            let outcome = c
+                .schedule_on(&"hot".into(), 0, SimTime::from_secs(1))
+                .unwrap();
+            c.sandbox_ready(outcome.sandbox()).unwrap();
+            c.invocation_finished(outcome.sandbox(), SimTime::from_secs(2))
+                .unwrap();
+        }
+        let dispatch_scans = |c: &Controller| {
+            let before = c.view_sandboxes_scanned();
+            let mut warm = Vec::new();
+            c.warm_candidates_into(&"hot".into(), &mut warm);
+            assert_eq!(warm.len(), 2, "both hot containers stay warm");
+            let _ = c.warm_candidate(&"hot".into()).expect("warm MRU");
+            let mut snapshots = Vec::new();
+            c.node_snapshots_into(&"hot".into(), &mut snapshots);
+            c.view_sandboxes_scanned() - before
+        };
+        let baseline = dispatch_scans(&c);
+        // A thousand idle containers of an unrelated action join the pool.
+        for i in 0..1_000u64 {
+            let outcome = c
+                .schedule_on(&"noise".into(), (1 + i % 7) as usize, SimTime::from_secs(3))
+                .unwrap();
+            c.sandbox_ready(outcome.sandbox()).unwrap();
+            c.invocation_finished(outcome.sandbox(), SimTime::from_secs(4))
+                .unwrap();
+        }
+        assert_eq!(c.sandbox_count(), 1_002);
+        let with_noise = dispatch_scans(&c);
+        assert_eq!(
+            with_noise, baseline,
+            "per-dispatch view scans grew with unrelated-action sandboxes \
+             ({baseline} -> {with_noise})"
+        );
+        assert!(
+            c.index_ops() > 0,
+            "lifecycle transitions must flow through the incremental index"
+        );
     }
 
     #[test]

@@ -1,23 +1,36 @@
 //! Guards for the self-timing benchmark harness (`sims::bench_trace` /
-//! `sims::sweep`).
+//! `sims::bench_saturated_trace` / `sims::sweep`).
 //!
-//! Two properties are pinned:
+//! Three properties are pinned:
 //!
 //! 1. **Determinism per seed, not per sweep order** — running seeds
 //!    sequentially and running them through the parallel worker pool in a
 //!    shuffled order must produce byte-identical deterministic JSON for
 //!    every seed.  This is what lets CI compare two sweep invocations.
 //! 2. **Well-formedness of `BENCH_sim_engine.json`** — the emitted document
-//!    must carry a nonzero `requests_per_sec`, so the perf trajectory never
-//!    silently records an empty run.
+//!    must carry both provisioning sections and a nonzero
+//!    `requests_per_sec`, so the perf trajectory never silently records an
+//!    empty run.
+//! 3. **The saturated trace actually saturates** — the run conserves
+//!    requests (everything admitted eventually completes during the
+//!    drain-down), so saturation shows up as queueing delay: the median
+//!    latency must sit far above the ~70 ms warm service time, proving the
+//!    retry queue ran deep.  It must also stay deterministic across the
+//!    worker pool like the well-provisioned trace.
 //!
 //! The request count is kept small: these run under `cargo test` (debug
 //! profile), where a million-request trace would dominate the suite.  The
 //! release-profile million-request run is exercised by CI's bench step.
 
-use sesemi_bench::sims::{bench_trace, sweep};
+use sesemi_bench::sims::{
+    bench_document, bench_saturated_trace, bench_trace, sweep, sweep_saturated,
+};
 
 const REQUESTS: u64 = 10_000;
+/// The saturated trace backs up fast (capacity is ~60% of offered load), so
+/// a fifth of the request count already leaves a deep queue — the same ratio
+/// `--bench-json` uses.
+const SATURATED_REQUESTS: u64 = REQUESTS / 5;
 
 #[test]
 fn sweep_order_does_not_change_per_seed_results() {
@@ -47,28 +60,69 @@ fn sweep_order_does_not_change_per_seed_results() {
 }
 
 #[test]
-fn bench_json_parses_with_nonzero_requests_per_sec() {
-    let run = bench_trace(REQUESTS, 7);
-    assert!(run.completed > 0, "bench trace completed nothing");
-    assert!(run.events_processed > run.completed);
-    let json = run.bench_json();
+fn saturated_trace_backs_up_and_stays_deterministic_across_the_pool() {
+    let seeds = [7u64, 42];
+    let sequential: Vec<_> = seeds
+        .iter()
+        .map(|&seed| bench_saturated_trace(SATURATED_REQUESTS, seed))
+        .collect();
+    for run in &sequential {
+        // Over capacity by construction: the pinned pool leaves ~470 rps of
+        // hot capacity against a ≥1000 rps offered load, so the median
+        // request waits in the retry queue for a long multiple of the
+        // ~70 ms warm service time.  (The run still conserves requests —
+        // the queue drains after the horizon — so `dropped` stays 0 and
+        // queueing delay is the saturation signal.)
+        assert!(
+            run.p50_latency > sesemi_sim::SimDuration::from_millis(500),
+            "seed {}: saturated trace shows no queueing delay (p50 {})",
+            run.seed,
+            run.p50_latency
+        );
+        assert!(run.completed > 0, "saturated trace completed nothing");
+    }
+    let parallel = sweep_saturated(SATURATED_REQUESTS, &seeds, 2);
+    for (seq, par) in sequential.iter().zip(&parallel) {
+        assert_eq!(
+            seq.deterministic_json(),
+            par.deterministic_json(),
+            "seed {}: parallel saturated sweep diverged from the sequential run",
+            seq.seed
+        );
+    }
+}
+
+#[test]
+fn bench_document_parses_with_both_sections_and_nonzero_requests_per_sec() {
+    let well = bench_trace(REQUESTS, 7);
+    assert!(well.completed > 0, "bench trace completed nothing");
+    assert!(well.events_processed > well.completed);
+    let saturated = bench_saturated_trace(SATURATED_REQUESTS, 7);
+    let json = bench_document(&well, &saturated);
     assert!(json.contains("\"bench\": \"sim_engine\""));
-    // Extract the rendered requests_per_sec figure and require it nonzero —
-    // the field CI dashboards chart.
-    let line = json
+    assert!(json.contains("\"well_provisioned\": {"));
+    assert!(json.contains("\"saturated\": {"));
+    // Extract the rendered requests_per_sec figures and require them nonzero
+    // — the fields CI dashboards chart.
+    let values: Vec<f64> = json
         .lines()
-        .find(|line| line.contains("\"requests_per_sec\":"))
-        .expect("bench json carries requests_per_sec");
-    let value: f64 = line
-        .split(':')
-        .nth(1)
-        .expect("requests_per_sec has a value")
-        .trim()
-        .trim_end_matches(',')
-        .parse()
-        .expect("requests_per_sec renders as a number");
-    assert!(value > 0.0, "requests_per_sec must be nonzero: {json}");
-    // The deterministic slice embeds cleanly too.
+        .filter(|line| line.contains("\"requests_per_sec\":"))
+        .map(|line| {
+            line.split(':')
+                .nth(1)
+                .expect("requests_per_sec has a value")
+                .trim()
+                .trim_end_matches(',')
+                .parse()
+                .expect("requests_per_sec renders as a number")
+        })
+        .collect();
+    assert_eq!(values.len(), 2, "one throughput figure per section: {json}");
+    assert!(
+        values.iter().all(|&v| v > 0.0),
+        "requests_per_sec must be nonzero: {json}"
+    );
+    // The deterministic slices embed cleanly too.
     assert!(json.contains("\"events_processed\""));
     assert!(json.contains("\"peak_rss_bytes\""));
 }

@@ -1,0 +1,315 @@
+//! Lockstep oracle suite for the controller's incremental scheduling views.
+//!
+//! The warm-candidate index and the per-node occupancy counters are pure
+//! derived state: after *every* lifecycle transition they must equal what a
+//! fresh scan over the sandbox map would compute.  This suite drives random
+//! op sequences (schedule / ready / finish / evict / drain / crash / kill /
+//! add / remove, across several actions and a changing node pool) through a
+//! controller and re-derives every indexed view from the public sandbox
+//! iterator after each op.  A divergence shrinks to a 1-minimal op sequence
+//! with the same greedy delta-debugging the scenario corpus uses.
+
+use proptest::prelude::*;
+use sesemi_platform::{
+    ActionName, ActionSpec, Controller, NodeSnapshot, NodeState, PlatformConfig, SandboxId,
+    SandboxState, WarmCandidate,
+};
+use sesemi_sim::SimTime;
+
+const MB: u64 = 1024 * 1024;
+
+/// One decoded controller op.  Targets are raw draws wrapped into bounds at
+/// application time, so every op is applicable in every state.
+#[derive(Clone, Debug, PartialEq)]
+enum Op {
+    /// Schedule one invocation of the indexed action (saturation ignored);
+    /// `ready` marks a resulting cold start running immediately.
+    Schedule { action: usize, ready: bool },
+    /// Mark the `pick`-th still-starting sandbox (ascending id) as running.
+    Ready { pick: usize },
+    /// Finish the `pick`-th tracked in-flight activation (stale entries —
+    /// their sandbox crashed or was killed — are simply discarded).
+    Finish { pick: usize },
+    /// Advance the clock by `advance_s` and run a keep-alive eviction pass.
+    Evict { advance_s: u64 },
+    /// Drain the `node`-th node slot (errors on retired slots are ignored).
+    Drain { node: usize },
+    /// Crash the `node`-th node slot (errors on retired slots are ignored).
+    Crash { node: usize },
+    /// Kill the `pick`-th live sandbox (ascending id), busy or idle.
+    Kill { pick: usize },
+    /// Scale out by one node (capped so sequences stay small).
+    AddNode,
+    /// Retire the first fully drained node, if any.
+    RemoveDrained,
+}
+
+/// Decodes one raw 64-bit draw into an op.  Scheduling dominates the mix so
+/// sequences build real pools before lifecycle events start tearing at them.
+fn decode_op(raw: u64) -> Op {
+    let payload = (raw >> 4) as usize;
+    match raw % 16 {
+        0..=5 => Op::Schedule {
+            action: payload,
+            ready: raw & 0x10 != 0,
+        },
+        6 | 7 => Op::Finish { pick: payload },
+        8 => Op::Ready { pick: payload },
+        9 | 15 => Op::Evict {
+            advance_s: (payload as u64) % 400,
+        },
+        10 => Op::Drain { node: payload },
+        11 => Op::Crash { node: payload },
+        12 => Op::Kill { pick: payload },
+        13 => Op::AddNode,
+        _ => Op::RemoveDrained,
+    }
+}
+
+/// The action mix: different memory budgets and concurrency limits so warm
+/// sets, free slots and placement pressure all vary.
+fn actions() -> Vec<ActionSpec> {
+    vec![
+        ActionSpec::new("alpha", "sesemi/semirt", 256 * MB, 2),
+        ActionSpec::new("beta", "sesemi/semirt", 128 * MB, 1),
+        ActionSpec::new("gamma", "sesemi/semirt", 384 * MB, 4),
+    ]
+}
+
+/// Re-derives every incrementally maintained view from the public sandbox
+/// iterator and compares.  Any mismatch is a broken index invariant.
+fn check_views_against_oracle(c: &Controller, names: &[ActionName]) -> Result<(), String> {
+    for action in names {
+        // Warm candidates: the action's free-slot sandboxes on Active nodes,
+        // ascending id.
+        let mut expected: Vec<WarmCandidate> = c
+            .sandboxes()
+            .filter(|s| {
+                &s.action == action
+                    && s.has_free_slot()
+                    && c.node_state(s.node) == Some(NodeState::Active)
+            })
+            .map(|s| WarmCandidate {
+                sandbox: s.id,
+                node: s.node,
+                last_used: s.last_used,
+                still_starting: s.state == SandboxState::Starting,
+            })
+            .collect();
+        expected.sort_unstable_by_key(|candidate| candidate.sandbox);
+        let actual = c.warm_candidates(action);
+        if actual != expected {
+            return Err(format!(
+                "warm_candidates({action:?}) diverged:\n  indexed {actual:?}\n  oracle  {expected:?}"
+            ));
+        }
+        // MRU selection over the same membership.
+        let mru = expected
+            .iter()
+            .copied()
+            .max_by_key(|candidate| (candidate.last_used, candidate.sandbox));
+        if c.warm_candidate(action) != mru {
+            return Err(format!(
+                "warm_candidate({action:?}) diverged from the oracle MRU"
+            ));
+        }
+        // Node snapshots: counters re-derived per sandbox.
+        let mut snapshots: Vec<NodeSnapshot> = (0..c.node_count())
+            .map(|node| NodeSnapshot {
+                node,
+                memory_capacity: c.config().invoker_memory_bytes,
+                memory_used: 0,
+                total_sandboxes: 0,
+                action_sandboxes: 0,
+                active_invocations: 0,
+                schedulable: c.node_state(node) == Some(NodeState::Active),
+            })
+            .collect();
+        for sandbox in c.sandboxes() {
+            let snapshot = &mut snapshots[sandbox.node];
+            snapshot.memory_used += sandbox.memory_bytes;
+            snapshot.total_sandboxes += 1;
+            snapshot.active_invocations += sandbox.active;
+            if &sandbox.action == action {
+                snapshot.action_sandboxes += 1;
+            }
+        }
+        let actual = c.node_snapshots(action);
+        if actual != snapshots {
+            return Err(format!(
+                "node_snapshots({action:?}) diverged:\n  indexed {actual:?}\n  oracle  {snapshots:?}"
+            ));
+        }
+    }
+    let serving = c.sandboxes().filter(|s| !s.is_idle()).count();
+    if c.serving_sandbox_count() != serving {
+        return Err(format!(
+            "serving_sandbox_count diverged: indexed {} oracle {serving}",
+            c.serving_sandbox_count()
+        ));
+    }
+    let mut loads: Vec<(usize, usize, usize)> = (0..c.node_count())
+        .filter(|node| c.node_state(*node) == Some(NodeState::Active))
+        .map(|node| (node, 0, 0))
+        .collect();
+    for sandbox in c.sandboxes() {
+        if let Some(entry) = loads.iter_mut().find(|(node, _, _)| *node == sandbox.node) {
+            entry.1 += 1;
+            entry.2 += sandbox.active;
+        }
+    }
+    if c.active_node_loads() != loads {
+        return Err("active_node_loads diverged from the oracle".to_string());
+    }
+    let drained_empty: Vec<usize> = (0..c.node_count())
+        .filter(|node| {
+            c.node_state(*node) == Some(NodeState::Draining)
+                && !c.sandboxes().any(|s| s.node == *node)
+        })
+        .collect();
+    if c.drained_empty_nodes() != drained_empty {
+        return Err("drained_empty_nodes diverged from the oracle".to_string());
+    }
+    Ok(())
+}
+
+/// Applies `ops` to a fresh 3-node controller, checking every view against
+/// the fresh-scan oracle after every op.  `Err` carries the failing op index
+/// and reason for the shrinker; a panic anywhere (including the index's own
+/// debug assertions) also surfaces as `Err`.
+fn run_lockstep(ops: &[Op]) -> Result<(), String> {
+    let ops = ops.to_vec();
+    std::panic::catch_unwind(move || {
+        let specs = actions();
+        let names: Vec<ActionName> = specs.iter().map(|spec| spec.name.clone()).collect();
+        let config = PlatformConfig::default().with_invoker_memory(1024 * MB);
+        let mut c = Controller::new(config, 3);
+        for spec in specs {
+            c.register_action(spec).unwrap();
+        }
+        let mut in_flight: Vec<SandboxId> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for (step, op) in ops.iter().enumerate() {
+            now += sesemi_sim::SimDuration::from_secs(1);
+            match op {
+                Op::Schedule { action, ready } => {
+                    let name = &names[action % names.len()];
+                    if let Ok(outcome) = c.schedule(name, now) {
+                        if outcome.is_cold_start() && *ready {
+                            c.sandbox_ready(outcome.sandbox()).unwrap();
+                        }
+                        in_flight.push(outcome.sandbox());
+                    }
+                }
+                Op::Ready { pick } => {
+                    let mut starting: Vec<SandboxId> = c
+                        .sandboxes()
+                        .filter(|s| s.state == SandboxState::Starting)
+                        .map(|s| s.id)
+                        .collect();
+                    starting.sort_unstable();
+                    if !starting.is_empty() {
+                        c.sandbox_ready(starting[pick % starting.len()]).unwrap();
+                    }
+                }
+                Op::Finish { pick } => {
+                    if !in_flight.is_empty() {
+                        let id = in_flight.remove(pick % in_flight.len());
+                        // Stale entries (sandbox crashed/killed since) error
+                        // out harmlessly; the activation is simply gone.
+                        let _ = c.invocation_finished(id, now);
+                    }
+                }
+                Op::Evict { advance_s } => {
+                    now += sesemi_sim::SimDuration::from_secs(*advance_s);
+                    c.evict_idle(now);
+                }
+                Op::Drain { node } => {
+                    let _ = c.drain_node(node % c.node_count());
+                }
+                Op::Crash { node } => {
+                    let _ = c.crash_node(node % c.node_count());
+                }
+                Op::Kill { pick } => {
+                    let mut live: Vec<SandboxId> = c.sandboxes().map(|s| s.id).collect();
+                    live.sort_unstable();
+                    if !live.is_empty() {
+                        c.kill_sandbox(live[pick % live.len()]).unwrap();
+                    }
+                }
+                Op::AddNode => {
+                    if c.node_count() < 8 {
+                        c.add_node();
+                    }
+                }
+                Op::RemoveDrained => {
+                    if let Some(node) = c.drained_empty_nodes().first().copied() {
+                        c.remove_node(node).unwrap();
+                    }
+                }
+            }
+            check_views_against_oracle(&c, &names)
+                .map_err(|reason| format!("after op {step} ({op:?}): {reason}"))?;
+        }
+        Ok(())
+    })
+    .unwrap_or_else(|_| Err("the controller panicked".to_string()))
+}
+
+/// Greedy delta-debugging: repeatedly drop any op whose removal keeps the
+/// sequence failing, until the sequence is 1-minimal.
+fn shrink_to_minimal(ops: &[Op], fails: &dyn Fn(&[Op]) -> bool) -> Vec<Op> {
+    let mut current = ops.to_vec();
+    loop {
+        let mut shrunk = false;
+        for index in 0..current.len() {
+            let mut candidate = current.clone();
+            candidate.remove(index);
+            if fails(&candidate) {
+                current = candidate;
+                shrunk = true;
+                break;
+            }
+        }
+        if !shrunk {
+            return current;
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random op sequences keep every incrementally indexed view equal to
+    /// the fresh-scan oracle after every single transition.  Failures
+    /// shrink to a 1-minimal op sequence.
+    #[test]
+    fn indexed_views_match_fresh_scan_oracle(
+        raw in proptest::collection::vec(0u64..u64::MAX, 0..60)
+    ) {
+        let ops: Vec<Op> = raw.iter().map(|r| decode_op(*r)).collect();
+        if let Err(reason) = run_lockstep(&ops) {
+            let minimal = shrink_to_minimal(&ops, &|candidate| run_lockstep(candidate).is_err());
+            prop_assert!(
+                false,
+                "indexed views diverged from the oracle: {reason}\n\
+                 minimal failing sequence: {minimal:?}"
+            );
+        }
+    }
+}
+
+/// A deterministic dense sequence exercising every op kind at least once —
+/// the smoke test that runs even when the property harness is filtered out.
+#[test]
+fn dense_lifecycle_sequence_stays_in_lockstep() {
+    let ops: Vec<Op> = (0..400u64)
+        .map(|i| {
+            decode_op(
+                i.wrapping_mul(6364136223846793005)
+                    .wrapping_add(1442695040888963407),
+            )
+        })
+        .collect();
+    run_lockstep(&ops).expect("dense lifecycle sequence diverged");
+}
